@@ -1,0 +1,1 @@
+bench/experiments.ml: Checkpoint Crypto Harness Httpd Kvcache List Netsim Nvx Option Printf Sdrad Simkern Stats String Vmem Workload

@@ -1,0 +1,1 @@
+bench/harness.ml: Httpd Kvcache List Netsim Option Printf Sdrad Simkern Stats Vmem Workload

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Crypto Harness Hashtbl Instance Kvcache Lazy List Measure Printf Staged String Test Time Tlsf Toolkit Vfs Vmem

@@ -1,0 +1,862 @@
+(* The paper's evaluation, experiment by experiment. Each function prints
+   a table mirroring the corresponding figure/table of the paper; the
+   "paper" column quotes the published result so the shapes can be
+   compared directly. See EXPERIMENTS.md for the recorded comparison. *)
+
+open Harness
+module Space = Vmem.Space
+module Sched = Simkern.Sched
+module Api = Sdrad.Api
+module Types = Sdrad.Types
+
+let quick = ref false
+
+(* Scaled-down workload sizes (paper: 1e7 records / 1e8 operations). *)
+let mc_records () = if !quick then 400 else 1_500
+let mc_operations () = if !quick then 1_200 else 6_000
+let ng_requests_per_conn () = if !quick then 4 else 20
+
+(* {1 E1 — Figure 4: Memcached YCSB throughput} *)
+
+let e1 () =
+  section
+    "E1 (Fig. 4) Memcached YCSB throughput — 1 KiB values, 95/5 read/update, \
+     Zipfian";
+  let threads = [ 1; 2; 4; 8 ] in
+  let variants =
+    [
+      ("baseline", Kvcache.Server.Baseline);
+      ("tlsf", Kvcache.Server.Tlsf_alloc);
+      ("sdrad", Kvcache.Server.Sdrad);
+    ]
+  in
+  let results =
+    List.map
+      (fun w ->
+        ( w,
+          List.map
+            (fun (name, variant) ->
+              let r =
+                run_memcached ~variant ~workers:w ~records:(mc_records ())
+                  ~operations:(mc_operations ()) ~clients:16 ()
+              in
+              (name, r))
+            variants ))
+      threads
+  in
+  let phase_rows select phase_name =
+    List.map
+      (fun (w, rs) ->
+        let v name = select (List.assoc name rs) in
+        let base = v "baseline" in
+        [
+          Printf.sprintf "%s/%d thr" phase_name w;
+          Stats.Table.fmt_si base;
+          Printf.sprintf "%s (%s)" (Stats.Table.fmt_si (v "tlsf")) (pct base (v "tlsf"));
+          Printf.sprintf "%s (%s)" (Stats.Table.fmt_si (v "sdrad")) (pct base (v "sdrad"));
+        ])
+      results
+  in
+  table
+    ~header:[ "phase/threads"; "baseline op/s"; "tlsf op/s"; "sdrad op/s" ]
+    (phase_rows (fun r -> r.mc_load_tput) "load"
+    @ phase_rows (fun r -> r.mc_run_tput) "run");
+  List.iter
+    (fun (w, rs) ->
+      Printf.printf "worker utilization @%d thr: baseline %.0f%%, sdrad %.0f%%\n" w
+        (100.0 *. (List.assoc "baseline" rs).mc_utilization)
+        (100.0 *. (List.assoc "sdrad" rs).mc_utilization))
+    results;
+  print_endline
+    "paper: tlsf < 1% everywhere; sdrad worst case -7.0/-7.1% (1 thr), \
+     -4.5/-5.5% (2 thr), -2.9/-4.1% (4 thr), < -4.1% (8 thr, unsaturated)"
+
+(* {1 E2 — §V-A: Memcached rewind latency vs restart} *)
+
+let attack_memcached_once net =
+  let evil = Netsim.connect net ~port:11211 in
+  Netsim.send evil
+    (Kvcache.Proto.fmt_set_lying ~key:"boom" ~flags:0 ~declared:(-1)
+       ~value:(String.make 900 'x'));
+  ignore (Netsim.recv evil)
+
+let measure_memcached_rewinds ~attacks =
+  let space = Space.create ~size_mib:192 () in
+  let sd = Api.create space in
+  let sched = Sched.create () in
+  let net = Netsim.create (Space.cost space) in
+  let cfg =
+    { Kvcache.Server.default_config with variant = Kvcache.Server.Sdrad;
+      vulnerable = true; workers = 2 }
+  in
+  let srv = ref None in
+  let _ =
+    Sched.spawn sched ~name:"harness" (fun () ->
+        let s = Kvcache.Server.start sched space ~sdrad:sd net cfg in
+        srv := Some s;
+        let c = Netsim.connect net ~port:11211 in
+        Netsim.send c (Kvcache.Proto.fmt_set ~key:"canary" ~flags:0 ~value:"alive");
+        ignore (Netsim.recv c);
+        for _ = 1 to attacks do
+          attack_memcached_once net;
+          (* Service must still answer between attacks. *)
+          Netsim.send c (Kvcache.Proto.fmt_get "canary");
+          assert (Netsim.recv c <> None)
+        done;
+        Netsim.close c;
+        Kvcache.Server.stop s)
+  in
+  Sched.run sched;
+  let s = Option.get !srv in
+  assert (not (Kvcache.Server.crashed s));
+  assert (Kvcache.Server.rewinds s = attacks);
+  (Kvcache.Server.rewind_latencies s, Kvcache.Server.store s)
+
+let e2 () =
+  section "E2 (§V-A) Memcached recovery latency: rewind vs restart";
+  let latencies, _ = measure_memcached_rewinds ~attacks:20 in
+  let s = Stats.summarize (List.map us_of latencies) in
+  let restart_us = us_of (Checkpoint.restart_cycles (Space.create ~size_mib:1 ()) ~reload_bytes:0) in
+  let gib = 1024 * 1024 * 1024 in
+  let reload_10g_us =
+    us_of (Checkpoint.restart_cycles (Space.create ~size_mib:1 ()) ~reload_bytes:(10 * gib))
+  in
+  table
+    ~header:[ "recovery mechanism"; "latency"; "paper" ]
+    [
+      [
+        "SDRaD abnormal exit (measured)";
+        Printf.sprintf "%.1f us (sd %.1f, n=%d)" s.Stats.mean s.Stats.stddev s.Stats.n;
+        "3.5 us (sd 0.9)";
+      ];
+      [
+        "process restart (model)";
+        Printf.sprintf "%.0f us" restart_us;
+        "~0.4 s for the container";
+      ];
+      [
+        "restart + reload 10 GiB (model)";
+        Printf.sprintf "%.0f s" (reload_10g_us /. 1e6);
+        "~2 min";
+      ];
+    ]
+
+(* {1 E3 — Figure 5: NGINX throughput vs response size} *)
+
+let e3 () =
+  section "E3 (Fig. 5) NGINX throughput, 1 worker, 75 keep-alive connections";
+  let sizes = [ 0; 1024; 4096; 16384; 65536; 131072 ] in
+  let variants =
+    [
+      ("baseline", Httpd.Server.Baseline);
+      ("tlsf", Httpd.Server.Tlsf_alloc);
+      ("sdrad", Httpd.Server.Sdrad);
+    ]
+  in
+  let rows =
+    List.map
+      (fun size ->
+        let v =
+          List.map
+            (fun (name, variant) ->
+              let r =
+                run_nginx ~variant ~workers:1 ~file_size:size ~connections:75
+                  ~requests_per_conn:(ng_requests_per_conn ())
+              in
+              (name, r.ng_tput))
+            variants
+        in
+        let base = List.assoc "baseline" v in
+        [
+          (if size = 0 then "0" else Printf.sprintf "%dKiB" (size / 1024));
+          Stats.Table.fmt_si base;
+          Printf.sprintf "%s (%s)" (Stats.Table.fmt_si (List.assoc "tlsf" v))
+            (pct base (List.assoc "tlsf" v));
+          Printf.sprintf "%s (%s)" (Stats.Table.fmt_si (List.assoc "sdrad" v))
+            (pct base (List.assoc "sdrad" v));
+        ])
+      sizes
+  in
+  table ~header:[ "file size"; "baseline req/s"; "tlsf req/s"; "sdrad req/s" ] rows;
+  print_endline
+    "paper: sdrad overhead between -6.5% (1 KiB) and -1.6% (128 KiB); \
+     independent of worker count"
+
+(* {1 E4 — §V-B: NGINX rewind latency vs worker restart} *)
+
+let nginx_attack_run ~variant ~attacks =
+  let space = Space.create ~size_mib:192 () in
+  let sd =
+    match variant with Httpd.Server.Sdrad -> Some (Api.create space) | _ -> None
+  in
+  let sched = Sched.create () in
+  let net = Netsim.create (Space.cost space) in
+  let cfg =
+    { Httpd.Server.default_config with variant; vulnerable = true; workers = 1 }
+  in
+  let fs = make_fs space [ 1024 ] in
+  let srv = ref None in
+  let _ =
+    Sched.spawn sched ~name:"harness" (fun () ->
+        let s = Httpd.Server.start sched space ?sdrad:sd net ~fs cfg in
+        srv := Some s;
+        for _ = 1 to attacks do
+          let evil = Netsim.connect net ~port:8080 in
+          Netsim.send evil (Workload.Http_load.request ~path:"/a/../../etc");
+          ignore (Netsim.recv evil);
+          (* Wait for recovery, then verify the service answers. *)
+          let rec probe tries =
+            if tries = 0 then failwith "service did not recover";
+            Sched.sleep 3.0e6;
+            let c = Netsim.connect net ~port:8080 in
+            Netsim.send c (Workload.Http_load.request ~path:"/f1024.bin");
+            let r = Netsim.recv c in
+            Netsim.close c;
+            match r with
+            | Some reply when Workload.Http_load.is_200 reply -> ()
+            | _ -> probe (tries - 1)
+          in
+          probe 10
+        done;
+        Httpd.Server.stop s)
+  in
+  Sched.run sched;
+  Option.get !srv
+
+let e4 () =
+  section "E4 (§V-B) NGINX recovery latency: rewind vs worker restart";
+  let sdrad_srv = nginx_attack_run ~variant:Httpd.Server.Sdrad ~attacks:20 in
+  let base_srv = nginx_attack_run ~variant:Httpd.Server.Baseline ~attacks:20 in
+  let rl = Stats.summarize (List.map us_of (Httpd.Server.rewind_latencies sdrad_srv)) in
+  let wr = Stats.summarize (List.map us_of (Httpd.Server.restart_latencies base_srv)) in
+  table
+    ~header:[ "recovery mechanism"; "latency (measured)"; "paper" ]
+    [
+      [
+        "SDRaD abnormal exit";
+        Printf.sprintf "%.1f us (sd %.1f, n=%d)" rl.Stats.mean rl.Stats.stddev rl.Stats.n;
+        "3.4 us (sd 0.67)";
+      ];
+      [
+        "worker restart by master";
+        Printf.sprintf "%.0f us (sd %.0f, n=%d)" wr.Stats.mean wr.Stats.stddev wr.Stats.n;
+        "996 us (sd 44)";
+      ];
+    ];
+  Printf.printf
+    "connections lost per fault: sdrad %d/20 attacks (attacker only), baseline: \
+     all of the worker's connections\n"
+    (Httpd.Server.dropped_connections sdrad_srv)
+
+(* {1 E5 — §V-C: OpenSSL speed, aes-256-gcm} *)
+
+let speed_sizes = [ 16; 64; 256; 1024; 4096; 16384; 32768; 65536 ]
+
+let speed_iterations size =
+  let budget = if !quick then 131_072 else 786_432 in
+  max 8 (min 400 (budget / max 16 size))
+
+let run_speed () =
+  simulate (fun space _sched ->
+      let sd = Api.create space in
+      let modes =
+        [
+          Workload.Speed.Native;
+          Workload.Speed.Isolated Crypto.Evp_sdrad.Copy_in_out;
+          Workload.Speed.Isolated Crypto.Evp_sdrad.Read_parent;
+          Workload.Speed.Isolated Crypto.Evp_sdrad.Shared_buffers;
+        ]
+      in
+      List.map
+        (fun size ->
+          ( size,
+            List.map
+              (fun mode ->
+                Workload.Speed.measure space ~sdrad:sd mode ~size
+                  ~iterations:(speed_iterations size))
+              modes ))
+        speed_sizes)
+
+let e5_data = ref None
+
+let speed_data () =
+  match !e5_data with
+  | Some d -> d
+  | None ->
+      let d = run_speed () in
+      e5_data := Some d;
+      d
+
+let e5 () =
+  section "E5 (§V-C) OpenSSL speed: aes-256-gcm via EVP_EncryptUpdate";
+  let data = speed_data () in
+  let rows =
+    List.map
+      (fun (size, rows) ->
+        let find m =
+          List.find (fun r -> r.Workload.Speed.mode = m) rows
+        in
+        let native = (find Workload.Speed.Native).Workload.Speed.mb_per_sec in
+        let cell m =
+          let r = find m in
+          Printf.sprintf "%.0f (%s)" r.Workload.Speed.mb_per_sec
+            (pct native r.Workload.Speed.mb_per_sec)
+        in
+        [
+          (if size < 1024 then Printf.sprintf "%dB" size
+           else Printf.sprintf "%dKiB" (size / 1024));
+          Printf.sprintf "%.0f" native;
+          cell (Workload.Speed.Isolated Crypto.Evp_sdrad.Copy_in_out);
+          cell (Workload.Speed.Isolated Crypto.Evp_sdrad.Read_parent);
+          cell (Workload.Speed.Isolated Crypto.Evp_sdrad.Shared_buffers);
+        ])
+      data
+  in
+  table
+    ~header:
+      [ "input"; "native MB/s"; "copy-in-out MB/s"; "read-parent MB/s"; "shared MB/s" ]
+    rows;
+  print_endline
+    "paper: 4%-80% overhead for small inputs, < 2% at >= 32 KiB; the \
+     parent-managed shared domain (choice 3) performs best"
+
+(* {1 E6 — memory overhead (max RSS)} *)
+
+let e6 () =
+  section "E6 (§V-A/§V-B) memory overhead: max RSS, SDRaD vs baseline";
+  let mc_base =
+    run_memcached ~variant:Kvcache.Server.Baseline ~workers:4
+      ~records:(mc_records ()) ~operations:(mc_operations () / 2) ~clients:8 ()
+  in
+  let mc_sdrad =
+    run_memcached ~variant:Kvcache.Server.Sdrad ~workers:4
+      ~records:(mc_records ()) ~operations:(mc_operations () / 2) ~clients:8 ()
+  in
+  let ng_base =
+    run_nginx ~variant:Httpd.Server.Baseline ~workers:4 ~file_size:131072
+      ~connections:32 ~requests_per_conn:(ng_requests_per_conn ())
+  in
+  let ng_sdrad =
+    run_nginx ~variant:Httpd.Server.Sdrad ~workers:4 ~file_size:131072
+      ~connections:32 ~requests_per_conn:(ng_requests_per_conn ())
+  in
+  let row name base sdrad paper =
+    [
+      name;
+      Printf.sprintf "%.1f MiB" (float_of_int base /. 1048576.0);
+      Printf.sprintf "%.1f MiB" (float_of_int sdrad /. 1048576.0);
+      pct (float_of_int base) (float_of_int sdrad);
+      paper;
+    ]
+  in
+  table
+    ~header:[ "application"; "baseline RSS"; "sdrad RSS"; "increase"; "paper" ]
+    [
+      row "memcached (after YCSB load)" mc_base.mc_max_rss mc_sdrad.mc_max_rss "+0.4%";
+      row "nginx (128 KiB bench)" ng_base.ng_max_rss ng_sdrad.ng_max_rss "+3.06%";
+    ]
+
+(* {1 E7 — §V-B profiling: domain-switch cost anatomy} *)
+
+let e7 () =
+  section "E7 (§V-B) domain switch anatomy: share of the PKRU write";
+  let p =
+    simulate (fun space _ ->
+        let sd = Api.create space in
+        Api.profile_switch sd)
+  in
+  let frac part = 100.0 *. part /. p.Api.total_cycles in
+  table
+    ~header:[ "component"; "cycles"; "share" ]
+    [
+      [ "WRPKRU writes (4x)"; Printf.sprintf "%.0f" p.Api.wrpkru_cycles;
+        Printf.sprintf "%.0f%%" (frac p.Api.wrpkru_cycles) ];
+      [ "stack switching"; Printf.sprintf "%.0f" p.Api.stack_cycles;
+        Printf.sprintf "%.0f%%" (frac p.Api.stack_cycles) ];
+      [ "monitor bookkeeping"; Printf.sprintf "%.0f" p.Api.bookkeeping_cycles;
+        Printf.sprintf "%.0f%%" (frac p.Api.bookkeeping_cycles) ];
+      [ "total enter+exit pair"; Printf.sprintf "%.0f" p.Api.total_cycles; "100%" ];
+    ];
+  print_endline "paper: 30-50% of domain switching cost is the PKRU write"
+
+(* {1 E8 — the three CVE case studies} *)
+
+let e8 () =
+  section "E8 (§V) CVE case studies: unprotected vs SDRaD";
+  (* memcached / CVE-2011-4971 *)
+  let mc_unprotected =
+    let space = Space.create ~size_mib:192 () in
+    let sched = Sched.create () in
+    let net = Netsim.create (Space.cost space) in
+    let cfg =
+      { Kvcache.Server.default_config with variant = Kvcache.Server.Baseline;
+        vulnerable = true; workers = 2 }
+    in
+    let srv = ref None in
+    let _ =
+      Sched.spawn sched ~name:"harness" (fun () ->
+          let s = Kvcache.Server.start sched space net cfg in
+          srv := Some s;
+          attack_memcached_once net)
+    in
+    Sched.run sched;
+    Kvcache.Server.crashed (Option.get !srv)
+  in
+  let mc_lat, _ = measure_memcached_rewinds ~attacks:3 in
+  (* nginx / CVE-2009-2629 *)
+  let ng_base = nginx_attack_run ~variant:Httpd.Server.Baseline ~attacks:3 in
+  let ng_sdrad = nginx_attack_run ~variant:Httpd.Server.Sdrad ~attacks:3 in
+  (* openssl / CVE-2022-3786 *)
+  let ssl_rewinds =
+    let space = Space.create ~size_mib:192 () in
+    let sd = Api.create space in
+    let sched = Sched.create () in
+    let net = Netsim.create (Space.cost space) in
+    let cfg =
+      { Httpd.Server.default_config with variant = Httpd.Server.Sdrad;
+        verify_certs = true; workers = 1 }
+    in
+    let srv = ref None in
+    let _ =
+      Sched.spawn sched ~name:"harness" (fun () ->
+          let s = Httpd.Server.start sched space ~sdrad:sd net ~fs:(make_fs space [ 1024 ]) cfg in
+          srv := Some s;
+          let evil = Netsim.connect net ~port:8080 in
+          let cert =
+            Crypto.X509.make_cert ~cn:"evil" ~altname:Crypto.X509.malicious_altname
+          in
+          Netsim.send evil
+            (Workload.Http_load.request_with_headers ~path:"/f1024.bin"
+               [ ("X-Client-Cert", cert) ]);
+          ignore (Netsim.recv evil);
+          let c = Netsim.connect net ~port:8080 in
+          Netsim.send c (Workload.Http_load.request ~path:"/f1024.bin");
+          assert (Netsim.recv c <> None);
+          Netsim.close c;
+          Httpd.Server.stop s)
+    in
+    Sched.run sched;
+    Httpd.Server.rewinds (Option.get !srv)
+  in
+  let mean l = (Stats.summarize (List.map us_of l)).Stats.mean in
+  table
+    ~header:[ "CVE"; "detection"; "unprotected outcome"; "SDRaD outcome" ]
+    [
+      [
+        "2011-4971 (memcached heap overflow)";
+        "PKU domain violation";
+        (if mc_unprotected then "whole cache process down" else "BUG");
+        Printf.sprintf "rewind, 1 conn closed (%.1f us)" (mean mc_lat);
+      ];
+      [
+        "2009-2629 (nginx URI underflow)";
+        "PKU domain violation";
+        Printf.sprintf "worker crash, all conns lost (restart %.0f us)"
+          (mean (Httpd.Server.restart_latencies ng_base));
+        Printf.sprintf "rewind, 1 conn closed (%.1f us)"
+          (mean (Httpd.Server.rewind_latencies ng_sdrad));
+      ];
+      [
+        "2022-3786 (openssl punycode overflow)";
+        "stack canary";
+        "worker crash (DoS)";
+        Printf.sprintf "rewind + domain re-init (%d rewind)" ssl_rewinds;
+      ];
+    ]
+
+(* {1 E9 — Table I API micro-costs (virtual cycles)} *)
+
+let e9 () =
+  section "E9 (Table I) SDRaD API call costs, virtual time";
+  let rows =
+    simulate (fun space _ ->
+        let sd = Api.create space in
+        let t0 () = Sched.now () in
+        let timed f =
+          let a = t0 () in
+          f ();
+          Sched.now () -. a
+        in
+        (* Warm up one full cycle so stack/heap mappings exist. *)
+        Api.run sd ~udi:5 ~on_rewind:(fun _ -> ()) (fun () ->
+            ignore (Api.malloc sd ~udi:5 64));
+        let init_cost = ref 0.0
+        and enter_cost = ref 0.0
+        and exit_cost = ref 0.0
+        and malloc_cost = ref 0.0
+        and free_cost = ref 0.0
+        and deinit_cost = ref 0.0
+        and destroy_cost = ref 0.0 in
+        let reps = 50 in
+        for _ = 1 to reps do
+          let t_run = t0 () in
+          Api.run sd ~udi:5
+            ~on_rewind:(fun _ -> ())
+            (fun () ->
+              init_cost := !init_cost +. (Sched.now () -. t_run);
+              enter_cost := !enter_cost +. timed (fun () -> Api.enter sd 5);
+              let p = ref 0 in
+              malloc_cost := !malloc_cost +. timed (fun () -> p := Api.malloc sd ~udi:5 256);
+              free_cost := !free_cost +. timed (fun () -> Api.free sd ~udi:5 !p);
+              exit_cost := !exit_cost +. timed (fun () -> Api.exit_domain sd);
+              deinit_cost := !deinit_cost +. timed (fun () -> Api.deinit sd 5))
+        done;
+        Api.run sd ~udi:5 ~on_rewind:(fun _ -> ()) (fun () ->
+            destroy_cost := timed (fun () -> Api.destroy sd 5 ~heap:`Discard));
+        let dd = timed (fun () -> Api.init_data sd ~udi:9 ()) in
+        let dp = timed (fun () -> Api.dprotect sd ~udi:5 ~tddi:9 Vmem.Prot.read) in
+        let per r = !r /. float_of_int reps in
+        [
+          ("sdrad_init (re-arm, warm)", per init_cost);
+          ("sdrad_enter", per enter_cost);
+          ("sdrad_exit", per exit_cost);
+          ("sdrad_malloc (256 B)", per malloc_cost);
+          ("sdrad_free", per free_cost);
+          ("sdrad_deinit", per deinit_cost);
+          ("sdrad_destroy", !destroy_cost);
+          ("sdrad_init (data domain)", dd);
+          ("sdrad_dprotect", dp);
+        ])
+  in
+  table
+    ~header:[ "API call"; "cycles"; "time" ]
+    (List.map
+       (fun (name, c) ->
+         [ name; Printf.sprintf "%.0f" c; Printf.sprintf "%.2f us" (us_of c) ])
+       rows)
+
+
+(* {1 E1b — YCSB workload mixes with tail latency} *)
+
+let e1b () =
+  section
+    "E1b (extension) YCSB workload mixes A-D: throughput and tail latency";
+  let mixes =
+    [
+      ("A (50/50)", Workload.Ycsb.workload_a);
+      ("B (95/5)", Workload.Ycsb.workload_b);
+      ("C (100% read)", Workload.Ycsb.workload_c);
+      ("D (95/5 read-latest)", Workload.Ycsb.workload_d);
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, base) ->
+        let run variant =
+          run_memcached ~base_config:base ~variant ~workers:4
+            ~records:(mc_records ()) ~operations:(mc_operations ()) ~clients:16 ()
+        in
+        let b = run Kvcache.Server.Baseline in
+        let s = run Kvcache.Server.Sdrad in
+        let p99 r = (Stats.summarize (List.map us_of r.mc_latencies)).Stats.p99 in
+        [
+          name;
+          Stats.Table.fmt_si b.mc_run_tput;
+          Printf.sprintf "%s (%s)" (Stats.Table.fmt_si s.mc_run_tput)
+            (pct b.mc_run_tput s.mc_run_tput);
+          Printf.sprintf "%.1f us" (p99 b);
+          Printf.sprintf "%.1f us" (p99 s);
+        ])
+      mixes
+  in
+  table
+    ~header:[ "workload"; "baseline op/s"; "sdrad op/s"; "baseline p99"; "sdrad p99" ]
+    rows;
+  print_endline
+    "write-heavier mixes pay more (deep copies + deferred commit); pure \
+     reads pay only the switch + staging copy"
+
+(* {1 E3b — NGINX worker scaling (§V-B claim)} *)
+
+let e3b () =
+  section "E3b (§V-B) NGINX: SDRaD overhead is independent of worker count";
+  let rows =
+    List.map
+      (fun workers ->
+        let run variant =
+          (run_nginx ~variant ~workers ~file_size:1024 ~connections:75
+             ~requests_per_conn:(ng_requests_per_conn ()))
+            .ng_tput
+        in
+        let b = run Httpd.Server.Baseline in
+        let s = run Httpd.Server.Sdrad in
+        [
+          string_of_int workers;
+          Stats.Table.fmt_si b;
+          Printf.sprintf "%s (%s)" (Stats.Table.fmt_si s) (pct b s);
+        ])
+      [ 1; 2; 4 ]
+  in
+  table ~header:[ "workers"; "baseline req/s"; "sdrad req/s" ] rows;
+  print_endline
+    "paper: \"We scaled the number of workers ... the overhead is \
+     independent of that number\""
+
+(* {1 A4 — ablation: restart-after-N-rewinds policy} *)
+
+let a4 () =
+  section "A4 (ablation, §VI) rewind-limit policy under a repeated attack";
+  let run limit =
+    let space = Space.create ~size_mib:192 () in
+    let sd = Api.create space in
+    let sched = Sched.create () in
+    let net = Netsim.create (Space.cost space) in
+    let cfg =
+      { Httpd.Server.default_config with variant = Httpd.Server.Sdrad;
+        vulnerable = true; workers = 1; rewind_limit = limit }
+    in
+    let srv = ref None in
+    let _ =
+      Sched.spawn sched ~name:"harness" (fun () ->
+          let s = Httpd.Server.start sched space ~sdrad:sd net ~fs:(make_fs space [ 1024 ]) cfg in
+          srv := Some s;
+          for _ = 1 to 12 do
+            let evil = Netsim.connect net ~port:8080 in
+            Netsim.send evil (Workload.Http_load.request ~path:"/a/../../etc");
+            ignore (Netsim.recv evil);
+            Sched.sleep 4.0e6
+          done;
+          Httpd.Server.stop s)
+    in
+    Sched.run sched;
+    Option.get !srv
+  in
+  let rows =
+    List.map
+      (fun (label, limit) ->
+        let s = run limit in
+        [
+          label;
+          string_of_int (Httpd.Server.rewinds s);
+          string_of_int (Httpd.Server.proactive_restarts s);
+        ])
+      [ ("no limit", None); ("limit 4", Some 4); ("limit 2", Some 2) ]
+  in
+  table ~header:[ "policy"; "rewinds absorbed"; "proactive restarts" ] rows;
+  print_endline
+    "a rewind limit bounds how long an attacker can probe one address-space \
+     layout (§VI's defense against rewind-assisted side channels)"
+
+
+(* {1 A5 — baseline: N-variant execution (§VII)} *)
+
+let a5 () =
+  section "A5 (§VII) SDRaD vs N-variant execution: cost of redundancy";
+  let ycsb_against ~port ~on_done sched net =
+    Workload.Ycsb.launch sched net
+      { Workload.Ycsb.default_config with records = mc_records ();
+        operations = mc_operations (); clients = 16; port }
+      ~on_done ()
+  in
+  let run_nvx replicas =
+    let space = Space.create ~size_mib:256 () in
+    let sched = Sched.create () in
+    let net = Netsim.create (Space.cost space) in
+    let results = ref (fun () -> failwith "unset") in
+    let nx_ref = ref None in
+    let _ =
+      Sched.spawn sched ~name:"harness" (fun () ->
+          let nx =
+            Nvx.start sched space net
+              { Nvx.default_config with replicas; workers_per_replica = 4 }
+          in
+          nx_ref := Some nx;
+          results :=
+            ycsb_against ~port:11300 ~on_done:(fun () -> Nvx.stop nx) sched net)
+    in
+    Sched.run sched;
+    let r = !results () in
+    assert (r.Workload.Ycsb.failures = 0);
+    let total_ops = r.Workload.Ycsb.load_ops + r.Workload.Ycsb.run_ops in
+    ( Stats.ops_per_sec cost ~ops:r.Workload.Ycsb.run_ops
+        ~cycles:r.Workload.Ycsb.run_cycles,
+      Nvx.busy_cycles (Option.get !nx_ref) /. float_of_int total_ops )
+  in
+  let run_single variant =
+    let r =
+      run_memcached ~variant ~workers:4 ~records:(mc_records ())
+        ~operations:(mc_operations ()) ~clients:16 ()
+    in
+    ( r.mc_run_tput,
+      r.mc_busy_cycles /. float_of_int (mc_records () + mc_operations ()) )
+  in
+  let single, single_cpu = run_single Kvcache.Server.Baseline in
+  let sdrad, sdrad_cpu = run_single Kvcache.Server.Sdrad in
+  let nvx2, nvx2_cpu = run_nvx 2 in
+  let nvx3, nvx3_cpu = run_nvx 3 in
+  let cpu c = Printf.sprintf "%.2f us (%.1fx)" (us_of c) (c /. single_cpu) in
+  table
+    ~header:[ "configuration"; "run-phase op/s"; "vs baseline"; "server CPU/op" ]
+    [
+      [ "baseline (1 copy)"; Stats.Table.fmt_si single; "-"; cpu single_cpu ];
+      [ "SDRaD"; Stats.Table.fmt_si sdrad; pct single sdrad; cpu sdrad_cpu ];
+      [ "NVX, 2 variants"; Stats.Table.fmt_si nvx2; pct single nvx2; cpu nvx2_cpu ];
+      [ "NVX, 3 variants"; Stats.Table.fmt_si nvx3; pct single nvx3; cpu nvx3_cpu ];
+    ];
+  print_endline
+    "the paper's §VII point: replicating computation and I/O per request \
+     costs far more than compartmentalized rewinding — and a divergence \
+     still fail-stops the whole replica set (see the chaos tests)"
+
+
+(* {1 A6 — ablation: protection-key virtualization (libmpk fallback)} *)
+
+let a6 () =
+  section
+    "A6 (ablation, §IV-B) key virtualization: cost of exceeding 15 hardware \
+     keys";
+  let run ndomains =
+    let out = ref (0.0, 0) in
+    let space = Space.create ~size_mib:128 () in
+    let sched = Sched.create () in
+    let _ =
+      Sched.spawn sched ~name:"harness" (fun () ->
+          let sd = Api.create ~virtual_keys:true space in
+          let event udi =
+            Api.run sd ~udi
+              ~on_rewind:(fun _ -> ())
+              (fun () ->
+                Api.enter sd udi;
+                ignore (Api.malloc sd ~udi 256);
+                Api.exit_domain sd;
+                Api.deinit sd udi)
+          in
+          (* Warm-up: create every persistent domain once. *)
+          for udi = 1 to ndomains do
+            event udi
+          done;
+          let rounds = 40 in
+          let t0 = Sched.now () in
+          for _ = 1 to rounds do
+            for udi = 1 to ndomains do
+              event udi
+            done
+          done;
+          let per_event = (Sched.now () -. t0) /. float_of_int (rounds * ndomains) in
+          out := (per_event, List.assoc "key_evictions" (Api.runtime_stats sd)))
+    in
+    Sched.run sched;
+    !out
+  in
+  let rows =
+    List.map
+      (fun n ->
+        let per_event, evictions = run n in
+        [
+          string_of_int n;
+          Printf.sprintf "%.0f" per_event;
+          Printf.sprintf "%.2f us" (us_of per_event);
+          string_of_int evictions;
+        ])
+      [ 8; 13; 16; 24; 32 ]
+  in
+  table
+    ~header:[ "persistent domains"; "cycles/event"; "time/event"; "key evictions" ]
+    rows;
+  print_endline
+    "within the 13 usable keys, events cost a few hundred cycles; beyond \
+     that every re-init parks an LRU domain with an mprotect walk — the \
+     slow fallback the paper attributes to libmpk-style virtualization"
+
+(* {1 A1 — ablation: data-passing design choices} *)
+
+let a1 () =
+  section "A1 (ablation, §IV-A) data-passing design choices at 1 KiB / 32 KiB";
+  let data = speed_data () in
+  let pick size m =
+    let rows = List.assoc size data in
+    (List.find (fun r -> r.Workload.Speed.mode = m) rows).Workload.Speed.mb_per_sec
+  in
+  let row size =
+    let native = pick size Workload.Speed.Native in
+    [
+      Printf.sprintf "%d B" size;
+      Printf.sprintf "%.0f MB/s" native;
+      pct native (pick size (Workload.Speed.Isolated Crypto.Evp_sdrad.Copy_in_out));
+      pct native (pick size (Workload.Speed.Isolated Crypto.Evp_sdrad.Read_parent));
+      pct native (pick size (Workload.Speed.Isolated Crypto.Evp_sdrad.Shared_buffers));
+    ]
+  in
+  table
+    ~header:[ "input"; "native"; "copy-in-out"; "read-parent"; "shared" ]
+    [ row 1024; row 32768 ];
+  print_endline "expected ordering: shared >= read-parent >= copy-in-out"
+
+(* {1 A2 — ablation: stack-area reuse (§IV-C)} *)
+
+let a2 () =
+  section "A2 (ablation, §IV-C) stack-area reuse across domain lifecycles";
+  let run reuse =
+    let space = Space.create ~size_mib:64 () in
+    let sched = Sched.create () in
+    let out = ref (0.0, 0) in
+    let _ =
+      Sched.spawn sched ~name:"harness" (fun () ->
+          let sd = Api.create ~stack_reuse:reuse space in
+          (* Warm-up. *)
+          Api.run sd ~udi:3 ~on_rewind:(fun _ -> ()) (fun () ->
+              Api.destroy sd 3 ~heap:`Discard);
+          let t0 = Sched.now () in
+          for _ = 1 to 100 do
+            Api.run sd ~udi:3
+              ~on_rewind:(fun _ -> ())
+              (fun () -> Api.destroy sd 3 ~heap:`Discard)
+          done;
+          out := ((Sched.now () -. t0) /. 100.0, Space.mapped_bytes space))
+    in
+    Sched.run sched;
+    !out
+  in
+  let with_reuse, mapped_reuse = run true in
+  let without, mapped_no = run false in
+  table
+    ~header:[ "configuration"; "cycles/lifecycle"; "mapped bytes after" ]
+    [
+      [ "stack reuse ON (default)"; Printf.sprintf "%.0f" with_reuse;
+        Stats.Table.fmt_si (float_of_int mapped_reuse) ];
+      [ "stack reuse OFF"; Printf.sprintf "%.0f" without;
+        Stats.Table.fmt_si (float_of_int mapped_no) ];
+      [ "speedup"; Printf.sprintf "%.2fx" (without /. with_reuse); "-" ];
+    ]
+
+(* {1 A3 — ablation: rewind vs checkpoint & restore} *)
+
+let a3 () =
+  section "A3 (ablation, §VII) recovery cost vs resident state size";
+  (* A representative rewind latency from the Memcached scenario. *)
+  let rewind_us =
+    let latencies, _ = measure_memcached_rewinds ~attacks:5 in
+    (Stats.summarize (List.map us_of latencies)).Stats.mean
+  in
+  let rows =
+    List.map
+      (fun mib ->
+        simulate ~size_mib:(mib + 32) (fun space _ ->
+            let region =
+              Space.mmap space ~len:(mib * 1024 * 1024) ~prot:Vmem.Prot.rw ~pkey:0
+            in
+            (* Touch everything so the state is resident. *)
+            let page = 4096 in
+            for p = 0 to (mib * 1024 * 1024 / page) - 1 do
+              Space.store8 space (region + (p * page)) 1
+            done;
+            let snap = Checkpoint.take space in
+            [
+              Printf.sprintf "%d MiB" mib;
+              Printf.sprintf "%.1f us" rewind_us;
+              Printf.sprintf "%.0f us" (us_of (Checkpoint.take_cycles space snap));
+              Printf.sprintf "%.0f us" (us_of (Checkpoint.restore_cycles space snap));
+              Printf.sprintf "%.0f us"
+                (us_of (Checkpoint.restart_cycles space ~reload_bytes:(mib * 1024 * 1024)));
+            ]))
+      [ 1; 4; 16; 64 ]
+  in
+  table
+    ~header:
+      [ "resident state"; "sdrad rewind"; "checkpoint dump"; "checkpoint restore";
+        "restart+reload" ]
+    rows;
+  print_endline
+    "rewind cost is independent of state size; checkpoint/restore and reload \
+     scale linearly — the paper's motivation for compartmentalization-based \
+     recovery"

@@ -1,0 +1,325 @@
+(* Command-line front end for the SDRaD reproduction.
+
+     sdrad_cli costs               print the virtual cost model
+     sdrad_cli cve <name>          run one CVE scenario (protected + not)
+     sdrad_cli switch              print the domain-switch cost anatomy
+     sdrad_cli kvbench [opts]      one Memcached YCSB configuration
+     sdrad_cli webbench [opts]     one NGINX load configuration *)
+
+open Cmdliner
+module Space = Vmem.Space
+module Sched = Simkern.Sched
+module Cost = Simkern.Cost
+module Api = Sdrad.Api
+
+let cost = Cost.default
+
+(* {1 costs} *)
+
+let setup_logging verbose =
+  if verbose then begin
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.set_level (Some Logs.Info)
+  end
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log monitor and server events.")
+
+let costs_cmd =
+  let doc = "Print the virtual-time cost model (cycles at 2.10 GHz)." in
+  let run () =
+    let rows =
+      [
+        ("wrpkru", cost.Cost.wrpkru);
+        ("rdpkru", cost.Cost.rdpkru);
+        ("memory access", cost.Cost.mem_access);
+        ("bulk copy (per byte)", cost.Cost.mem_byte);
+        ("page first touch", cost.Cost.page_touch);
+        ("syscall", cost.Cost.syscall);
+        ("signal delivery", cost.Cost.signal_delivery);
+        ("context save", cost.Cost.context_save);
+        ("context restore", cost.Cost.context_restore);
+        ("stack switch", cost.Cost.stack_switch);
+        ("monitor switch work", cost.Cost.switch_work);
+        ("thread spawn", cost.Cost.thread_spawn);
+        ("loopback message", cost.Cost.net_msg);
+        ("loopback per byte", cost.Cost.net_byte);
+      ]
+    in
+    print_endline
+      (Stats.Table.render ~header:[ "operation"; "cycles"; "ns" ]
+         (List.map
+            (fun (n, c) ->
+              [ n; Printf.sprintf "%.3f" c;
+                Printf.sprintf "%.2f" (Cost.ns_of_cycles cost c) ])
+            rows))
+  in
+  Cmd.v (Cmd.info "costs" ~doc) Term.(const run $ const ())
+
+(* {1 cve} *)
+
+let run_mc_cve protected =
+  let space = Space.create ~size_mib:128 () in
+  let sd = if protected then Some (Api.create space) else None in
+  let sched = Sched.create () in
+  let net = Netsim.create (Space.cost space) in
+  let variant =
+    if protected then Kvcache.Server.Sdrad else Kvcache.Server.Baseline
+  in
+  let cfg =
+    { Kvcache.Server.default_config with variant; vulnerable = true; workers = 2 }
+  in
+  let srv = ref None in
+  let _ =
+    Sched.spawn sched ~name:"cli" (fun () ->
+        let s = Kvcache.Server.start sched space ?sdrad:sd net cfg in
+        srv := Some s;
+        let evil = Netsim.connect net ~port:11211 in
+        Netsim.send evil
+          (Kvcache.Proto.fmt_set_lying ~key:"boom" ~flags:0 ~declared:(-1)
+             ~value:(String.make 800 'x'));
+        ignore (Netsim.recv evil);
+        if not (Kvcache.Server.crashed s) then Kvcache.Server.stop s)
+  in
+  Sched.run sched;
+  let s = Option.get !srv in
+  if Kvcache.Server.crashed s then "process crashed; all clients and cache contents lost"
+  else
+    Printf.sprintf "rewind in %.1f us; one connection closed, cache intact"
+      (Cost.us_of_cycles cost (List.hd (Kvcache.Server.rewind_latencies s)))
+
+let run_ng_cve ~cert protected =
+  let space = Space.create ~size_mib:128 () in
+  let sd =
+    if protected || cert then Some (Api.create space) else None
+  in
+  let sched = Sched.create () in
+  let net = Netsim.create (Space.cost space) in
+  let variant = if protected then Httpd.Server.Sdrad else Httpd.Server.Baseline in
+  let cfg =
+    {
+      Httpd.Server.default_config with
+      variant;
+      vulnerable = not cert;
+      verify_certs = cert;
+      workers = 1;
+    }
+  in
+  let fs = Httpd.Fs.create space in
+  Httpd.Fs.add fs ~path:"/index.html" ~size:1024;
+  let srv = ref None in
+  let _ =
+    Sched.spawn sched ~name:"cli" (fun () ->
+        let s = Httpd.Server.start sched space ?sdrad:sd net ~fs cfg in
+        srv := Some s;
+        let evil = Netsim.connect net ~port:8080 in
+        (if cert then
+           let c =
+             Crypto.X509.make_cert ~cn:"evil"
+               ~altname:Crypto.X509.malicious_altname
+           in
+           Netsim.send evil
+             (Workload.Http_load.request_with_headers ~path:"/index.html"
+                [ ("X-Client-Cert", c) ])
+         else
+           Netsim.send evil (Workload.Http_load.request ~path:"/a/../../etc"));
+        ignore (Netsim.recv evil);
+        Sched.sleep 5.0e6;
+        Httpd.Server.stop s)
+  in
+  Sched.run sched;
+  let s = Option.get !srv in
+  if Httpd.Server.worker_restarts s > 0 then
+    Printf.sprintf "worker crashed; restarted in %.0f us; its connections were lost"
+      (Cost.us_of_cycles cost (List.hd (Httpd.Server.restart_latencies s)))
+  else if Httpd.Server.rewinds s > 0 then
+    Printf.sprintf "rewind in %.1f us; only the attacker's connection closed"
+      (Cost.us_of_cycles cost (List.hd (Httpd.Server.rewind_latencies s)))
+  else "no fault triggered (?)"
+
+let cve_cmd =
+  let doc = "Replay one of the paper's CVE case studies." in
+  let which =
+    let names =
+      [ ("memcached", `Mc); ("nginx", `Ng); ("openssl", `Ssl) ]
+    in
+    Arg.(required & pos 0 (some (enum names)) None & info [] ~docv:"CVE")
+  in
+  let run verbose which =
+    setup_logging verbose;
+    let scenario, f =
+      match which with
+      | `Mc -> ("CVE-2011-4971 (memcached heap overflow)", run_mc_cve)
+      | `Ng -> ("CVE-2009-2629 (nginx URI underflow)", run_ng_cve ~cert:false)
+      | `Ssl -> ("CVE-2022-3786 (openssl punycode overflow)", run_ng_cve ~cert:true)
+    in
+    Printf.printf "%s\n  unprotected: %s\n  with SDRaD:  %s\n" scenario (f false)
+      (f true)
+  in
+  Cmd.v (Cmd.info "cve" ~doc) Term.(const run $ verbose_arg $ which)
+
+(* {1 switch} *)
+
+let switch_cmd =
+  let doc = "Print the domain-switch cost anatomy (experiment E7)." in
+  let run () =
+    let space = Space.create ~size_mib:32 () in
+    let sched = Sched.create () in
+    let _ =
+      Sched.spawn sched ~name:"cli" (fun () ->
+          let sd = Api.create space in
+          let p = Api.profile_switch sd in
+          Printf.printf
+            "enter+exit pair: %.0f cycles (%.2f us)\n\
+            \  wrpkru: %.0f cycles (%.0f%%)\n\
+            \  stack:  %.0f cycles\n\
+            \  monitor bookkeeping: %.0f cycles\n"
+            p.Api.total_cycles
+            (Cost.us_of_cycles cost p.Api.total_cycles)
+            p.Api.wrpkru_cycles
+            (100.0 *. p.Api.wrpkru_cycles /. p.Api.total_cycles)
+            p.Api.stack_cycles p.Api.bookkeeping_cycles)
+    in
+    Sched.run sched
+  in
+  Cmd.v (Cmd.info "switch" ~doc) Term.(const run $ const ())
+
+(* {1 render} *)
+
+let render_cmd =
+  let doc = "Decode a crafted malicious image with and without isolation." in
+  let run () =
+    let space = Space.create ~size_mib:64 () in
+    let sched = Sched.create () in
+    let _ =
+      Sched.spawn sched ~name:"cli" (fun () ->
+          (* Unprotected: catch the fault to report it. *)
+          (match
+             Render.decode space
+               ~alloc:(fun n -> Space.mmap space ~len:(max 16 n) ~prot:Vmem.Prot.rw ~pkey:0)
+               ~src:
+                 (let img = Render.encode_malicious () in
+                  let src = Space.mmap space ~len:(String.length img + 64) ~prot:Vmem.Prot.rw ~pkey:0 in
+                  Space.store_string space src img;
+                  src)
+               ~len:(String.length (Render.encode_malicious ()))
+               ~vulnerable:true
+           with
+          | _ -> print_endline "unprotected: decoder survived (?)"
+          | exception Space.Fault _ ->
+              print_endline
+                "unprotected: heap rampage SEGV — the whole renderer process dies");
+          let sd = Api.create space in
+          (match Render.decode_isolated sd ~vulnerable:true (Render.encode_malicious ()) with
+          | Error f ->
+              Printf.printf "with SDRaD:  rewind (%s); service continues\n"
+                (Format.asprintf "%a" Sdrad.Types.pp_cause f.Sdrad.Types.cause)
+          | Ok _ -> print_endline "with SDRaD: not caught (?)");
+          match
+            Render.decode_isolated sd ~vulnerable:true
+              (Render.encode ~width:16 ~height:16 (fun x y -> (x, y, 0)))
+          with
+          | Ok d ->
+              Printf.printf "next request: rendered %dx%d fine\n" d.Render.width
+                d.Render.height
+          | Error _ -> print_endline "next request failed (?)")
+    in
+    Sched.run sched
+  in
+  Cmd.v (Cmd.info "render" ~doc) Term.(const run $ const ())
+
+(* {1 kvbench / webbench} *)
+
+let variant_arg names =
+  Arg.(value & opt (enum names) (snd (List.hd names)) & info [ "variant" ] ~docv:"VARIANT")
+
+let workers_arg = Arg.(value & opt int 4 & info [ "workers" ] ~docv:"N")
+
+let kvbench_cmd =
+  let doc = "Run one Memcached YCSB configuration and print throughput." in
+  let variants =
+    [ ("baseline", Kvcache.Server.Baseline); ("tlsf", Kvcache.Server.Tlsf_alloc);
+      ("sdrad", Kvcache.Server.Sdrad) ]
+  in
+  let records = Arg.(value & opt int 1500 & info [ "records" ] ~docv:"N") in
+  let ops = Arg.(value & opt int 6000 & info [ "ops" ] ~docv:"N") in
+  let run variant workers records ops =
+    let space = Space.create ~size_mib:192 () in
+    let sd =
+      match variant with Kvcache.Server.Sdrad -> Some (Api.create space) | _ -> None
+    in
+    let sched = Sched.create () in
+    let net = Netsim.create (Space.cost space) in
+    let cfg = { Kvcache.Server.default_config with variant; workers } in
+    let ycfg =
+      { Workload.Ycsb.default_config with records; operations = ops; clients = 16 }
+    in
+    let results = ref (fun () -> failwith "unset") in
+    let _ =
+      Sched.spawn sched ~name:"cli" (fun () ->
+          let s = Kvcache.Server.start sched space ?sdrad:sd net cfg in
+          results :=
+            Workload.Ycsb.launch sched net ycfg
+              ~on_done:(fun () -> Kvcache.Server.stop s)
+              ())
+    in
+    Sched.run sched;
+    let r = !results () in
+    Printf.printf "load: %.0f ops/s\nrun:  %.0f ops/s\nmax RSS: %.1f MiB\n"
+      (Stats.ops_per_sec cost ~ops:r.Workload.Ycsb.load_ops
+         ~cycles:r.Workload.Ycsb.load_cycles)
+      (Stats.ops_per_sec cost ~ops:r.Workload.Ycsb.run_ops
+         ~cycles:r.Workload.Ycsb.run_cycles)
+      (float_of_int (Space.max_rss_bytes space) /. 1048576.0)
+  in
+  Cmd.v (Cmd.info "kvbench" ~doc)
+    Term.(const run $ variant_arg variants $ workers_arg $ records $ ops)
+
+let webbench_cmd =
+  let doc = "Run one NGINX load configuration and print throughput." in
+  let variants =
+    [ ("baseline", Httpd.Server.Baseline); ("tlsf", Httpd.Server.Tlsf_alloc);
+      ("sdrad", Httpd.Server.Sdrad) ]
+  in
+  let size = Arg.(value & opt int 1024 & info [ "size" ] ~docv:"BYTES") in
+  let conns = Arg.(value & opt int 75 & info [ "connections" ] ~docv:"N") in
+  let run variant workers size conns =
+    let space = Space.create ~size_mib:192 () in
+    let sd =
+      match variant with Httpd.Server.Sdrad -> Some (Api.create space) | _ -> None
+    in
+    let sched = Sched.create () in
+    let net = Netsim.create (Space.cost space) in
+    let fs = Httpd.Fs.create space in
+    let path = Printf.sprintf "/f%d.bin" size in
+    Httpd.Fs.add fs ~path ~size;
+    let cfg = { Httpd.Server.default_config with variant; workers } in
+    let lcfg =
+      { Workload.Http_load.default_config with connections = conns; path }
+    in
+    let results = ref (fun () -> failwith "unset") in
+    let _ =
+      Sched.spawn sched ~name:"cli" (fun () ->
+          let s = Httpd.Server.start sched space ?sdrad:sd net ~fs cfg in
+          results :=
+            Workload.Http_load.launch sched net lcfg
+              ~on_done:(fun () -> Httpd.Server.stop s)
+              ())
+    in
+    Sched.run sched;
+    let r = !results () in
+    Printf.printf "throughput: %.0f req/s (%d ok, %d failed)\n"
+      (Stats.ops_per_sec cost ~ops:r.Workload.Http_load.ok
+         ~cycles:r.Workload.Http_load.cycles)
+      r.Workload.Http_load.ok r.Workload.Http_load.failures
+  in
+  Cmd.v (Cmd.info "webbench" ~doc)
+    Term.(const run $ variant_arg variants $ workers_arg $ size $ conns)
+
+let () =
+  let doc = "Secure Domain Rewind and Discard — simulation toolkit" in
+  let info = Cmd.info "sdrad_cli" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+       [ costs_cmd; cve_cmd; switch_cmd; render_cmd; kvbench_cmd; webbench_cmd ]))

@@ -1,0 +1,1 @@
+examples/defense_in_depth.ml: Format List Printexc Printf Sdrad Simkern String Vmem

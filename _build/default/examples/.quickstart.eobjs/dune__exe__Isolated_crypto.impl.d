@@ -1,0 +1,1 @@
+examples/isolated_crypto.ml: Char Crypto Format List Printf Sdrad Simkern String Vmem

@@ -1,0 +1,1 @@
+examples/isolated_crypto.mli:

@@ -1,0 +1,1 @@
+examples/resilient_cache.ml: Kvcache Netsim Option Printf Sdrad Simkern String Vmem

@@ -1,0 +1,1 @@
+examples/resilient_web.ml: Httpd List Netsim Option Printf Sdrad Simkern String Vmem Workload

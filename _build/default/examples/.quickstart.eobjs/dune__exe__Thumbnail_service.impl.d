@@ -1,0 +1,1 @@
+examples/thumbnail_service.ml: Format Netsim Printf Render Sdrad Simkern Vmem

@@ -1,0 +1,1 @@
+examples/thumbnail_service.mli:

@@ -1,0 +1,75 @@
+(* A thumbnail/rendering service — the §VI "prime target" class (image
+   and document renderers fed untrusted input). Clients upload images;
+   the decoder runs in a transient domain per request. A crafted image
+   exploiting the decoder's integer-overflow bug costs one request, not
+   the service.
+
+     dune exec examples/thumbnail_service.exe *)
+
+module Space = Vmem.Space
+module Sched = Simkern.Sched
+module Api = Sdrad.Api
+module Types = Sdrad.Types
+
+let checksum space d =
+  let acc = ref 0 in
+  for y = 0 to d.Render.height - 1 do
+    for x = 0 to d.Render.width - 1 do
+      let r, g, b = Render.pixel space d ~x ~y in
+      acc := (!acc * 31) + r + g + b land 0xFFFFFF
+    done
+  done;
+  !acc land 0xFFFFFF
+
+let server space sd listener =
+  let rec accept_loop () =
+    match Netsim.accept listener with
+    | None -> ()
+    | Some c ->
+        let rec serve () =
+          match Netsim.recv c with
+          | None -> Netsim.close c
+          | Some image ->
+              (match Render.decode_isolated sd ~vulnerable:true image with
+              | Ok d ->
+                  Netsim.send c
+                    (Printf.sprintf "rendered %dx%d checksum=%06x" d.Render.width
+                       d.Render.height (checksum space d));
+                  Api.free sd ~udi:Types.root_udi d.Render.fb
+              | Error fault ->
+                  Netsim.send c
+                    (Format.asprintf "rejected: %a" Types.pp_cause
+                       fault.Types.cause));
+              serve ()
+        in
+        serve ();
+        accept_loop ()
+  in
+  accept_loop ()
+
+let () =
+  let space = Space.create ~size_mib:64 () in
+  let sd = Api.create space in
+  let sched = Sched.create () in
+  let net = Netsim.create (Space.cost space) in
+  let listener = Netsim.listen net ~port:7000 in
+  let _ = Sched.spawn sched ~name:"renderd" (fun () -> server space sd listener) in
+  let _ =
+    Sched.spawn sched ~name:"client" (fun () ->
+        let c = Netsim.connect net ~port:7000 in
+        let submit label image =
+          Netsim.send c image;
+          match Netsim.recv c with
+          | Some reply -> Printf.printf "%-16s -> %s\n" label reply
+          | None -> Printf.printf "%-16s -> connection dead\n" label
+        in
+        submit "logo.simg"
+          (Render.encode ~width:32 ~height:32 (fun x y -> (x * 8, y * 8, 128)));
+        submit "exploit.simg" (Render.encode_malicious ());
+        submit "photo.simg"
+          (Render.encode ~width:64 ~height:48 (fun x y -> ((x * y) mod 256, x, y)));
+        Netsim.close c;
+        Netsim.close_listener listener)
+  in
+  Sched.run sched;
+  Printf.printf "rewinds: %d — the renderer never went down\n" (Api.rewind_count sd)

@@ -1,0 +1,1 @@
+lib/core/api.ml: Fun Hashtbl Int64 List Logs Option Printf Result Simkern String Tlsf Types Vmem

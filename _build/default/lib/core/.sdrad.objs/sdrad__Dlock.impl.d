@@ -1,0 +1,1 @@
+lib/core/dlock.ml: Api Simkern Types

@@ -1,0 +1,997 @@
+module Sched = Simkern.Sched
+module Cost = Simkern.Cost
+module Space = Vmem.Space
+module Prot = Vmem.Prot
+module Pkru = Vmem.Pkru
+open Types
+
+exception Stack_check_failure
+exception Attack_detected of string
+
+(* Internal: carries a rewind destined for the failing domain's
+   grandparent past the failing domain's own init frame (Figure 2). *)
+exception Rewind_to_grandparent of fault
+
+type state = Dormant | Ready | Entered
+
+type exec_inst = {
+  udi : udi;
+  tid : int;
+  mutable opts : options;
+  parent : udi;
+  mutable pkey : int;
+  mutable state : state;
+  mutable stack_base : int;
+  mutable stack_len : int;
+  mutable sp : int;
+  mutable heap : Tlsf.t option;
+  mutable heap_regions : int list;
+  mutable frame : int;  (* active rewind frame id, 0 = none (Dormant) *)
+  mutable ctx_addr : int;  (* saved-context block in monitor memory *)
+  mutable meta_addr : int;  (* domain record in monitor memory *)
+  mutable last_used : int;  (* LRU tick for key virtualization *)
+  mutable cleanups : (unit -> unit) list;
+      (* run (innermost first) when this domain exits abnormally *)
+}
+
+type data_inst = {
+  d_udi : udi;
+  d_pkey : int;
+  d_heap : Tlsf.t;
+  mutable d_regions : int list;
+  d_perms : (udi, Prot.t) Hashtbl.t;  (* viewer execution domain -> rights *)
+  d_meta_addr : int;
+}
+
+type thread_state = {
+  t_tid : int;
+  mutable entered : exec_inst list;  (* innermost first; [] = in root *)
+  mutable root_sp : int;
+  root_stack_base : int;
+  root_stack_len : int;
+  mutable cur_pkru : int;
+}
+
+type t = {
+  space : Space.t;
+  cost : Cost.t;
+  monitor_pkey : int;
+  root_pkey : int;
+  monitor_heap : Tlsf.t;
+  root_heap : Tlsf.t;
+  mutable root_heap_regions : int list;
+  canary_value : int;
+  mutable frame_counter : int;
+  exec_insts : (int * udi, exec_inst) Hashtbl.t;  (* (tid, udi) *)
+  data_insts : (udi, data_inst) Hashtbl.t;
+  threads : (int, thread_state) Hashtbl.t;
+  mutable stack_pool : (int * int) list;
+  stack_reuse : bool;
+  virtual_keys : bool;
+  mutable key_clock : int;  (* LRU tick for key virtualization *)
+  mutable key_evictions : int;
+  default_stack_size : int;
+  default_heap_size : int;
+  mutable rewinds : int;
+  mutable incidents : Types.fault list;
+  mutable incident_handler : (Types.fault -> unit) option;
+  mutable in_monitor : bool;
+}
+
+let log_src = Logs.Src.create "sdrad.core" ~doc:"SDRaD reference monitor"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let err e = raise (Error e)
+
+(* API calls are usable outside a simulated thread (setup code in tests);
+   time is only charged when a thread clock exists. *)
+let charge c = if Sched.in_thread () then Sched.charge c
+let now () = if Sched.in_thread () then Sched.now () else 0.0
+
+let record_incident t fault =
+  t.incidents <- fault :: t.incidents;
+  Log.info (fun m ->
+      m "incident: %a" (fun ppf f -> Types.pp_fault ppf f) fault);
+  match t.incident_handler with Some h -> h fault | None -> ()
+
+(* §VI syscall oracle: a nested domain reaching the kernel interface
+   directly is treated as an attack unless the domain opted in; calls made
+   by the reference monitor on the domain's behalf are sanctioned. *)
+let install_syscall_oracle t =
+  Space.set_syscall_hook t.space
+    (Some
+       (fun op ->
+         if not t.in_monitor then
+           let tid = if Sched.in_thread () then Sched.self () else -1 in
+           match Hashtbl.find_opt t.threads tid with
+           | Some { entered = inst :: _; _ } when not inst.opts.allow_syscalls ->
+               raise
+                 (Attack_detected (Printf.sprintf "unsanctioned syscall %s" op))
+           | _ -> ()))
+
+let create ?(seed = 1) ?(monitor_size = 256 * 1024)
+    ?(root_heap_size = 4 * 1024 * 1024) ?(default_stack_size = 64 * 1024)
+    ?(default_heap_size = 256 * 1024) ?(stack_reuse = true)
+    ?(virtual_keys = false) space =
+  let alloc_key () =
+    match Space.pkey_alloc space with Some k -> k | None -> err Out_of_pkeys
+  in
+  let monitor_pkey = alloc_key () in
+  let root_pkey = alloc_key () in
+  let monitor_region = Space.mmap space ~len:monitor_size ~prot:Prot.rw ~pkey:monitor_pkey in
+  let monitor_heap = Tlsf.create space ~name:"sdrad-monitor" in
+  Tlsf.add_region monitor_heap ~addr:monitor_region ~len:monitor_size;
+  let root_region = Space.mmap space ~len:root_heap_size ~prot:Prot.rw ~pkey:root_pkey in
+  let root_heap = Tlsf.create space ~name:"sdrad-root" in
+  Tlsf.add_region root_heap ~addr:root_region ~len:root_heap_size;
+  let rng = Simkern.Rng.create seed in
+  let t =
+  {
+    space;
+    cost = Space.cost space;
+    monitor_pkey;
+    root_pkey;
+    monitor_heap;
+    root_heap;
+    root_heap_regions = [ root_region ];
+    canary_value = Int64.to_int (Simkern.Rng.int64 rng) land max_int;
+    frame_counter = 0;
+    exec_insts = Hashtbl.create 32;
+    data_insts = Hashtbl.create 8;
+    threads = Hashtbl.create 8;
+    stack_pool = [];
+    stack_reuse;
+    virtual_keys;
+    key_clock = 0;
+    key_evictions = 0;
+    default_stack_size;
+    default_heap_size;
+    rewinds = 0;
+    incidents = [];
+    incident_handler = None;
+    in_monitor = false;
+  }
+  in
+  install_syscall_oracle t;
+  t
+
+let space t = t.space
+let cur_tid () = if Sched.in_thread () then Sched.self () else -1
+
+(* {1 PKRU policy computation} *)
+
+let current_inst ts = match ts.entered with [] -> None | i :: _ -> Some i
+
+let current_udi_of ts =
+  match ts.entered with [] -> root_udi | i :: _ -> i.udi
+
+let compute_pkru t ts =
+  let cur = current_inst ts in
+  let cur_udi = current_udi_of ts in
+  let v = ref (Pkru.deny Pkru.all_access ~key:t.monitor_pkey) in
+  (* The root domain is read-only from nested domains (global data). *)
+  (match cur with
+  | None -> ()
+  | Some _ -> v := Pkru.allow_read !v ~key:t.root_pkey);
+  Hashtbl.iter
+    (fun _ inst ->
+      if inst.pkey >= 0 then
+      let rights =
+        match cur with
+        | Some c when c == inst -> `Rw
+        | _ ->
+            if
+              inst.tid = ts.t_tid && inst.parent = cur_udi
+              && inst.opts.access = Accessible
+              && inst.state <> Entered
+            then `Rw
+            else
+              (* Direct parent, when the current domain opted in. *)
+              let parent_readable =
+                match cur with
+                | Some c ->
+                    c.opts.parent_readable && c.parent = inst.udi
+                    && inst.tid = ts.t_tid
+                | None -> false
+              in
+              if parent_readable then `Ro else `No
+      in
+      v :=
+        (match rights with
+        | `Rw -> Pkru.allow !v ~key:inst.pkey
+        | `Ro -> Pkru.allow_read !v ~key:inst.pkey
+        | `No -> Pkru.deny !v ~key:inst.pkey))
+    t.exec_insts;
+  Hashtbl.iter
+    (fun _ dd ->
+      let p =
+        match Hashtbl.find_opt dd.d_perms cur_udi with Some p -> p | None -> 0
+      in
+      v :=
+        (if Prot.has p Prot.write then Pkru.allow !v ~key:dd.d_pkey
+         else if Prot.has p Prot.read then Pkru.allow_read !v ~key:dd.d_pkey
+         else Pkru.deny !v ~key:dd.d_pkey))
+    t.data_insts;
+  !v
+
+(* {1 Thread registration} *)
+
+let thread_state t =
+  let tid = cur_tid () in
+  match Hashtbl.find_opt t.threads tid with
+  | Some ts -> ts
+  | None ->
+      (* Thread constructor (§IV-B): set up a per-thread root stack and the
+         initial access policy. *)
+      let len = t.default_stack_size in
+      let base = Space.mmap t.space ~len ~prot:Prot.rw ~pkey:t.root_pkey in
+      let ts =
+        {
+          t_tid = tid;
+          entered = [];
+          root_sp = base + len;
+          root_stack_base = base;
+          root_stack_len = len;
+          cur_pkru = Pkru.all_access;
+        }
+      in
+      Hashtbl.replace t.threads tid ts;
+      ts.cur_pkru <- compute_pkru t ts;
+      Space.wrpkru t.space ts.cur_pkru;
+      ts
+
+(* Reference-monitor call gate: raise privileges to reach the monitor data
+   domain, run [f], then install whatever policy [ts.cur_pkru] holds on
+   exit. Exactly two WRPKRU writes per API call, as in PKU call gates. *)
+(* Mark [f]'s system calls as issued by the reference monitor (the API
+   implementation), exempting them from the syscall oracle. *)
+let sanctioned t f =
+  let was = t.in_monitor in
+  t.in_monitor <- true;
+  Fun.protect ~finally:(fun () -> t.in_monitor <- was) f
+
+let with_monitor t ts f =
+  Space.wrpkru t.space (Pkru.allow ts.cur_pkru ~key:t.monitor_pkey);
+  let was = t.in_monitor in
+  t.in_monitor <- true;
+  Fun.protect
+    ~finally:(fun () ->
+      t.in_monitor <- was;
+      Space.wrpkru t.space ts.cur_pkru)
+    f
+
+(* {1 Monitor bookkeeping blocks}
+
+   Domain records and saved contexts live in the monitor data domain, so
+   they are real (protected, RSS-visible) memory. *)
+
+let meta_block_size = 64
+let ctx_block_size = 64
+
+let write_meta t inst =
+  let a = inst.meta_addr in
+  Space.store64 t.space a inst.udi;
+  Space.store64 t.space (a + 8) inst.tid;
+  Space.store64 t.space (a + 16) inst.pkey;
+  Space.store64 t.space (a + 24) inst.stack_base;
+  Space.store64 t.space (a + 32) inst.stack_len;
+  Space.store64 t.space (a + 40) inst.parent
+
+let save_context t ts inst =
+  charge t.cost.context_save;
+  let a = Tlsf.malloc t.monitor_heap ctx_block_size in
+  inst.ctx_addr <- a;
+  Space.store64 t.space a inst.frame;
+  Space.store64 t.space (a + 8) inst.udi;
+  Space.store64 t.space (a + 16) ts.root_sp;
+  Space.store64 t.space (a + 24) ts.t_tid
+
+let drop_context t inst =
+  if inst.ctx_addr <> 0 then begin
+    Tlsf.free t.monitor_heap inst.ctx_addr;
+    inst.ctx_addr <- 0
+  end
+
+(* {1 Stacks} *)
+
+let take_stack t ~len ~pkey =
+  let rec pick acc = function
+    | [] -> None
+    | (base, l) :: rest when l >= len ->
+        t.stack_pool <- List.rev_append acc rest;
+        Some (base, l)
+    | s :: rest -> pick (s :: acc) rest
+  in
+  match if t.stack_reuse then pick [] t.stack_pool else None with
+  | Some (base, l) ->
+      Space.pkey_mprotect t.space ~addr:base ~len:l ~prot:Prot.rw ~pkey;
+      (base, l)
+  | None ->
+      let base = Space.mmap t.space ~len ~prot:Prot.rw ~pkey in
+      (base, len)
+
+let release_stack t ~base ~len =
+  if t.stack_reuse then begin
+    (* Keep the area for reuse but seal it with the monitor's key so stale
+       pointers into a dead domain's stack fault. *)
+    Space.pkey_mprotect t.space ~addr:base ~len ~prot:Prot.rw
+      ~pkey:t.monitor_pkey;
+    t.stack_pool <- (base, len) :: t.stack_pool
+  end
+  else Space.munmap t.space base
+
+(* {1 Protection-key virtualization (libmpk-style, §IV-B)}
+
+   With [virtual_keys] enabled, running out of the 15 hardware keys parks
+   a dormant domain instead of failing: its pages are made PROT_NONE (a
+   real mprotect walk — the "much slower" fallback the paper attributes
+   to libmpk) and its key is recycled. The instance is unparked — given a
+   key again and re-protected — when it is re-initialized. *)
+
+let park_instance t inst =
+  List.iter
+    (fun r ->
+      match Space.alloc_len t.space r with
+      | Some len -> Space.mprotect t.space ~addr:r ~len ~prot:Prot.none
+      | None -> ())
+    inst.heap_regions;
+  Space.mprotect t.space ~addr:inst.stack_base ~len:inst.stack_len
+    ~prot:Prot.none;
+  Space.pkey_free t.space inst.pkey;
+  inst.pkey <- -1;
+  t.key_evictions <- t.key_evictions + 1
+
+let acquire_pkey t =
+  match Space.pkey_alloc t.space with
+  | Some k -> k
+  | None ->
+      if not t.virtual_keys then err Out_of_pkeys
+      else begin
+        (* Evict the least recently used dormant instance. *)
+        let victim =
+          Hashtbl.fold
+            (fun _ inst best ->
+              if inst.state = Dormant && inst.pkey >= 0 then
+                match best with
+                | Some b when b.last_used <= inst.last_used -> best
+                | _ -> Some inst
+              else best)
+            t.exec_insts None
+        in
+        match victim with
+        | None -> err Out_of_pkeys
+        | Some v ->
+            Log.debug (fun m ->
+                m "key pressure: parking dormant domain %d (tid %d)" v.udi v.tid);
+            park_instance t v;
+            (match Space.pkey_alloc t.space with
+            | Some k -> k
+            | None -> err Out_of_pkeys)
+      end
+
+let unpark_instance t inst =
+  if inst.pkey < 0 then begin
+    let k = acquire_pkey t in
+    inst.pkey <- k;
+    List.iter
+      (fun r ->
+        match Space.alloc_len t.space r with
+        | Some len ->
+            Space.pkey_mprotect t.space ~addr:r ~len ~prot:Prot.rw ~pkey:k
+        | None -> ())
+      inst.heap_regions;
+    Space.pkey_mprotect t.space ~addr:inst.stack_base ~len:inst.stack_len
+      ~prot:Prot.rw ~pkey:k
+  end
+
+let touch_key t inst =
+  t.key_clock <- t.key_clock + 1;
+  inst.last_used <- t.key_clock
+
+(* {1 Sub-heaps} *)
+
+let inst_heap t inst =
+  match inst.heap with
+  | Some h -> h
+  | None ->
+      let h = Tlsf.create t.space ~name:(Printf.sprintf "udi%d" inst.udi) in
+      let len = max inst.opts.heap_size Tlsf.min_region_len in
+      let region = Space.mmap t.space ~len ~prot:Prot.rw ~pkey:inst.pkey in
+      Tlsf.add_region h ~addr:region ~len;
+      inst.heap_regions <- region :: inst.heap_regions;
+      inst.heap <- Some h;
+      h
+
+let heap_malloc t ~heap ~pkey ~pool_size ~grow size =
+  match Tlsf.malloc_opt heap size with
+  | Some p -> p
+  | None ->
+      let len = max pool_size (size + (2 * Tlsf.block_overhead) + 64) in
+      let region = Space.mmap t.space ~len ~prot:Prot.rw ~pkey in
+      grow region;
+      Tlsf.add_region heap ~addr:region ~len;
+      Tlsf.malloc heap size
+
+(* {1 Instance lookup helpers} *)
+
+let find_exec t ts udi = Hashtbl.find_opt t.exec_insts (ts.t_tid, udi)
+
+let get_exec t ts udi =
+  match find_exec t ts udi with
+  | Some inst -> inst
+  | None -> err (if Hashtbl.mem t.data_insts udi then Wrong_kind else Unknown_domain)
+
+(* {1 Core life cycle} *)
+
+let fresh_frame t =
+  t.frame_counter <- t.frame_counter + 1;
+  t.frame_counter
+
+let init_exec t ts udi opts =
+  sanctioned t @@ fun () ->
+  if udi = root_udi then err Root_operation;
+  if Hashtbl.mem t.data_insts udi then err Wrong_kind;
+  let cur = current_udi_of ts in
+  match find_exec t ts udi with
+  | Some inst -> (
+      match inst.state with
+      | Dormant ->
+          if inst.parent <> cur then err Not_a_child;
+          unpark_instance t inst;
+          touch_key t inst;
+          inst.opts <- { opts with stack_size = inst.opts.stack_size };
+          inst.state <- Ready;
+          inst.frame <- fresh_frame t;
+          with_monitor t ts (fun () ->
+              save_context t ts inst;
+              ts.cur_pkru <- compute_pkru t ts);
+          inst
+      | Ready | Entered -> err Already_initialized)
+  | None ->
+      let pkey = acquire_pkey t in
+      let stack_base, stack_len = take_stack t ~len:opts.stack_size ~pkey in
+      let inst =
+        {
+          udi;
+          tid = ts.t_tid;
+          opts;
+          parent = cur;
+          pkey;
+          state = Ready;
+          stack_base;
+          stack_len;
+          sp = stack_base + stack_len;
+          heap = None;
+          heap_regions = [];
+          frame = fresh_frame t;
+          ctx_addr = 0;
+          meta_addr = 0;
+          last_used = 0;
+          cleanups = [];
+        }
+      in
+      Hashtbl.replace t.exec_insts (ts.t_tid, udi) inst;
+      with_monitor t ts (fun () ->
+          inst.meta_addr <- Tlsf.malloc t.monitor_heap meta_block_size;
+          write_meta t inst;
+          save_context t ts inst;
+          ts.cur_pkru <- compute_pkru t ts);
+      inst
+
+(* Fully remove an instance's memory and identity (used by destroy with
+   [`Discard] and by abnormal exits: "subheaps are never merged back after
+   abnormal exits, as the data must be considered corrupted"). *)
+let discard_instance t ts inst =
+  if inst.opts.scrub_on_discard then begin
+    List.iter
+      (fun r ->
+        match Space.alloc_len t.space r with
+        | Some len -> Space.fill t.space ~addr:r ~len '\000'
+        | None -> ())
+      inst.heap_regions;
+    Space.fill t.space ~addr:inst.stack_base ~len:inst.stack_len '\000'
+  end;
+  List.iter (fun r -> Space.munmap t.space r) inst.heap_regions;
+  inst.heap_regions <- [];
+  inst.heap <- None;
+  release_stack t ~base:inst.stack_base ~len:inst.stack_len;
+  drop_context t inst;
+  if inst.meta_addr <> 0 then begin
+    Tlsf.free t.monitor_heap inst.meta_addr;
+    inst.meta_addr <- 0
+  end;
+  if inst.pkey >= 0 then Space.pkey_free t.space inst.pkey;
+  Hashtbl.remove t.exec_insts (ts.t_tid, inst.udi)
+
+let enter t udi =
+  let ts = thread_state t in
+  let inst = get_exec t ts udi in
+  (match inst.state with
+  | Ready -> ()
+  | Dormant -> err Not_initialized
+  | Entered -> err Already_initialized);
+  if inst.parent <> current_udi_of ts then err Not_a_child;
+  if inst.frame = 0 then err Not_initialized;
+  touch_key t inst;
+  with_monitor t ts (fun () ->
+      inst.state <- Entered;
+      inst.sp <- inst.stack_base + inst.stack_len;
+      ts.entered <- inst :: ts.entered;
+      charge (t.cost.stack_switch +. t.cost.switch_work);
+      ts.cur_pkru <- compute_pkru t ts);
+  (* Push the return address of the call gate onto the new stack — done
+     after the policy switch, with the domain's own rights. *)
+  inst.sp <- inst.sp - 16;
+  Space.store64 t.space inst.sp inst.frame
+
+let exit_domain t =
+  let ts = thread_state t in
+  match ts.entered with
+  | [] -> err Not_entered
+  | inst :: rest ->
+      with_monitor t ts (fun () ->
+          ts.entered <- rest;
+          inst.state <- Ready;
+          charge (t.cost.stack_switch +. t.cost.switch_work);
+          ts.cur_pkru <- compute_pkru t ts)
+
+let current t =
+  let ts = thread_state t in
+  current_udi_of ts
+
+let deinit t udi =
+  let ts = thread_state t in
+  let inst = get_exec t ts udi in
+  (match inst.state with
+  | Entered -> err Domain_entered
+  | Dormant -> err Not_initialized
+  | Ready -> ());
+  with_monitor t ts (fun () ->
+      drop_context t inst;
+      inst.frame <- 0;
+      inst.state <- Dormant)
+
+(* The heap (and its region bookkeeping) of the current domain. *)
+let current_heap t ts =
+  match current_inst ts with
+  | None ->
+      ( t.root_heap,
+        t.root_pkey,
+        (fun r -> t.root_heap_regions <- r :: t.root_heap_regions),
+        t.default_heap_size )
+  | Some inst ->
+      ( inst_heap t inst,
+        inst.pkey,
+        (fun r -> inst.heap_regions <- r :: inst.heap_regions),
+        inst.opts.heap_size )
+
+let destroy t udi ~heap =
+  let ts = thread_state t in
+  match Hashtbl.find_opt t.data_insts udi with
+  | Some dd ->
+      with_monitor t ts (fun () ->
+          (match heap with
+          | `Discard -> List.iter (fun r -> Space.munmap t.space r) dd.d_regions
+          | `Merge ->
+              let target, pkey, track, _ = current_heap t ts in
+              List.iter
+                (fun r ->
+                  (match Space.alloc_len t.space r with
+                  | Some len ->
+                      Space.pkey_mprotect t.space ~addr:r ~len ~prot:Prot.rw ~pkey
+                  | None -> ());
+                  track r)
+                dd.d_regions;
+              Tlsf.merge target ~from:dd.d_heap);
+          Tlsf.free t.monitor_heap dd.d_meta_addr;
+          Space.pkey_free t.space dd.d_pkey;
+          Hashtbl.remove t.data_insts udi;
+          ts.cur_pkru <- compute_pkru t ts)
+  | None ->
+      let inst = get_exec t ts udi in
+      if inst.state = Entered then err Domain_entered;
+      if inst.parent <> current_udi_of ts then err Not_a_child;
+      let merge_refused = ref false in
+      with_monitor t ts (fun () ->
+          (match heap with
+          | `Discard -> ()
+          | `Merge -> (
+              if inst.opts.access <> Accessible then err Not_accessible;
+              match inst.heap with
+              | None -> inst.heap_regions <- []
+              | Some child_heap ->
+                  (* A normal exit is no proof of integrity: an overflow
+                     that stayed inside the sub-heap would poison the
+                     parent's allocator through the merge. Walk the child
+                     heap first; refuse (and discard) if it is damaged. *)
+                  if Tlsf.check child_heap <> [] then begin
+                    Log.warn (fun m ->
+                        m "refusing to merge corrupted sub-heap of domain %d" udi);
+                    merge_refused := true
+                  end
+                  else begin
+                    let target, pkey, track, _ = current_heap t ts in
+                    List.iter
+                      (fun r ->
+                        (match Space.alloc_len t.space r with
+                        | Some len ->
+                            Space.pkey_mprotect t.space ~addr:r ~len
+                              ~prot:Prot.rw ~pkey
+                        | None -> ());
+                        track r)
+                      inst.heap_regions;
+                    Tlsf.merge target ~from:child_heap;
+                    inst.heap_regions <- [];
+                    inst.heap <- None
+                  end));
+          discard_instance t ts inst;
+          ts.cur_pkru <- compute_pkru t ts);
+      if !merge_refused then
+        record_incident t
+          {
+            failed_udi = udi;
+            cause = Explicit "corrupted sub-heap discarded instead of merged";
+            tid = ts.t_tid;
+            at = now ();
+          }
+
+(* {1 Data domains} *)
+
+let init_data t ~udi ?heap_size () =
+  sanctioned t @@ fun () ->
+  if udi = root_udi then err Root_operation;
+  let ts = thread_state t in
+  if Hashtbl.mem t.data_insts udi then err Already_initialized;
+  if find_exec t ts udi <> None then err Wrong_kind;
+  let heap_size = Option.value heap_size ~default:t.default_heap_size in
+  let pkey =
+    match Space.pkey_alloc t.space with Some k -> k | None -> err Out_of_pkeys
+  in
+  let len = max heap_size Tlsf.min_region_len in
+  let region = Space.mmap t.space ~len ~prot:Prot.rw ~pkey in
+  let h = Tlsf.create t.space ~name:(Printf.sprintf "data%d" udi) in
+  Tlsf.add_region h ~addr:region ~len;
+  let perms = Hashtbl.create 4 in
+  (* The creating domain gets read-write access by default so it can
+     populate the data domain. *)
+  Hashtbl.replace perms (current_udi_of ts) Prot.rw;
+  with_monitor t ts (fun () ->
+      let meta = Tlsf.malloc t.monitor_heap meta_block_size in
+      Space.store64 t.space meta udi;
+      Space.store64 t.space (meta + 8) pkey;
+      Hashtbl.replace t.data_insts udi
+        {
+          d_udi = udi;
+          d_pkey = pkey;
+          d_heap = h;
+          d_regions = [ region ];
+          d_perms = perms;
+          d_meta_addr = meta;
+        };
+      ts.cur_pkru <- compute_pkru t ts)
+
+let dprotect t ~udi ~tddi prot =
+  let ts = thread_state t in
+  match Hashtbl.find_opt t.data_insts tddi with
+  | None ->
+      err (if Hashtbl.mem t.exec_insts (ts.t_tid, tddi) then Wrong_kind
+           else Unknown_domain)
+  | Some dd ->
+      with_monitor t ts (fun () ->
+          if prot = 0 then Hashtbl.remove dd.d_perms udi
+          else Hashtbl.replace dd.d_perms udi prot;
+          ts.cur_pkru <- compute_pkru t ts)
+
+(* {1 Memory management} *)
+
+type heap_target =
+  | In_current
+  | In_child of exec_inst
+  | In_data of data_inst
+
+let resolve_heap t ts udi =
+  let cur = current_udi_of ts in
+  if udi = cur then In_current
+  else
+    match Hashtbl.find_opt t.data_insts udi with
+    | Some dd ->
+        let p =
+          match Hashtbl.find_opt dd.d_perms cur with Some p -> p | None -> 0
+        in
+        if Prot.has p Prot.write then In_data dd else err Not_accessible
+    | None -> (
+        match find_exec t ts udi with
+        | None -> err Unknown_domain
+        | Some inst ->
+            if inst.parent <> cur then err Not_a_child;
+            if inst.opts.access <> Accessible then err Not_accessible;
+            In_child inst)
+
+let malloc t ~udi size =
+  let ts = thread_state t in
+  let target = resolve_heap t ts udi in
+  with_monitor t ts (fun () ->
+      match target with
+      | In_current ->
+          let heap, pkey, track, pool = current_heap t ts in
+          heap_malloc t ~heap ~pkey ~pool_size:pool ~grow:track size
+      | In_child inst ->
+          let heap = inst_heap t inst in
+          heap_malloc t ~heap ~pkey:inst.pkey ~pool_size:inst.opts.heap_size
+            ~grow:(fun r -> inst.heap_regions <- r :: inst.heap_regions)
+            size
+      | In_data dd ->
+          heap_malloc t ~heap:dd.d_heap ~pkey:dd.d_pkey
+            ~pool_size:t.default_heap_size
+            ~grow:(fun r -> dd.d_regions <- r :: dd.d_regions)
+            size)
+
+let free t ~udi addr =
+  let ts = thread_state t in
+  let target = resolve_heap t ts udi in
+  with_monitor t ts (fun () ->
+      match target with
+      | In_current ->
+          let heap, _, _, _ = current_heap t ts in
+          Tlsf.free heap addr
+      | In_child inst -> Tlsf.free (inst_heap t inst) addr
+      | In_data dd -> Tlsf.free dd.d_heap addr)
+
+let usable_size t ~udi addr =
+  let ts = thread_state t in
+  match resolve_heap t ts udi with
+  | In_current ->
+      let heap, _, _, _ = current_heap t ts in
+      Tlsf.usable_size heap addr
+  | In_child inst -> Tlsf.usable_size (inst_heap t inst) addr
+  | In_data dd -> Tlsf.usable_size dd.d_heap addr
+
+(* {1 Stack frames} *)
+
+let cur_sp ts =
+  match ts.entered with [] -> ts.root_sp | inst :: _ -> inst.sp
+
+let set_cur_sp ts v =
+  match ts.entered with [] -> ts.root_sp <- v | inst :: _ -> inst.sp <- v
+
+let stack_floor ts =
+  match ts.entered with
+  | [] -> ts.root_stack_base
+  | inst :: _ -> inst.stack_base
+
+let alloca t n =
+  if n < 0 then invalid_arg "alloca";
+  let ts = thread_state t in
+  let sp = (cur_sp ts - n) land lnot 15 in
+  if sp < stack_floor ts then
+    (* Stack exhaustion touches the guard page below the stack area, which
+       is how a real overflow manifests: a SEGV the rewind machinery can
+       recover from. *)
+    Space.store8 t.space (stack_floor ts - 1) 0;
+  set_cur_sp ts sp;
+  sp
+
+let with_stack_frame t n f =
+  let ts = thread_state t in
+  let sp0 = cur_sp ts in
+  let buf = alloca t (n + 8) in
+  Space.store64 t.space (buf + n) t.canary_value;
+  match f buf with
+  | v ->
+      let intact = Space.load64 t.space (buf + n) = t.canary_value in
+      set_cur_sp ts sp0;
+      if not intact then raise Stack_check_failure;
+      v
+  | exception e ->
+      set_cur_sp ts sp0;
+      raise e
+
+let abort _t msg = raise (Attack_detected msg)
+
+(* {1 Rewinding} *)
+
+(* Abnormal exit (steps 11–14 of Figure 1): restore the parent's
+   privileges, discard the failing domain — and any domains entered below
+   it, whose contexts are unwound with it — and roll the thread back to
+   the failing domain's initialization point. *)
+let run_cleanups inst =
+  let fs = inst.cleanups in
+  inst.cleanups <- [];
+  List.iter (fun f -> f ()) fs
+
+let abnormal_exit ?(record = true) t ts inst fault =
+  if record then t.rewinds <- t.rewinds + 1;
+  charge t.cost.context_restore;
+  with_monitor t ts (fun () ->
+      let rec pop () =
+        match ts.entered with
+        | [] -> ()
+        | top :: rest ->
+            ts.entered <- rest;
+            if top == inst then ()
+            else begin
+              run_cleanups top;
+              discard_instance t ts top;
+              pop ()
+            end
+      in
+      pop ();
+      run_cleanups inst;
+      discard_instance t ts inst;
+      ts.cur_pkru <- compute_pkru t ts);
+  (* Report the incident (e.g. to a SIEM, §VI "Applicability") outside the
+     monitor bracket, in the parent's context. *)
+  if record then record_incident t fault
+
+(* Clean up our instance when a foreign exception unwinds through the
+   init frame: force-exit if entered, then discard everything. *)
+let teardown_passthrough t ts inst frame_id =
+  if inst.frame = frame_id && Hashtbl.mem t.exec_insts (ts.t_tid, inst.udi)
+  then
+    with_monitor t ts (fun () ->
+        ts.entered <- List.filter (fun i -> not (i == inst)) ts.entered;
+        discard_instance t ts inst;
+        ts.cur_pkru <- compute_pkru t ts)
+
+let cause_of_exn = function
+  | Space.Fault { addr; code; access; _ } -> Some (Segv { addr; code; access })
+  | Stack_check_failure -> Some Stack_smash
+  | Attack_detected msg -> Some (Explicit msg)
+  | _ -> None
+
+let run t ~udi ?(opts = default_options) ~on_rewind body =
+  let ts = thread_state t in
+  let inst = init_exec t ts udi opts in
+  let frame_id = inst.frame in
+  match body () with
+  | v ->
+      (* Convention: the domain must be destroyed or deinitialized before
+         the initializing function returns; deinitialize if the user did
+         not, so the saved context never dangles. *)
+      if
+        inst.frame = frame_id
+        && Hashtbl.mem t.exec_insts (ts.t_tid, inst.udi)
+        && inst.state <> Dormant
+      then begin
+        while inst.state = Entered do
+          exit_domain t
+        done;
+        deinit t udi
+      end;
+      v
+  | exception Rewind_to_grandparent fault ->
+      (* A descendant configured with [Grandparent] was discarded; the
+         rewind consumes this frame: this domain aborts as well. *)
+      if current_udi_of ts = udi && inst.frame = frame_id then begin
+        (* The fault was recorded when the failing descendant was
+           discarded; this level is collateral, not a second incident. *)
+        abnormal_exit ~record:false t ts inst fault;
+        on_rewind fault
+      end
+      else begin
+        teardown_passthrough t ts inst frame_id;
+        raise (Rewind_to_grandparent fault)
+      end
+  | exception e -> (
+      match cause_of_exn e with
+      | Some cause when current_udi_of ts = udi && inst.frame = frame_id ->
+          (* The failure happened while executing in our domain: this is
+             the abnormal domain exit for this rewind point. *)
+          let fault = { failed_udi = udi; cause; tid = ts.t_tid; at = now () } in
+          abnormal_exit t ts inst fault;
+          (match inst.opts.rewind with
+          | Parent -> on_rewind fault
+          | Grandparent -> raise (Rewind_to_grandparent fault))
+      | _ ->
+          teardown_passthrough t ts inst frame_id;
+          raise e)
+
+(* {1 Introspection} *)
+
+let is_initialized t udi =
+  let ts = thread_state t in
+  match Hashtbl.find_opt t.data_insts udi with
+  | Some _ -> true
+  | None -> (
+      match find_exec t ts udi with
+      | Some inst -> inst.state <> Dormant
+      | None -> false)
+
+let rewind_count t = t.rewinds
+let incidents t = List.rev t.incidents
+let set_incident_handler t h = t.incident_handler <- Some h
+
+let on_abnormal_cleanup t f =
+  let ts = thread_state t in
+  match current_inst ts with
+  | None -> err Root_operation
+  | Some inst ->
+      let token = ref true in
+      inst.cleanups <- (fun () -> if !token then f ()) :: inst.cleanups;
+      fun () -> token := false
+
+let domain_pkey t udi =
+  match Hashtbl.find_opt t.data_insts udi with
+  | Some dd -> Some dd.d_pkey
+  | None -> (
+      let ts = thread_state t in
+      match find_exec t ts udi with
+      | Some inst -> Some inst.pkey
+      | None -> None)
+
+let monitor_bytes t = Tlsf.used_bytes t.monitor_heap
+
+let runtime_stats t =
+  let exec = Hashtbl.length t.exec_insts in
+  [
+    ("execution_domains", exec);
+    ("data_domains", Hashtbl.length t.data_insts);
+    ("pkeys_in_use", Space.pkeys_in_use t.space);
+    ("pooled_stacks", List.length t.stack_pool);
+    ("threads", Hashtbl.length t.threads);
+    ("rewinds", t.rewinds);
+    ("key_evictions", t.key_evictions);
+    ("monitor_bytes", Tlsf.used_bytes t.monitor_heap);
+  ]
+
+(* {1 Convenience wrappers} *)
+
+let with_domain t udi f =
+  enter t udi;
+  match f () with
+  | v ->
+      exit_domain t;
+      v
+  | exception e ->
+      (* A memory fault is a signal: the rewind machinery must see the
+         domain still entered. Ordinary exceptions exit cleanly. *)
+      (match cause_of_exn e with
+      | Some _ -> ()
+      | None -> exit_domain t);
+      raise e
+
+let protect_call t ~udi ?opts ~arg f =
+  run t ~udi ?opts
+    ~on_rewind:(fun fault -> Result.Error fault)
+    (fun () ->
+      let len = String.length arg in
+      let adr = if len > 0 then malloc t ~udi len else 0 in
+      if len > 0 then Space.store_string t.space adr arg;
+      enter t udi;
+      let r = f adr len in
+      exit_domain t;
+      if len > 0 then free t ~udi adr;
+      destroy t udi ~heap:`Discard;
+      Result.Ok r)
+
+type switch_profile = {
+  total_cycles : float;
+  wrpkru_cycles : float;
+  stack_cycles : float;
+  bookkeeping_cycles : float;
+}
+
+let profile_switch t =
+  let probe_udi = 0x7FFF_FF00 in
+  run t ~udi:probe_udi
+    ~on_rewind:(fun _ -> assert false)
+    (fun () ->
+      (* Warm-up pair: exclude first-touch page faults from the profile. *)
+      enter t probe_udi;
+      exit_domain t;
+      let t0 = Sched.now () in
+      enter t probe_udi;
+      exit_domain t;
+      let total = Sched.now () -. t0 in
+      destroy t probe_udi ~heap:`Discard;
+      let wrpkru = 4.0 *. t.cost.wrpkru in
+      let stack =
+        (2.0 *. t.cost.stack_switch) +. t.cost.mem_access
+      in
+      {
+        total_cycles = total;
+        wrpkru_cycles = wrpkru;
+        stack_cycles = stack;
+        bookkeeping_cycles = total -. wrpkru -. stack;
+      })

@@ -1,0 +1,222 @@
+(** SDRaD — Secure Domain Rewind and Discard.
+
+    This module realizes the paper's Table I API over the simulated MPK
+    hardware ({!Vmem.Space}) with per-domain TLSF sub-heaps ({!Tlsf}) and
+    per-domain stacks. An application is compartmentalized into nested
+    {e execution domains}, each guarded by a protection key; when a
+    run-time defense fires inside a nested domain (a protection-key
+    violation, a stack-canary failure, or an explicit {!abort}), the
+    domain's memory is {e discarded} and execution is {e rewound} to the
+    domain's initialization point in the parent — the parent keeps running.
+
+    {2 Mapping to the paper's C API}
+
+    C's [sdrad_init()] "returns twice" (setjmp-style): once on successful
+    initialization and again after an abnormal domain exit. OCaml cannot
+    longjmp across stack frames, so the rewind point is expressed
+    structurally: {!run} performs the initialization and executes [body]
+    (the code between init and destroy/deinit); an abnormal exit unwinds
+    to the matching {!run} and invokes [on_rewind] with the failing
+    domain's index and cause — the same case split the paper performs on
+    [sdrad_init()]'s return value. All other calls (malloc, free,
+    dprotect, enter, exit, destroy, deinit) are direct equivalents.
+
+    Execution-domain state is per-thread, exactly as in the paper: each
+    simulated thread that initializes a domain index gets its own stack,
+    sub-heap and protection key for it. Data domains are shared between
+    threads. *)
+
+open Types
+
+type t
+
+exception Stack_check_failure
+(** Raised by {!with_stack_frame} when the canary was smashed; inside a
+    nested domain it is converted into an abnormal exit with cause
+    {!Types.Stack_smash}, in the root domain it terminates the thread
+    (glibc's [__stack_chk_fail] behaviour). *)
+
+exception Attack_detected of string
+(** Raised by {!abort}; converted into {!Types.Explicit}. *)
+
+val create :
+  ?seed:int ->
+  ?monitor_size:int ->
+  ?root_heap_size:int ->
+  ?default_stack_size:int ->
+  ?default_heap_size:int ->
+  ?stack_reuse:bool ->
+  ?virtual_keys:bool ->
+  Vmem.Space.t ->
+  t
+(** Link SDRaD into a simulated process: allocates the monitor data domain
+    and the root domain's protection key, sets up the root heap, and
+    installs the fault-conversion machinery. [stack_reuse] enables the
+    §IV-C optimization of recycling stack areas of destroyed domains
+    (default [true]; ablation A2 turns it off). [virtual_keys] enables
+    libmpk-style key virtualization (§IV-B): when the 15 hardware keys
+    run out, the least recently used {e dormant} domain is parked — its
+    pages made inaccessible with mprotect, the slow fallback the paper
+    notes — and its key recycled; the instance is transparently unparked
+    on its next initialization. *)
+
+val space : t -> Vmem.Space.t
+
+(** {1 Domain life cycle} *)
+
+val run :
+  t ->
+  udi:udi ->
+  ?opts:options ->
+  on_rewind:(fault -> 'a) ->
+  (unit -> 'a) ->
+  'a
+(** [run t ~udi ~opts ~on_rewind body] initializes execution domain [udi]
+    as a child of the calling thread's current domain and establishes the
+    rewind point, then executes [body]. [body] typically allocates
+    argument space with {!malloc}, {!enter}s the domain, calls the
+    sandboxed functionality, {!exit_domain}s, and finally {!destroy}s or
+    {!deinit}s the domain (Listing 1 of the paper).
+
+    On an abnormal exit of [udi] (or of a descendant configured with
+    [rewind = Grandparent] whose parent is [udi]), the corrupted domain's
+    memory is discarded, the protection-key policy of the parent is
+    restored, and [on_rewind] runs in the parent domain.
+
+    If [body] returns with the domain still initialized, the domain is
+    automatically deinitialized (the saved context would dangle
+    otherwise); if [body] raises a non-rewind exception the domain is
+    destroyed and the exception propagates. *)
+
+val init_data : t -> udi:udi -> ?heap_size:int -> unit -> unit
+(** Create a data domain: shareable pages that hold data but never execute
+    code. Its memory is managed with {!malloc}/{!free} and its visibility
+    to execution domains is configured with {!dprotect}. *)
+
+val enter : t -> udi -> unit
+(** Switch execution into a nested domain previously initialized by this
+    thread under the current domain: switches to the domain's stack and
+    updates the PKRU policy (two WRPKRU writes — the monitor call gate and
+    the target policy). *)
+
+val exit_domain : t -> unit
+(** Leave the current nested domain, returning to its parent. *)
+
+val destroy : t -> udi -> heap:[ `Discard | `Merge ] -> unit
+(** Delete a (non-entered) child domain. [`Merge] coalesces the child's
+    sub-heap into the current domain's heap — live allocations survive and
+    become owned by the current domain ([NO_HEAP_MERGE] in the paper is
+    [`Discard]). The stack area is recycled when stack reuse is enabled.
+    Also deletes data domains (with [`Discard]). *)
+
+val deinit : t -> udi -> unit
+(** Discard only the domain's saved return context, leaving its memory
+    intact; the domain must be re-initialized (another {!run}) before it
+    can be entered again. Supports the persistent-domain pattern across
+    event-handler invocations (Figure 3). *)
+
+(** {1 Memory management} *)
+
+val malloc : t -> udi:udi -> int -> int
+(** Allocate in the given domain's sub-heap. Permitted for the current
+    domain itself, an accessible child, or a data domain the current
+    domain has write access to. The sub-heap is created on first use and
+    grows on demand. *)
+
+val free : t -> udi:udi -> int -> unit
+val usable_size : t -> udi:udi -> int -> int
+
+val dprotect : t -> udi:udi -> tddi:udi -> Vmem.Prot.t -> unit
+(** Set execution domain [udi]'s access rights on data domain [tddi]
+    (none, read-only, or read-write). Takes effect at the next domain
+    transition of affected threads, and immediately for the calling
+    thread if it is currently executing in [udi]. *)
+
+(** {1 Stack frames and canaries} *)
+
+val alloca : t -> int -> int
+(** Bump-allocate on the current domain's stack (16-byte aligned).
+    Exhausting the stack area touches the guard page below it, raising the
+    SEGV that the rewind machinery converts into an abnormal domain
+    exit. *)
+
+val with_stack_frame : t -> int -> (int -> 'a) -> 'a
+(** [with_stack_frame t n f] simulates a [-fstack-protector] frame: it
+    allocates an [n]-byte stack buffer, plants a canary word directly
+    above it, runs [f buf], then verifies the canary — a smashed canary
+    raises the stack-check failure that SDRaD converts into an abnormal
+    domain exit (the paper's replaced [__stack_chk_fail]). The stack
+    pointer is restored on exit. *)
+
+val abort : t -> string -> 'a
+(** Report an attack detected by an application-level defense; triggers an
+    abnormal exit of the current domain. *)
+
+(** {1 Introspection} *)
+
+val current : t -> udi
+(** Domain the calling thread is executing in ([root_udi] at top level). *)
+
+val is_initialized : t -> udi -> bool
+val rewind_count : t -> int
+
+val incidents : t -> fault list
+(** Every abnormal domain exit so far, oldest first — the raw material for
+    the paper's §VI suggestion of reporting rewinds to a Security
+    Information and Event Management system. *)
+
+val set_incident_handler : t -> (fault -> unit) -> unit
+(** Invoke a callback after every abnormal exit (once the parent's
+    privileges are restored); use for alerting, rate-limiting rewinds, or
+    firewalling repeat offenders. *)
+
+(** [on_abnormal_cleanup t f] registers [f] to run if the {e current}
+    (entered) domain exits abnormally — the building block for
+    rewind-aware resources such as {!Dlock}. Returns a cancel function to
+    call when the protected section completes normally. The callback runs
+    during the abnormal exit, in the failing thread, after the domain's
+    memory is discarded. @raise Error [Root_operation] when called from
+    the root domain. *)
+val on_abnormal_cleanup : t -> (unit -> unit) -> unit -> unit
+val domain_pkey : t -> udi -> int option
+val monitor_bytes : t -> int
+(** Bytes of monitor control data currently allocated (contexts + domain
+    records). *)
+
+val runtime_stats : t -> (string * int) list
+(** Live counters for operators: initialized domains, data domains,
+    protection keys in use, pooled stacks, rewinds, registered threads. *)
+
+(** {1 Convenience wrappers} *)
+
+val with_domain : t -> udi -> (unit -> 'a) -> 'a
+(** [with_domain t udi f] brackets [f] between {!enter} and
+    {!exit_domain}; on a normal return or a non-fault exception the domain
+    is exited. Memory faults propagate with the domain still entered, as
+    the rewind machinery requires. *)
+
+val protect_call :
+  t ->
+  udi:udi ->
+  ?opts:options ->
+  arg:string ->
+  (int -> int -> 'a) ->
+  ('a, fault) result
+(** Listing 1 of the paper as a combinator: initialize a fresh domain,
+    copy [arg] into its sub-heap, enter, run [f addr len], exit, destroy
+    the domain, and return the result — or [Error fault] if the domain
+    exited abnormally. *)
+
+(** {1 Switch-cost anatomy (experiment E7)} *)
+
+type switch_profile = {
+  total_cycles : float;
+  wrpkru_cycles : float;
+  stack_cycles : float;
+  bookkeeping_cycles : float;
+}
+
+val profile_switch : t -> switch_profile
+(** Cost breakdown of one [enter]+[exit] pair under the current cost
+    model, used to reproduce the paper's observation that 30–50 % of a
+    domain switch is the PKRU write. *)

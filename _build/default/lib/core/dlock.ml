@@ -1,0 +1,59 @@
+module Sched = Simkern.Sched
+
+type t = {
+  sd : Api.t;
+  mu : Sched.Mutex.mutex;
+  mutable poisoned_flag : bool;
+  mutable holder_tid : int option;
+  mutable cancel : (unit -> unit) option;
+}
+
+let create sd =
+  { sd; mu = Sched.Mutex.create (); poisoned_flag = false; holder_tid = None; cancel = None }
+
+let acquire t =
+  Sched.Mutex.lock t.mu;
+  t.holder_tid <- Some (Sched.self ());
+  (* Acquired inside a nested domain: arm the abnormal-exit cleanup so a
+     rewind of this domain releases (and poisons) the lock. *)
+  if Api.current t.sd <> Types.root_udi then
+    t.cancel <-
+      Some
+        (Api.on_abnormal_cleanup t.sd (fun () ->
+             t.poisoned_flag <- true;
+             t.holder_tid <- None;
+             t.cancel <- None;
+             Sched.Mutex.unlock t.mu))
+  else t.cancel <- None;
+  not t.poisoned_flag
+
+let release t =
+  match t.holder_tid with
+  | Some tid when tid = Sched.self () ->
+      (match t.cancel with
+      | Some cancel ->
+          cancel ();
+          t.cancel <- None
+      | None -> ());
+      t.holder_tid <- None;
+      Sched.Mutex.unlock t.mu
+  | Some _ | None ->
+      (* Already released — e.g. by the abnormal-exit cleanup. *)
+      ()
+
+let with_lock t f =
+  let ok = acquire t in
+  match f ~poisoned:(not ok) with
+  | v ->
+      release t;
+      v
+  | exception e ->
+      (* The critical section did not complete: the protected state may be
+         inconsistent (Rust-style poisoning on exceptional unwind). *)
+      t.poisoned_flag <- true;
+      release t;
+      raise e
+
+let poisoned t = t.poisoned_flag
+let clear_poisoned t = t.poisoned_flag <- false
+let holder t = t.holder_tid

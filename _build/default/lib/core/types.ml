@@ -1,0 +1,80 @@
+type udi = int
+
+let root_udi = 0
+
+type access = Accessible | Inaccessible
+type rewind_target = Parent | Grandparent
+
+type options = {
+  access : access;
+  rewind : rewind_target;
+  parent_readable : bool;
+  scrub_on_discard : bool;
+  allow_syscalls : bool;
+  stack_size : int;
+  heap_size : int;
+}
+
+let default_options =
+  {
+    access = Accessible;
+    rewind = Parent;
+    parent_readable = false;
+    scrub_on_discard = false;
+    allow_syscalls = false;
+    stack_size = 64 * 1024;
+    heap_size = 256 * 1024;
+  }
+
+type cause =
+  | Segv of {
+      addr : int;
+      code : Vmem.Space.si_code;
+      access : Vmem.Space.access;
+    }
+  | Stack_smash
+  | Explicit of string
+
+type fault = { failed_udi : udi; cause : cause; tid : int; at : float }
+
+let pp_cause ppf = function
+  | Segv { addr; code; access } ->
+      Format.fprintf ppf "SEGV at 0x%x (%a, %a)" addr Vmem.Space.pp_si_code
+        code Vmem.Space.pp_access access
+  | Stack_smash -> Format.pp_print_string ppf "stack smashing detected"
+  | Explicit msg -> Format.fprintf ppf "attack reported: %s" msg
+
+let pp_fault ppf { failed_udi; cause; tid; at = _ } =
+  Format.fprintf ppf "domain %d failed on tid %d: %a" failed_udi tid pp_cause
+    cause
+
+type error =
+  | Already_initialized
+  | Not_initialized
+  | Unknown_domain
+  | Out_of_pkeys
+  | Not_a_child
+  | Domain_entered
+  | Not_entered
+  | Wrong_kind
+  | Not_accessible
+  | Root_operation
+
+exception Error of error
+
+let error_to_string = function
+  | Already_initialized -> "domain already initialized in this thread"
+  | Not_initialized -> "domain not initialized"
+  | Unknown_domain -> "unknown domain index"
+  | Out_of_pkeys -> "no free protection keys"
+  | Not_a_child -> "domain is not a child of the current domain"
+  | Domain_entered -> "operation invalid while the domain is entered"
+  | Not_entered -> "no nested domain is entered"
+  | Wrong_kind -> "operation does not apply to this domain kind"
+  | Not_accessible -> "domain is not accessible from the current domain"
+  | Root_operation -> "operation invalid on the root domain"
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some (Printf.sprintf "Sdrad.Error: %s" (error_to_string e))
+    | _ -> None)

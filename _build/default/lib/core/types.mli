@@ -1,0 +1,87 @@
+(** Shared types of the SDRaD library: domain indices, domain options,
+    faults and API errors. *)
+
+type udi = int
+(** User domain index — the developer-chosen identifier for a domain
+    (Table I of the paper). Index 0 is reserved for the root domain. *)
+
+val root_udi : udi
+
+(** Visibility of a nested execution domain to its parent (§IV-A): an
+    accessible domain's memory can be read and written by its parent (so
+    arguments can be copied in directly); an inaccessible domain's memory
+    is sealed and data must flow through a shared data domain. *)
+type access = Accessible | Inaccessible
+
+(** Where an abnormal exit of the domain is handled (§IV-A): [Parent]
+    returns control to this domain's own initialization point; in the
+    [Grandparent] configuration the rewind continues to the parent
+    domain's initialization point (Figure 2's deep-nesting pattern). *)
+type rewind_target = Parent | Grandparent
+
+type options = {
+  access : access;
+  rewind : rewind_target;
+  parent_readable : bool;
+      (** Allow the nested domain read-only access to its {e direct}
+          parent's memory (read access to the root domain is always
+          granted, §IV-C "Global Variables"). *)
+  scrub_on_discard : bool;
+      (** Zero the domain's stack and sub-heap before the memory is
+          recycled (§VI: "scrub sensitive allocations from memory before
+          leaving the domain"). Off by default — confidentiality of dead
+          domain data is otherwise the developer's responsibility. *)
+  allow_syscalls : bool;
+      (** Permit direct system calls from inside the domain. Off by
+          default: PKU sandboxes must filter the syscall interface (§VI,
+          citing Connor et al. and Jenny), so an unexpected syscall from a
+          nested domain is treated as an attack oracle and rewinds. The
+          reference monitor's own calls (sub-heap growth etc.) are always
+          sanctioned. *)
+  stack_size : int;
+  heap_size : int;  (** initial sub-heap pool size; the heap grows on demand *)
+}
+
+val default_options : options
+(** Accessible, rewinds to parent, 64 KiB stack, 256 KiB initial heap. *)
+
+(** Why a domain exited abnormally. *)
+type cause =
+  | Segv of {
+      addr : int;
+      code : Vmem.Space.si_code;
+      access : Vmem.Space.access;
+    }  (** A memory fault caught by the SDRaD signal handler. *)
+  | Stack_smash  (** A stack-canary check failed (__stack_chk_fail). *)
+  | Explicit of string
+      (** The application reported an attack via {!Api.abort} — the hook
+          for other run-time defenses (CFI, heap red zones, ...). *)
+
+type fault = {
+  failed_udi : udi;  (** the domain whose execution was discarded *)
+  cause : cause;
+  tid : int;  (** simulated thread on which the fault occurred *)
+  at : float;
+      (** virtual time (cycles) when the SDRaD handler caught the failure;
+          rewind-latency experiments measure from here *)
+}
+
+val pp_cause : Format.formatter -> cause -> unit
+val pp_fault : Format.formatter -> fault -> unit
+
+(** Misuse of the API — these are programming errors, reported eagerly. *)
+type error =
+  | Already_initialized
+  | Not_initialized
+  | Unknown_domain
+  | Out_of_pkeys  (** all 15 protection keys are in use *)
+  | Not_a_child
+  | Domain_entered  (** operation requires the domain not to be entered *)
+  | Not_entered
+  | Wrong_kind  (** execution-domain operation on a data domain or vice versa *)
+  | Not_accessible
+  | Root_operation  (** the root domain cannot be destroyed or exited *)
+
+exception Error of error
+
+val error_to_string : error -> string

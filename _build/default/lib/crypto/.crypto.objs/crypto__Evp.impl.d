@@ -1,0 +1,1 @@
+lib/crypto/evp.ml: Gcm Printf Simkern String Vmem

@@ -1,0 +1,1 @@
+lib/crypto/evp_sdrad.ml: Evp Format Result Sdrad Vmem

@@ -1,0 +1,1 @@
+lib/crypto/gcm.ml: Aes Bytes Char Int32 Int64 String

@@ -1,0 +1,1 @@
+lib/crypto/x509.ml: Char List Printf Sdrad String Vmem

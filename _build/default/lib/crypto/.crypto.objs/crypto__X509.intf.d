@@ -1,0 +1,1 @@
+lib/crypto/x509.mli: Sdrad

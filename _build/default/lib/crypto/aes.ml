@@ -1,0 +1,131 @@
+(* AES-256, encryption direction. State is a flat 16-byte array in
+   column-major order: state.(4*c + r) = s[r][c] of FIPS-197. *)
+
+let xtime b =
+  let b2 = b lsl 1 in
+  if b land 0x80 <> 0 then (b2 lxor 0x1b) land 0xff else b2
+
+(* The S-box computed from first principles: multiplicative inverse in
+   GF(2^8) (via log/antilog tables over the generator 3) followed by the
+   affine transformation of FIPS-197 §5.1.1. *)
+let sbox =
+  let exp = Array.make 512 0 and log = Array.make 256 0 in
+  let x = ref 1 in
+  for i = 0 to 254 do
+    exp.(i) <- !x;
+    log.(!x) <- i;
+    x := !x lxor xtime !x (* multiply by the generator 0x03 *)
+  done;
+  for i = 255 to 511 do
+    exp.(i) <- exp.(i - 255)
+  done;
+  let inverse b = if b = 0 then 0 else exp.(255 - log.(b)) in
+  Array.init 256 (fun b ->
+      let s = inverse b in
+      let r = ref 0 in
+      for i = 0 to 7 do
+        let bit =
+          ((s lsr i) land 1)
+          lxor ((s lsr ((i + 4) mod 8)) land 1)
+          lxor ((s lsr ((i + 5) mod 8)) land 1)
+          lxor ((s lsr ((i + 6) mod 8)) land 1)
+          lxor ((s lsr ((i + 7) mod 8)) land 1)
+          lxor ((0x63 lsr i) land 1)
+        in
+        r := !r lor (bit lsl i)
+      done;
+      !r)
+
+let nr = 14 (* rounds for AES-256 *)
+let nk = 8 (* key words *)
+
+type key = int array (* 4*(nr+1) = 60 words, big-endian packed *)
+
+let sub_word w =
+  (sbox.((w lsr 24) land 0xff) lsl 24)
+  lor (sbox.((w lsr 16) land 0xff) lsl 16)
+  lor (sbox.((w lsr 8) land 0xff) lsl 8)
+  lor sbox.(w land 0xff)
+
+let rot_word w = ((w lsl 8) lor (w lsr 24)) land 0xFFFFFFFF
+
+let expand key =
+  if String.length key <> 32 then invalid_arg "Aes.expand: need a 32-byte key";
+  let w = Array.make (4 * (nr + 1)) 0 in
+  for i = 0 to nk - 1 do
+    w.(i) <-
+      (Char.code key.[4 * i] lsl 24)
+      lor (Char.code key.[(4 * i) + 1] lsl 16)
+      lor (Char.code key.[(4 * i) + 2] lsl 8)
+      lor Char.code key.[(4 * i) + 3]
+  done;
+  let rcon = ref 1 in
+  for i = nk to (4 * (nr + 1)) - 1 do
+    let temp = w.(i - 1) in
+    let temp =
+      if i mod nk = 0 then begin
+        let t = sub_word (rot_word temp) lxor (!rcon lsl 24) in
+        rcon := xtime !rcon;
+        t
+      end
+      else if i mod nk = 4 then sub_word temp
+      else temp
+    in
+    w.(i) <- w.(i - nk) lxor temp
+  done;
+  w
+
+let add_round_key st w round =
+  for c = 0 to 3 do
+    let word = w.((4 * round) + c) in
+    st.(4 * c) <- st.(4 * c) lxor ((word lsr 24) land 0xff);
+    st.((4 * c) + 1) <- st.((4 * c) + 1) lxor ((word lsr 16) land 0xff);
+    st.((4 * c) + 2) <- st.((4 * c) + 2) lxor ((word lsr 8) land 0xff);
+    st.((4 * c) + 3) <- st.((4 * c) + 3) lxor (word land 0xff)
+  done
+
+let sub_bytes st =
+  for i = 0 to 15 do
+    st.(i) <- sbox.(st.(i))
+  done
+
+let shift_rows st =
+  let tmp = Array.copy st in
+  for r = 1 to 3 do
+    for c = 0 to 3 do
+      st.((4 * c) + r) <- tmp.((4 * ((c + r) mod 4)) + r)
+    done
+  done
+
+let mix_columns st =
+  for c = 0 to 3 do
+    let i = 4 * c in
+    let a0 = st.(i) and a1 = st.(i + 1) and a2 = st.(i + 2) and a3 = st.(i + 3) in
+    let m2 x = xtime x and m3 x = xtime x lxor x in
+    st.(i) <- m2 a0 lxor m3 a1 lxor a2 lxor a3;
+    st.(i + 1) <- a0 lxor m2 a1 lxor m3 a2 lxor a3;
+    st.(i + 2) <- a0 lxor a1 lxor m2 a2 lxor m3 a3;
+    st.(i + 3) <- m3 a0 lxor a1 lxor a2 lxor m2 a3
+  done
+
+let encrypt_block w buf ~src ~dst =
+  let st = Array.init 16 (fun i -> Char.code (Bytes.get buf (src + i))) in
+  add_round_key st w 0;
+  for round = 1 to nr - 1 do
+    sub_bytes st;
+    shift_rows st;
+    mix_columns st;
+    add_round_key st w round
+  done;
+  sub_bytes st;
+  shift_rows st;
+  add_round_key st w nr;
+  for i = 0 to 15 do
+    Bytes.set buf (dst + i) (Char.chr st.(i))
+  done
+
+let encrypt_block_str w s =
+  if String.length s <> 16 then invalid_arg "Aes.encrypt_block_str";
+  let b = Bytes.of_string s in
+  encrypt_block w b ~src:0 ~dst:0;
+  Bytes.to_string b

@@ -1,0 +1,17 @@
+(** AES-256 block cipher (FIPS-197), encryption direction only — GCM needs
+    nothing else. The S-box is derived algebraically (GF(2^8) inversion
+    plus the affine map) rather than transcribed, and the implementation
+    is validated against the FIPS-197 and NIST GCM test vectors in the
+    test suite. *)
+
+type key
+(** Expanded key schedule (60 words for the 14-round AES-256). *)
+
+val expand : string -> key
+(** @raise Invalid_argument unless the key is exactly 32 bytes. *)
+
+val encrypt_block : key -> bytes -> src:int -> dst:int -> unit
+(** Encrypt 16 bytes at [src] into 16 bytes at [dst] (may alias). *)
+
+val encrypt_block_str : key -> string -> string
+(** Convenience: one 16-byte block in, one out. *)

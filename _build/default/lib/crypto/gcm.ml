@@ -1,0 +1,212 @@
+(* GHASH works on 128-bit quantities represented as (hi, lo) int64 pairs,
+   big-endian: hi holds bytes 0-7. Multiplication uses the right-shift
+   method of SP 800-38D §6.3 with R = 0xE1 << 120. *)
+
+let r_poly = 0xE100000000000000L
+
+let gmul (xh, xl) (hh, hl) =
+  let zh = ref 0L and zl = ref 0L in
+  let vh = ref hh and vl = ref hl in
+  for i = 0 to 127 do
+    let bit =
+      if i < 64 then Int64.logand (Int64.shift_right_logical xh (63 - i)) 1L
+      else Int64.logand (Int64.shift_right_logical xl (127 - i)) 1L
+    in
+    if bit = 1L then begin
+      zh := Int64.logxor !zh !vh;
+      zl := Int64.logxor !zl !vl
+    end;
+    let lsb = Int64.logand !vl 1L in
+    vl :=
+      Int64.logor
+        (Int64.shift_right_logical !vl 1)
+        (Int64.shift_left !vh 63);
+    vh := Int64.shift_right_logical !vh 1;
+    if lsb = 1L then vh := Int64.logxor !vh r_poly
+  done;
+  (!zh, !zl)
+
+let block_of_bytes b off =
+  (Bytes.get_int64_be b off, Bytes.get_int64_be b (off + 8))
+
+let bytes_of_block (hi, lo) =
+  let b = Bytes.create 16 in
+  Bytes.set_int64_be b 0 hi;
+  Bytes.set_int64_be b 8 lo;
+  b
+
+type ctx = {
+  key : Aes.key;
+  h : int64 * int64;
+  tag_mask : bytes;  (* E(K, J0) *)
+  counter : bytes;  (* current 16-byte counter block *)
+  keystream : bytes;
+  mutable ks_used : int;  (* bytes of [keystream] already consumed *)
+  mutable ghash : int64 * int64;
+  ct_buf : bytes;  (* partial ciphertext block awaiting GHASH *)
+  mutable ct_buf_len : int;
+  mutable aad_len : int;  (* bytes *)
+  mutable ct_len : int;
+  mutable raw_key : string;  (* kept for serialization *)
+}
+
+let inc32 counter =
+  let v = Int32.to_int (Bytes.get_int32_be counter 12) land 0xFFFFFFFF in
+  Bytes.set_int32_be counter 12 (Int32.of_int ((v + 1) land 0xFFFFFFFF))
+
+let ghash_absorb ctx block =
+  let x = ctx.ghash in
+  let hi, lo = block in
+  ctx.ghash <- gmul (Int64.logxor (fst x) hi, Int64.logxor (snd x) lo) ctx.h
+
+let ghash_absorb_padded ctx (b : bytes) len =
+  let blk = Bytes.make 16 '\000' in
+  Bytes.blit b 0 blk 0 len;
+  ghash_absorb ctx (block_of_bytes blk 0)
+
+let init ~key ~iv =
+  if String.length key <> 32 then invalid_arg "Gcm.init: need 32-byte key";
+  if String.length iv <> 12 then invalid_arg "Gcm.init: need 12-byte IV";
+  let k = Aes.expand key in
+  let h = block_of_bytes (Bytes.of_string (Aes.encrypt_block_str k (String.make 16 '\000'))) 0 in
+  let j0 = Bytes.make 16 '\000' in
+  Bytes.blit_string iv 0 j0 0 12;
+  Bytes.set j0 15 '\001';
+  let tag_mask = Bytes.of_string (Aes.encrypt_block_str k (Bytes.to_string j0)) in
+  let counter = Bytes.copy j0 in
+  {
+    key = k;
+    h;
+    tag_mask;
+    counter;
+    keystream = Bytes.make 16 '\000';
+    ks_used = 16;
+    ghash = (0L, 0L);
+    ct_buf = Bytes.make 16 '\000';
+    ct_buf_len = 0;
+    aad_len = 0;
+    ct_len = 0;
+    raw_key = key;
+  }
+
+let absorb_aad ctx a =
+  if ctx.ct_len > 0 || ctx.ct_buf_len > 0 then
+    invalid_arg "Gcm.aad: associated data must precede the payload";
+  let n = String.length a in
+  let full = n / 16 in
+  let b = Bytes.of_string a in
+  for i = 0 to full - 1 do
+    ghash_absorb ctx (block_of_bytes b (16 * i))
+  done;
+  let rem = n - (16 * full) in
+  if rem > 0 then begin
+    let blk = Bytes.make 16 '\000' in
+    Bytes.blit b (16 * full) blk 0 rem;
+    ghash_absorb ctx (block_of_bytes blk 0)
+  end;
+  ctx.aad_len <- ctx.aad_len + n
+
+let aad = absorb_aad
+
+let next_keystream ctx =
+  inc32 ctx.counter;
+  Bytes.blit ctx.counter 0 ctx.keystream 0 16;
+  Aes.encrypt_block ctx.key ctx.keystream ~src:0 ~dst:0;
+  ctx.ks_used <- 0
+
+let absorb_ct_byte ctx c =
+  Bytes.set ctx.ct_buf ctx.ct_buf_len c;
+  ctx.ct_buf_len <- ctx.ct_buf_len + 1;
+  if ctx.ct_buf_len = 16 then begin
+    ghash_absorb ctx (block_of_bytes ctx.ct_buf 0);
+    ctx.ct_buf_len <- 0
+  end
+
+let crypt ~encrypting ctx data =
+  let n = String.length data in
+  let out = Bytes.create n in
+  for i = 0 to n - 1 do
+    if ctx.ks_used = 16 then next_keystream ctx;
+    let ks = Char.code (Bytes.get ctx.keystream ctx.ks_used) in
+    ctx.ks_used <- ctx.ks_used + 1;
+    let p = Char.code data.[i] in
+    let c = p lxor ks in
+    Bytes.set out i (Char.chr c);
+    absorb_ct_byte ctx (Char.chr (if encrypting then c else p))
+  done;
+  ctx.ct_len <- ctx.ct_len + n;
+  Bytes.to_string out
+
+let encrypt ctx data = crypt ~encrypting:true ctx data
+let decrypt ctx data = crypt ~encrypting:false ctx data
+
+let tag ctx =
+  if ctx.ct_buf_len > 0 then begin
+    ghash_absorb_padded ctx ctx.ct_buf ctx.ct_buf_len;
+    ctx.ct_buf_len <- 0
+  end;
+  let lens = Bytes.create 16 in
+  Bytes.set_int64_be lens 0 (Int64.of_int (8 * ctx.aad_len));
+  Bytes.set_int64_be lens 8 (Int64.of_int (8 * ctx.ct_len));
+  ghash_absorb ctx (block_of_bytes lens 0);
+  let g = bytes_of_block ctx.ghash in
+  String.init 16 (fun i ->
+      Char.chr (Char.code (Bytes.get g i) lxor Char.code (Bytes.get ctx.tag_mask i)))
+
+let one_shot_encrypt ~key ~iv ?(aad = "") p =
+  let ctx = init ~key ~iv in
+  if String.length aad > 0 then absorb_aad ctx aad;
+  let c = encrypt ctx p in
+  (c, tag ctx)
+
+let one_shot_decrypt ~key ~iv ?(aad = "") ~tag:expected c =
+  let ctx = init ~key ~iv in
+  if String.length aad > 0 then absorb_aad ctx aad;
+  let p = decrypt ctx c in
+  if String.equal (tag ctx) expected then Some p else None
+
+(* {1 Serialization}
+
+   Fixed-size blob so EVP contexts can live in simulated memory. Layout:
+   raw key (32) | counter (16) | keystream (16) | tag_mask (16) |
+   ghash (16) | ct_buf (16) | ks_used, ct_buf_len, aad_len, ct_len (8 each). *)
+
+let serialized_size = 32 + 16 + 16 + 16 + 16 + 16 + (4 * 8)
+
+let serialize ctx =
+  let b = Bytes.make serialized_size '\000' in
+  Bytes.blit_string ctx.raw_key 0 b 0 32;
+  Bytes.blit ctx.counter 0 b 32 16;
+  Bytes.blit ctx.keystream 0 b 48 16;
+  Bytes.blit ctx.tag_mask 0 b 64 16;
+  Bytes.blit (bytes_of_block ctx.ghash) 0 b 80 16;
+  Bytes.blit ctx.ct_buf 0 b 96 16;
+  Bytes.set_int64_le b 112 (Int64.of_int ctx.ks_used);
+  Bytes.set_int64_le b 120 (Int64.of_int ctx.ct_buf_len);
+  Bytes.set_int64_le b 128 (Int64.of_int ctx.aad_len);
+  Bytes.set_int64_le b 136 (Int64.of_int ctx.ct_len);
+  b
+
+let deserialize b =
+  if Bytes.length b < serialized_size then invalid_arg "Gcm.deserialize";
+  let raw_key = Bytes.sub_string b 0 32 in
+  let key = Aes.expand raw_key in
+  let h =
+    block_of_bytes
+      (Bytes.of_string (Aes.encrypt_block_str key (String.make 16 '\000')))
+      0
+  in
+  {
+    key;
+    h;
+    tag_mask = Bytes.sub b 64 16;
+    counter = Bytes.sub b 32 16;
+    keystream = Bytes.sub b 48 16;
+    ks_used = Int64.to_int (Bytes.get_int64_le b 112);
+    ghash = block_of_bytes (Bytes.sub b 80 16) 0;
+    ct_buf = Bytes.sub b 96 16;
+    ct_buf_len = Int64.to_int (Bytes.get_int64_le b 120);
+    aad_len = Int64.to_int (Bytes.get_int64_le b 128);
+    ct_len = Int64.to_int (Bytes.get_int64_le b 136);
+    raw_key;
+  }

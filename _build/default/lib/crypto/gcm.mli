@@ -1,0 +1,34 @@
+(** AES-256-GCM (NIST SP 800-38D) with streaming updates.
+
+    Supports 96-bit IVs (the only kind OpenSSL's speed benchmark uses),
+    arbitrary-length associated data supplied before the payload, and
+    byte-granular streaming — partial counter and GHASH blocks are carried
+    in the context. Contexts serialize to a fixed-size blob so {!Evp} can
+    keep them in simulated (protection-key-guarded) memory. *)
+
+type ctx
+
+val init : key:string -> iv:string -> ctx
+(** [key] is 32 bytes, [iv] 12 bytes. *)
+
+val aad : ctx -> string -> unit
+(** Absorb associated data; must precede any payload. *)
+
+val encrypt : ctx -> string -> string
+val decrypt : ctx -> string -> string
+
+val tag : ctx -> string
+(** Finalize and return the 16-byte authentication tag. The context must
+    not be used afterwards. *)
+
+val one_shot_encrypt :
+  key:string -> iv:string -> ?aad:string -> string -> string * string
+(** [one_shot_encrypt ~key ~iv ~aad p] is [(ciphertext, tag)]. *)
+
+val one_shot_decrypt :
+  key:string -> iv:string -> ?aad:string -> tag:string -> string -> string option
+(** [None] when the tag does not verify. *)
+
+val serialized_size : int
+val serialize : ctx -> bytes
+val deserialize : bytes -> ctx

@@ -1,0 +1,59 @@
+module Space = Vmem.Space
+module Api = Sdrad.Api
+
+let buffer_size = 32
+
+let make_cert ~cn ~altname =
+  Printf.sprintf "CERT|cn=%s|altname=%s|sig=ab54a98ceb1f0ad2" cn altname
+
+(* Decoded length equals the number of payload characters after "xn--";
+   exactly [buffer_size] of them puts the unchecked '.' on the canary. *)
+let malicious_altname = "xn--" ^ String.make buffer_size 'q'
+let benign_altname = "xn--mnchen-3ya"
+
+let field cert name =
+  let prefix = name ^ "=" in
+  let parts = String.split_on_char '|' cert in
+  List.find_map
+    (fun part ->
+      if String.length part > String.length prefix
+         && String.sub part 0 (String.length prefix) = prefix
+      then Some (String.sub part (String.length prefix)
+                   (String.length part - String.length prefix))
+      else None)
+    parts
+
+(* The vulnerable a2ulabel analogue: decode a punycode label into [buf].
+   The decode loop itself is correctly bounded to [buffer_size] bytes, but
+   the label separator is appended without a bounds check — the CVE. *)
+let a2ulabel sd space ~label ~buf =
+  let payload = String.sub label 4 (String.length label - 4) in
+  let n = String.length payload in
+  let written = ref 0 in
+  String.iter
+    (fun c ->
+      if !written < buffer_size then begin
+        (* "Decode" one code point (identity transform stands in for the
+           real base-36 delta decoding; length behaviour is what matters). *)
+        Space.store8 space (buf + !written) (Char.code c land 0x7f);
+        incr written
+      end)
+    payload;
+  ignore n;
+  (* CVE-2022-3786: unchecked separator append. *)
+  Space.store8 space (buf + !written) (Char.code '.');
+  ignore sd;
+  !written + 1
+
+let verify sd cert =
+  let space = Api.space sd in
+  match (field cert "cn", field cert "altname") with
+  | Some _, Some altname ->
+      let ok_sig = field cert "sig" <> None in
+      if String.length altname >= 4 && String.sub altname 0 4 = "xn--" then
+        Api.with_stack_frame sd buffer_size (fun buf ->
+            let len = a2ulabel sd space ~label:altname ~buf in
+            ignore (Space.read_string space buf (min len buffer_size));
+            ok_sig)
+      else ok_sig
+  | _ -> false

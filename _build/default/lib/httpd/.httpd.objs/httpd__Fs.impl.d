@@ -1,0 +1,1 @@
+lib/httpd/fs.ml: Char String Vfs

@@ -1,0 +1,1 @@
+lib/httpd/fs.mli: Vfs Vmem

@@ -1,0 +1,1 @@
+lib/httpd/http_parse.ml: Char List Printf String Vmem

@@ -1,0 +1,1 @@
+lib/httpd/http_parse.mli: Vmem

@@ -1,0 +1,1 @@
+lib/httpd/server.ml: Array Crypto Fs Hashtbl Http_parse List Logs Netsim Printf Queue Sdrad Simkern String Tlsf Vfs Vmem

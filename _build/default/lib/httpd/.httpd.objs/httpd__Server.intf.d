@@ -1,0 +1,1 @@
+lib/httpd/server.mli: Fs Netsim Sdrad Simkern Vmem

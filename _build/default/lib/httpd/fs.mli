@@ -1,0 +1,21 @@
+(** Static-content store for the web server, backed by the simulated
+    filesystem ({!Vfs}): document bodies live in simulated "disk" blocks,
+    so serving a file performs real (charged, RSS-visible) reads — the
+    page-cache behaviour a real NGINX relies on. *)
+
+type t
+
+val create : ?fs_blocks:int -> Vmem.Space.t -> t
+(** Format a fresh filesystem (default 2048 blocks = 8 MiB). *)
+
+val add : t -> path:string -> size:int -> unit
+(** Publish a document of the given size with deterministic contents.
+    Parent directories are created as needed. *)
+
+val lookup : t -> string -> int option
+(** Size of the document, if it exists. *)
+
+val read_body : t -> string -> string
+(** Read a whole document out of the filesystem (charged access). *)
+
+val vfs : t -> Vfs.t

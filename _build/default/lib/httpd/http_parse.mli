@@ -1,0 +1,44 @@
+(** Phased HTTP/1.1 request parser working on simulated memory, modelled
+    on NGINX's [ngx_http_parse_*] family. Parsing proceeds in phases that
+    the SDRaD variant brackets with separate domain transitions, exactly
+    as the paper instruments NGINX (§V-B).
+
+    [parse_complex_uri] contains the CVE-2009-2629 analogue: when
+    normalizing ["../"] segments, the vulnerable variant scans backwards
+    for the previous ['/'] without a lower bound, so a URI with more
+    ["../"] than path depth walks below the destination buffer — a buffer
+    underflow that reads/writes foreign memory until the mapping (or the
+    protection key) stops it. *)
+
+type request_line = { meth : string; raw_uri_off : int; raw_uri_len : int; version : string }
+
+exception Bad_request of string
+
+val parse_request_line : Vmem.Space.t -> addr:int -> len:int -> request_line * int
+(** Parse ["METHOD uri HTTP/x.y\r\n"] at [addr]; returns the request line
+    and the offset just past it. @raise Bad_request on malformed input. *)
+
+val parse_complex_uri :
+  Vmem.Space.t ->
+  src:int ->
+  len:int ->
+  dst:int ->
+  dst_cap:int ->
+  vulnerable:bool ->
+  int
+(** Normalize the URI at [src] into [dst] (percent-decoding, slash
+    merging, ["."]/[".."] resolution); returns the normalized length.
+    With [vulnerable:false], over-popping raises {!Bad_request}; with
+    [vulnerable:true] it underflows below [dst]. *)
+
+val parse_headers :
+  Vmem.Space.t -> addr:int -> len:int -> (string * string) list * int
+(** Parse header lines up to the blank line; returns headers (names
+    lowercased) and the offset past the terminating CRLF CRLF. *)
+
+val find_header : (string * string) list -> string -> string option
+
+val validate_body : (string * string) list -> avail:int -> int
+(** Body length implied by Content-Length (0 when absent), checked against
+    the bytes actually present. @raise Bad_request on mismatch or on a
+    malformed Content-Length. *)

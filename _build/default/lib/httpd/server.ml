@@ -1,0 +1,572 @@
+module Sched = Simkern.Sched
+module Cost = Simkern.Cost
+module Space = Vmem.Space
+module Prot = Vmem.Prot
+module Api = Sdrad.Api
+module Types = Sdrad.Types
+
+let log_src = Logs.Src.create "sdrad.httpd" ~doc:"web server"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type variant = Baseline | Tlsf_alloc | Sdrad
+
+type config = {
+  variant : variant;
+  workers : int;
+  port : int;
+  vulnerable : bool;
+  verify_certs : bool;
+  parser_udi : int;
+  cert_udi : int;
+  pool_udi : int;
+  proc_cycles : float;
+  conn_buf_size : int;
+  max_restarts : int;
+  image_bytes : int;
+  rewind_limit : int option;
+}
+
+let default_config =
+  {
+    variant = Baseline;
+    workers = 1;
+    port = 8080;
+    vulnerable = false;
+    verify_certs = false;
+    parser_udi = 1;
+    cert_udi = 2;
+    pool_udi = 13;
+    proc_cycles = 11_000.0;
+    conn_buf_size = 16 * 1024;
+    max_restarts = 1_000;
+    image_bytes = 2 * 1024 * 1024;
+    rewind_limit = None;
+  }
+
+let uri_dst_cap = 2048
+let worker_restart_cost = 2.1e6 (* ~1 ms: fork + exec + init *)
+
+type worker_slot = {
+  idx : int;
+  mutable ws : Netsim.Waitset.ws;
+  mutable live_conns : Netsim.conn list;
+  mutable tid : Sched.tid;
+  mutable pool : int;  (* per-worker request pool base (bump-reset) *)
+  mutable slot_rewinds : int;  (* since this worker (re)started *)
+  mutable alive : bool;
+}
+
+type t = {
+  sched : Sched.t;
+  space : Space.t;
+  cfg : config;
+  sd : Api.t option;
+  fs : Fs.t;
+  listener : Netsim.listener;
+  slots : worker_slot array;
+  mutable master_tid : Sched.tid;
+  mutable all_tids : Sched.tid list;
+  conns : (int, int) Hashtbl.t;  (* conn id -> conn buffer *)
+  deaths : (int * float) Queue.t;
+  death_lock : Sched.Mutex.mutex;
+  death_cond : Sched.Cond.cond;
+  mutable stopping : bool;
+  buf_alloc : int -> int;
+  buf_free : int -> unit;
+  pool_alloc : int -> int;
+  mutable served : int;
+  mutable rewinds : int;
+  mutable rewind_lat : float list;
+  mutable restarts : int;
+  mutable restart_lat : float list;
+  mutable dropped : int;
+  mutable proactive : int;
+}
+
+let glibc_allocator space =
+  (* Bump arena with per-size free lists: freed chunks are recycled, as
+     glibc's bins would, so the model neither leaks RSS nor charges real
+     allocator work (that is what the constants are for). *)
+  let arena = ref 0 and off = ref 0 and arena_len = 256 * 1024 in
+  let bins : (int, int list ref) Hashtbl.t = Hashtbl.create 16 in
+  let bin n =
+    match Hashtbl.find_opt bins n with
+    | Some l -> l
+    | None ->
+        let l = ref [] in
+        Hashtbl.replace bins n l;
+        l
+  in
+  let sizes : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let alloc n =
+    Sched.charge 80.0;
+    let n = (n + 15) land lnot 15 in
+    let p =
+      match !(bin n) with
+      | p :: rest ->
+          (bin n) := rest;
+          p
+      | [] ->
+          if !arena = 0 || !off + n > arena_len then begin
+            arena := Space.mmap space ~len:(max arena_len n) ~prot:Prot.rw ~pkey:0;
+            off := 0
+          end;
+          let p = !arena + !off in
+          off := !off + n;
+          p
+    in
+    Hashtbl.replace sizes p n;
+    p
+  in
+  let free p =
+    Sched.charge 50.0;
+    match Hashtbl.find_opt sizes p with
+    | Some n ->
+        Hashtbl.remove sizes p;
+        (bin n) := p :: !(bin n)
+    | None -> ()
+  in
+  (alloc, free)
+
+let tlsf_allocator space =
+  let heap = Tlsf.create space ~name:"httpd-bufs" in
+  let grow len =
+    let len = max len (1024 * 1024) in
+    let region = Space.mmap space ~len ~prot:Prot.rw ~pkey:0 in
+    Tlsf.add_region heap ~addr:region ~len
+  in
+  let alloc n =
+    match Tlsf.malloc_opt heap n with
+    | Some p -> p
+    | None ->
+        grow (n + 64);
+        Tlsf.malloc heap n
+  in
+  (alloc, fun p -> Tlsf.free heap p)
+
+let conn_token keep_alive = if keep_alive then "keep-alive" else "close"
+
+let http_200 ~keep_alive body =
+  Printf.sprintf
+    "HTTP/1.1 200 OK\r\nServer: simginx\r\nContent-Length: %d\r\nConnection: %s\r\n\r\n%s"
+    (String.length body) (conn_token keep_alive) body
+
+let http_200_head ~keep_alive size =
+  Printf.sprintf
+    "HTTP/1.1 200 OK\r\nServer: simginx\r\nContent-Length: %d\r\nConnection: %s\r\n\r\n"
+    size (conn_token keep_alive)
+
+let http_404 = "HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n"
+let http_400 = "HTTP/1.1 400 Bad Request\r\nContent-Length: 0\r\n\r\n"
+let http_403 = "HTTP/1.1 403 Forbidden\r\nContent-Length: 0\r\n\r\n"
+let http_405 = "HTTP/1.1 405 Method Not Allowed\r\nContent-Length: 0\r\n\r\n"
+
+(* Serve the (already parsed) request: certificate check, file lookup,
+   response. Runs in the worker's root context for every variant. *)
+(* RFC 7230 §6.3: HTTP/1.1 persists unless "Connection: close"; HTTP/1.0
+   closes unless "Connection: keep-alive". *)
+let wants_keep_alive ~version ~headers =
+  match Http_parse.find_header headers "connection" with
+  | Some v -> String.lowercase_ascii v <> "close"
+  | None -> version <> "HTTP/1.0"
+
+let respond t slot c ~meth ~version ~path ~headers ~body =
+  let keep_alive = wants_keep_alive ~version ~headers in
+  let cert_ok =
+    if not t.cfg.verify_certs then `Ok
+    else
+      match Http_parse.find_header headers "x-client-cert" with
+      | None -> `Ok
+      | Some cert -> (
+          match (t.cfg.variant, t.sd) with
+          | Sdrad, Some sd ->
+              (* §V-C: the X.509 verification API isolated in its own
+                 nested domain; the punycode overflow is caught by the
+                 stack canary and triggers a rewind. *)
+              Api.run sd ~udi:t.cfg.cert_udi
+                ~on_rewind:(fun f ->
+                  t.rewinds <- t.rewinds + 1;
+                  slot.slot_rewinds <- slot.slot_rewinds + 1;
+                  t.rewind_lat <- (Sched.now () -. f.Types.at) :: t.rewind_lat;
+                  `Faulted)
+                (fun () ->
+                  Api.enter sd t.cfg.cert_udi;
+                  let ok = Crypto.X509.verify sd cert in
+                  Api.exit_domain sd;
+                  Api.destroy sd t.cfg.cert_udi ~heap:`Discard;
+                  if ok then `Ok else `Bad)
+          | _, Some sd ->
+              (* Unprotected build: verification in the root domain; a
+                 smashed canary kills the worker. *)
+              if Crypto.X509.verify sd cert then `Ok else `Bad
+          | _, None -> `Ok)
+  in
+  match cert_ok with
+  | `Faulted -> `Close
+  | `Bad ->
+      Netsim.send c http_403;
+      `Keep
+  | `Ok ->
+      (match meth with
+      | "GET" -> (
+          match Fs.lookup t.fs path with
+          | Some _ -> Netsim.send c (http_200 ~keep_alive (Fs.read_body t.fs path))
+          | None ->
+              (* Autoindex for directories, as nginx with autoindex on. *)
+              if Vfs.is_dir (Fs.vfs t.fs) path then begin
+                let entries = Vfs.list_dir (Fs.vfs t.fs) path in
+                let body =
+                  Printf.sprintf "<html><body><h1>Index of %s</h1><ul>%s</ul></body></html>"
+                    path
+                    (String.concat ""
+                       (List.map (fun e -> Printf.sprintf "<li>%s</li>" e) entries))
+                in
+                Netsim.send c (http_200 ~keep_alive body)
+              end
+              else Netsim.send c http_404)
+      | "HEAD" -> (
+          match Fs.lookup t.fs path with
+          | Some size -> Netsim.send c (http_200_head ~keep_alive size)
+          | None -> Netsim.send c http_404)
+      | "POST" ->
+          if path = "/echo" then begin
+            (* The request body still sits in the connection buffer; only
+               its *parsing* was sandboxed. *)
+            let addr, len = body in
+            let payload = Space.read_string t.space addr len in
+            Netsim.send c (http_200 ~keep_alive payload)
+          end
+          else Netsim.send c http_405
+      | _ -> Netsim.send c http_405);
+      if keep_alive then `Keep else `Close_graceful
+
+(* Baseline parsing: directly in the connection buffer; the normalized
+   URI goes to the head of the worker's request pool (so the CVE's
+   backward scan falls off the pool's guard page). *)
+let handle_plain t slot c ~cbuf ~len =
+  match
+    let rl, hdr_off = Http_parse.parse_request_line t.space ~addr:cbuf ~len in
+    let dst = slot.pool in
+    let norm =
+      Http_parse.parse_complex_uri t.space ~src:rl.Http_parse.raw_uri_off
+        ~len:rl.Http_parse.raw_uri_len ~dst ~dst_cap:uri_dst_cap
+        ~vulnerable:t.cfg.vulnerable
+    in
+    let headers, hdr_len =
+      Http_parse.parse_headers t.space ~addr:hdr_off ~len:(len - (hdr_off - cbuf))
+    in
+    let body_off = hdr_off + hdr_len in
+    let body =
+      Http_parse.validate_body headers ~avail:(cbuf + len - body_off)
+    in
+    ( rl.Http_parse.meth,
+      rl.Http_parse.version,
+      Space.read_string t.space dst norm,
+      headers,
+      (body_off, body) )
+  with
+  | meth, version, path, headers, (body_off, body_len) ->
+      respond t slot c ~meth ~version ~path ~headers ~body:(body_off, body_len)
+  | exception Http_parse.Bad_request _ ->
+      Netsim.send c http_400;
+      `Keep
+
+(* SDRaD parsing (§V-B): request bytes are copied into the persistent
+   parser domain, each parse phase is its own domain transition, and the
+   normalized URI is copied back out on success. *)
+let handle_sdrad t slot sd c ~cbuf ~len =
+  let udi = t.cfg.parser_udi in
+  let opts = { Types.default_options with heap_size = 64 * 1024 } in
+  Api.run sd ~udi ~opts
+    ~on_rewind:(fun f ->
+      t.rewinds <- t.rewinds + 1;
+      slot.slot_rewinds <- slot.slot_rewinds + 1;
+      t.rewind_lat <- (Sched.now () -. f.Types.at) :: t.rewind_lat;
+      `Close_faulted)
+    (fun () ->
+      (* [dst] first so it sits at the bottom of the domain sub-heap:
+         the underflow exits the domain instead of finding stale '/'
+         bytes. *)
+      let dst = Api.malloc sd ~udi uri_dst_cap in
+      let copy = Api.malloc sd ~udi (len + 8) in
+      Space.blit t.space ~src:cbuf ~dst:copy ~len;
+      (* One domain transition per parser phase. A memory fault inside a
+         phase must propagate to the rewind machinery with the domain
+         still entered (a signal, not a return), so the domain is exited
+         only on a phase's normal completion; parse errors are ordinary
+         return values. *)
+      let phase f =
+        Api.enter sd udi;
+        let r =
+          match f () with
+          | v -> Ok v
+          | exception Http_parse.Bad_request m -> Error m
+        in
+        Api.exit_domain sd;
+        r
+      in
+      let parsed =
+        match
+          phase (fun () -> Http_parse.parse_request_line t.space ~addr:copy ~len)
+        with
+        | Error _ -> `Bad_request
+        | Ok (rl, hdr_off) -> (
+            match
+              phase (fun () ->
+                  Http_parse.parse_complex_uri t.space
+                    ~src:rl.Http_parse.raw_uri_off
+                    ~len:rl.Http_parse.raw_uri_len ~dst ~dst_cap:uri_dst_cap
+                    ~vulnerable:t.cfg.vulnerable)
+            with
+            | Error _ -> `Bad_request
+            | Ok norm -> (
+                match
+                  phase (fun () ->
+                      let headers, hdr_len =
+                        Http_parse.parse_headers t.space ~addr:hdr_off
+                          ~len:(len - (hdr_off - copy))
+                      in
+                      let body_off = hdr_off + hdr_len in
+                      let body_len =
+                        Http_parse.validate_body headers
+                          ~avail:(copy + len - body_off)
+                      in
+                      (headers, body_off - copy, body_len))
+                with
+                | Error _ -> `Bad_request
+                | Ok (headers, body_rel, body_len) ->
+                    `Parsed
+                      ( rl.Http_parse.meth,
+                        rl.Http_parse.version,
+                        Space.read_string t.space dst norm,
+                        headers,
+                        (body_rel, body_len) )))
+      in
+      Api.free sd ~udi copy;
+      Api.free sd ~udi dst;
+      Api.deinit sd udi;
+      parsed)
+  |> function
+  | `Close_faulted -> `Close
+  | `Bad_request ->
+      Netsim.send c http_400;
+      `Keep
+  | `Parsed (meth, version, path, headers, (body_rel, body_len)) ->
+      (* Body bytes are served from the original connection buffer. *)
+      respond t slot c ~meth ~version ~path ~headers
+        ~body:(cbuf + body_rel, body_len)
+
+let rec start sched space ?sdrad net ~fs cfg =
+  let sd = sdrad in
+  (match (cfg.variant, sd) with
+  | Sdrad, None -> invalid_arg "Httpd.Server.start: Sdrad variant needs ~sdrad"
+  | _ -> ());
+  if cfg.image_bytes > 0 then begin
+    let img = Space.mmap space ~len:cfg.image_bytes ~prot:Prot.rw ~pkey:0 in
+    Space.fill space ~addr:img ~len:cfg.image_bytes '\x90'
+  end;
+  let buf_alloc, buf_free =
+    match cfg.variant with
+    | Baseline -> glibc_allocator space
+    | Tlsf_alloc | Sdrad -> tlsf_allocator space
+  in
+  let pool_alloc =
+    match (cfg.variant, sd) with
+    | Sdrad, Some sd ->
+        (* Request pools live in a dedicated data domain (§V-B). *)
+        Api.init_data sd ~udi:cfg.pool_udi ~heap_size:(256 * 1024) ();
+        Api.dprotect sd ~udi:cfg.parser_udi ~tddi:cfg.pool_udi Prot.rw;
+        fun len -> Api.malloc sd ~udi:cfg.pool_udi len
+    | _ ->
+        (* One pool region per worker; a fresh mapping, so the guard page
+           sits right below the URI buffer. *)
+        fun len -> Space.mmap space ~len ~prot:Prot.rw ~pkey:0
+  in
+  let listener = Netsim.listen net ~port:cfg.port in
+  let t =
+    {
+      sched;
+      space;
+      cfg;
+      sd;
+      fs;
+      listener;
+      slots =
+        Array.init cfg.workers (fun idx ->
+            {
+              idx;
+              ws = Netsim.Waitset.create ();
+              live_conns = [];
+              tid = -1;
+              pool = 0;
+              slot_rewinds = 0;
+              alive = false;
+            });
+      master_tid = -1;
+      all_tids = [];
+      conns = Hashtbl.create 64;
+      deaths = Queue.create ();
+      death_lock = Sched.Mutex.create ();
+      death_cond = Sched.Cond.create ();
+      stopping = false;
+      buf_alloc;
+      buf_free;
+      pool_alloc;
+      served = 0;
+      rewinds = 0;
+      rewind_lat = [];
+      restarts = 0;
+      restart_lat = [];
+      dropped = 0;
+      proactive = 0;
+    }
+  in
+  Array.iter (fun slot -> spawn_worker t slot) t.slots;
+  t.master_tid <- Sched.spawn sched ~name:"nginx-master" (fun () -> master t);
+  let acceptor = Sched.spawn sched ~name:"nginx-accept" (fun () -> acceptor t) in
+  t.all_tids <- t.master_tid :: acceptor :: t.all_tids;
+  t
+
+and spawn_worker t slot =
+  slot.slot_rewinds <- 0;
+  slot.alive <- true;
+  slot.pool <- t.pool_alloc uri_dst_cap;
+  slot.tid <-
+    Sched.spawn t.sched
+      ~name:(Printf.sprintf "nginx-worker%d" slot.idx)
+      (fun () -> worker t slot);
+  t.all_tids <- slot.tid :: t.all_tids
+
+and acceptor t =
+  let next = ref 0 in
+  (* Round-robin over workers that are actually alive: a connection handed
+     to a dead worker's (closed) waitset would never be served. *)
+  let pick_slot () =
+    let rec try_from i remaining =
+      if remaining = 0 then None
+      else
+        let slot = t.slots.(i mod t.cfg.workers) in
+        if slot.alive then Some slot else try_from (i + 1) (remaining - 1)
+    in
+    let r = try_from !next t.cfg.workers in
+    incr next;
+    r
+  in
+  let rec loop () =
+    match Netsim.accept t.listener with
+    | None -> ()
+    | Some c ->
+        (match pick_slot () with
+        | None ->
+            (* No worker alive right now: connection refused. *)
+            Netsim.close c
+        | Some slot ->
+            let cbuf = t.buf_alloc t.cfg.conn_buf_size in
+            Hashtbl.replace t.conns (Netsim.id c) cbuf;
+            slot.live_conns <- c :: slot.live_conns;
+            Netsim.Waitset.add slot.ws c);
+        loop ()
+  in
+  loop ()
+
+and worker t slot =
+  let rec loop () =
+    match Netsim.Waitset.wait slot.ws with
+    | None -> ()
+    | Some c ->
+        (match Netsim.recv c with
+        | None ->
+            Netsim.Waitset.remove slot.ws c;
+            Netsim.close c;
+            slot.live_conns <- List.filter (fun x -> not (x == c)) slot.live_conns
+        | Some msg ->
+            Sched.charge (Space.cost t.space).Cost.syscall;
+            Sched.charge t.cfg.proc_cycles;
+            t.served <- t.served + 1;
+            let cbuf = Hashtbl.find t.conns (Netsim.id c) in
+            let len = min (String.length msg) (t.cfg.conn_buf_size - 2) in
+            Space.store_string t.space cbuf (String.sub msg 0 len);
+            let verdict =
+              match (t.cfg.variant, t.sd) with
+              | Sdrad, Some sd -> handle_sdrad t slot sd c ~cbuf ~len
+              | _ -> handle_plain t slot c ~cbuf ~len
+            in
+            (match verdict with
+            | `Keep -> ()
+            | (`Close | `Close_graceful) as v ->
+                Netsim.Waitset.remove slot.ws c;
+                Netsim.close c;
+                if v = `Close then t.dropped <- t.dropped + 1;
+                slot.live_conns <-
+                  List.filter (fun x -> not (x == c)) slot.live_conns));
+        (* §VI mitigation: after too many rewinds, re-exec voluntarily to
+           re-randomize the address space. *)
+        match t.cfg.rewind_limit with
+        | Some limit when slot.slot_rewinds >= limit ->
+            Log.info (fun m ->
+                m "worker %d reached its rewind limit (%d); re-exec" slot.idx limit);
+            t.proactive <- t.proactive + 1;
+            raise Exit
+        | Some _ | None -> loop ()
+  in
+  try loop ()
+  with _e ->
+    (* The worker process dies: its connections are torn down by the
+       kernel and the master is notified via SIGCHLD. *)
+    slot.alive <- false;
+    let at = Sched.now () in
+    t.dropped <- t.dropped + List.length slot.live_conns;
+    List.iter Netsim.close slot.live_conns;
+    slot.live_conns <- [];
+    Netsim.Waitset.close slot.ws;
+    Sched.Mutex.with_lock t.death_lock (fun () ->
+        Queue.add (slot.idx, at) t.deaths;
+        Sched.Cond.signal t.death_cond)
+
+and master t =
+  let rec loop () =
+    let event =
+      Sched.Mutex.with_lock t.death_lock (fun () ->
+          while Queue.is_empty t.deaths && not t.stopping do
+            Sched.Cond.wait t.death_cond t.death_lock
+          done;
+          Queue.take_opt t.deaths)
+    in
+    match event with
+    | Some (idx, died_at) ->
+        if (not t.stopping) && t.restarts < t.cfg.max_restarts then begin
+          Log.warn (fun m -> m "worker %d died; respawning" idx);
+          t.restarts <- t.restarts + 1;
+          Sched.charge worker_restart_cost;
+          let slot = t.slots.(idx) in
+          slot.ws <- Netsim.Waitset.create ();
+          spawn_worker t slot;
+          t.restart_lat <- (Sched.now () -. died_at) :: t.restart_lat
+        end;
+        loop ()
+    | None -> if not t.stopping then loop ()
+  in
+  loop ()
+
+let stop t =
+  t.stopping <- true;
+  Netsim.close_listener t.listener;
+  Array.iter (fun slot -> Netsim.Waitset.close slot.ws) t.slots;
+  (* Wake the master so it observes [stopping]. *)
+  Sched.Mutex.with_lock t.death_lock (fun () -> Sched.Cond.signal t.death_cond)
+
+let join t = List.iter Sched.join t.all_tids
+let requests_served t = t.served
+let rewinds t = t.rewinds
+let rewind_latencies t = t.rewind_lat
+let worker_restarts t = t.restarts
+let proactive_restarts t = t.proactive
+let restart_latencies t = t.restart_lat
+let dropped_connections t = t.dropped
+
+let alive t =
+  Array.exists
+    (fun slot ->
+      match Sched.outcome t.sched slot.tid with None -> true | Some _ -> false)
+    t.slots

@@ -1,0 +1,76 @@
+(** The NGINX-like web server of §V-B: a master thread accepts
+    connections, hands them to worker "processes", and restarts any worker
+    that dies. Workers serve keep-alive HTTP over a readiness waitset.
+
+    Variants mirror Figure 5:
+    - {!Baseline}: plain server; a parser fault kills the worker. The
+      master respawns it (costing roughly the paper's ~1 ms), and {e all}
+      of that worker's connections are lost.
+    - {!Tlsf_alloc}: request pools draw from TLSF instead of the glibc
+      model.
+    - {!Sdrad}: the HTTP parser runs in an accessible persistent nested
+      domain; request data is copied in, results copied back, and each
+      parser phase is its own domain transition. A parser fault rewinds
+      and closes only the offending connection.
+
+    The CVE-2009-2629 analogue (URI "../" underflow) is armed with
+    [vulnerable = true]. With [verify_certs = true], requests carrying an
+    [X-Client-Cert] header run the toy X.509 verifier of
+    {!Crypto.X509} — whose punycode overflow (CVE-2022-3786) is caught by
+    the stack canary — inside its own domain under SDRaD (§V-C). *)
+
+type variant = Baseline | Tlsf_alloc | Sdrad
+
+type config = {
+  variant : variant;
+  workers : int;
+  port : int;
+  vulnerable : bool;
+  verify_certs : bool;
+  parser_udi : int;
+  cert_udi : int;
+  pool_udi : int;  (** data domain for request pools under SDRaD *)
+  proc_cycles : float;  (** per-request base processing cost *)
+  conn_buf_size : int;
+  max_restarts : int;
+  image_bytes : int;
+      (** resident process image (text, libraries, page cache) touched at
+          startup, so RSS comparisons have a realistic denominator *)
+  rewind_limit : int option;
+      (** §VI side-channel mitigation: "force an application restart after
+          a configurable number of rewindings" — a worker that has rewound
+          this many times voluntarily re-execs (restoring address-space
+          randomization), at the cost of one worker restart *)
+}
+
+val default_config : config
+
+type t
+
+val start :
+  Simkern.Sched.t ->
+  Vmem.Space.t ->
+  ?sdrad:Sdrad.Api.t ->
+  Netsim.t ->
+  fs:Fs.t ->
+  config ->
+  t
+
+val stop : t -> unit
+val join : t -> unit
+
+(** {1 Introspection} *)
+
+val requests_served : t -> int
+val rewinds : t -> int
+val rewind_latencies : t -> float list
+val worker_restarts : t -> int
+
+val proactive_restarts : t -> int
+(** Restarts initiated by the rewind-limit policy rather than a crash. *)
+
+val restart_latencies : t -> float list
+(** Cycles from a worker's death to its replacement accepting work. *)
+
+val dropped_connections : t -> int
+val alive : t -> bool

@@ -1,0 +1,1 @@
+lib/kvcache/binproto.ml: Bytes Char Printf Proto String Vmem

@@ -1,0 +1,1 @@
+lib/kvcache/binproto.mli: Proto Vmem

@@ -1,0 +1,1 @@
+lib/kvcache/proto.ml: List Printf String Vmem

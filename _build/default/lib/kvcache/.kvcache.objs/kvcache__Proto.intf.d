@@ -1,0 +1,1 @@
+lib/kvcache/proto.mli: Vmem

@@ -1,0 +1,1 @@
+lib/kvcache/server.ml: Array Binproto Hashtbl List Logs Netsim Option Printf Proto Result Sdrad Simkern Slab Store String Tlsf Vmem

@@ -1,0 +1,1 @@
+lib/kvcache/server.mli: Netsim Sdrad Simkern Store Vmem

@@ -1,0 +1,1 @@
+lib/kvcache/slab.ml: Array List Option Vmem

@@ -1,0 +1,1 @@
+lib/kvcache/slab.mli: Vmem

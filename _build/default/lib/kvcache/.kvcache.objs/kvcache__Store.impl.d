@@ -1,0 +1,1 @@
+lib/kvcache/store.ml: Char Hashtbl List Printf Simkern Slab String Vmem

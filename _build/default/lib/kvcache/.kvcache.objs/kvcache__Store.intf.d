@@ -1,0 +1,1 @@
+lib/kvcache/store.mli: Slab Vmem

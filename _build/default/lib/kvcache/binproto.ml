@@ -1,0 +1,150 @@
+module Space = Vmem.Space
+
+let header_size = 24
+let magic_request = 0x80
+let magic_response = 0x81
+let op_get = 0x00
+let op_set = 0x01
+let op_delete = 0x04
+let status_ok = 0x0000
+let status_not_found = 0x0001
+let status_einval = 0x0004
+let status_oom = 0x0082
+
+let is_binary space ~addr ~len = len >= 1 && Space.load8 space addr = magic_request
+
+let be16 s off = (Char.code s.[off] lsl 8) lor Char.code s.[off + 1]
+
+let sign_extend_32 v = if v land 0x80000000 <> 0 then v - 0x100000000 else v
+
+(* Read big-endian fields out of simulated memory. *)
+let load_be16 space a = (Space.load8 space a lsl 8) lor Space.load8 space (a + 1)
+
+let load_be32 space a =
+  (load_be16 space a lsl 16) lor load_be16 space (a + 2)
+
+let read_key space ~addr ~len ~extlen ~keylen =
+  let off = header_size + extlen in
+  if off + keylen > len then None
+  else Some (Space.read_string space (addr + off) keylen)
+
+let parse space ~addr ~len =
+  if len < header_size then Proto.Bad "short binary header"
+  else if Space.load8 space addr <> magic_request then Proto.Bad "bad magic"
+  else begin
+    let opcode = Space.load8 space (addr + 1) in
+    let keylen = load_be16 space (addr + 2) in
+    let extlen = Space.load8 space (addr + 4) in
+    (* The CVE: the unsigned on-the-wire field is consumed as signed. *)
+    let bodylen = sign_extend_32 (load_be32 space (addr + 8)) in
+    if keylen = 0 || keylen > Proto.max_key_len then Proto.Bad "bad key length"
+    else
+      match read_key space ~addr ~len ~extlen ~keylen with
+      | None -> Proto.Bad "truncated key"
+      | Some key -> (
+          match opcode with
+          | o when o = op_get -> Proto.Get key
+          | o when o = op_delete -> Proto.Delete key
+          | o when o = op_set ->
+              if extlen <> 8 then Proto.Bad "set needs 8 extras bytes"
+              else begin
+                let flags = load_be32 space (addr + header_size) in
+                (* vlen = bodylen - keylen - extlen, computed on the signed
+                   quantity exactly as the vulnerable code did. *)
+                let declared_len = bodylen - keylen - extlen in
+                let data_off = addr + header_size + extlen + keylen in
+                Proto.Set
+                  {
+                    mode = `Set;
+                    key;
+                    flags;
+                    declared_len;
+                    data_off;
+                    data_len = max 0 (len - (header_size + extlen + keylen));
+                  }
+              end
+          | _ -> Proto.Bad "unsupported opcode")
+  end
+
+(* {1 Frame building} *)
+
+let put_be16 b off v =
+  Bytes.set b off (Char.chr ((v lsr 8) land 0xFF));
+  Bytes.set b (off + 1) (Char.chr (v land 0xFF))
+
+let put_be32 b off v =
+  put_be16 b off ((v lsr 16) land 0xFFFF);
+  put_be16 b (off + 2) (v land 0xFFFF)
+
+let frame ~magic ~opcode ~status ~extras ~key ~value =
+  let keylen = String.length key and extlen = String.length extras in
+  let body = extlen + keylen + String.length value in
+  let b = Bytes.make (header_size + body) '\000' in
+  Bytes.set b 0 (Char.chr magic);
+  Bytes.set b 1 (Char.chr opcode);
+  put_be16 b 2 keylen;
+  Bytes.set b 4 (Char.chr extlen);
+  put_be16 b 6 status;
+  put_be32 b 8 body;
+  Bytes.blit_string extras 0 b header_size extlen;
+  Bytes.blit_string key 0 b (header_size + extlen) keylen;
+  Bytes.blit_string value 0 b (header_size + extlen + keylen) (String.length value);
+  Bytes.to_string b
+
+let be32_string v =
+  String.init 4 (fun i -> Char.chr ((v lsr (8 * (3 - i))) land 0xFF))
+
+let res_value ~flags ~value =
+  frame ~magic:magic_response ~opcode:op_get ~status:status_ok
+    ~extras:(be32_string flags) ~key:"" ~value
+
+let res_stored =
+  frame ~magic:magic_response ~opcode:op_set ~status:status_ok ~extras:"" ~key:"" ~value:""
+
+let res_deleted =
+  frame ~magic:magic_response ~opcode:op_delete ~status:status_ok ~extras:"" ~key:"" ~value:""
+
+let res_not_found =
+  frame ~magic:magic_response ~opcode:op_get ~status:status_not_found ~extras:""
+    ~key:"" ~value:""
+
+let res_error status =
+  frame ~magic:magic_response ~opcode:0xFF ~status ~extras:"" ~key:"" ~value:""
+
+let req_get key =
+  frame ~magic:magic_request ~opcode:op_get ~status:0 ~extras:"" ~key ~value:""
+
+let req_set ~key ~flags ~value =
+  frame ~magic:magic_request ~opcode:op_set ~status:0
+    ~extras:(be32_string flags ^ "\000\000\000\000")
+    ~key ~value
+
+let req_set_lying ~key ~flags ~body_len ~value =
+  let honest =
+    frame ~magic:magic_request ~opcode:op_set ~status:0
+      ~extras:(be32_string flags ^ "\000\000\000\000")
+      ~key ~value
+  in
+  let b = Bytes.of_string honest in
+  put_be32 b 8 (body_len land 0xFFFFFFFF);
+  Bytes.to_string b
+
+let req_delete key =
+  frame ~magic:magic_request ~opcode:op_delete ~status:0 ~extras:"" ~key ~value:""
+
+let parse_reply s =
+  if String.length s < header_size then Proto.Failed "short binary reply"
+  else if Char.code s.[0] <> magic_response then Proto.Failed "bad magic"
+  else begin
+    let opcode = Char.code s.[1] in
+    let status = be16 s 6 in
+    let extlen = Char.code s.[4] in
+    if status = status_not_found then
+      if opcode = op_get then Proto.Miss else Proto.NotFound
+    else if status <> status_ok then Proto.Failed (Printf.sprintf "status 0x%x" status)
+    else if opcode = op_get then
+      Proto.Value (String.sub s (header_size + extlen) (String.length s - header_size - extlen))
+    else if opcode = op_set then Proto.Stored
+    else if opcode = op_delete then Proto.Deleted
+    else Proto.Failed "unexpected opcode"
+  end

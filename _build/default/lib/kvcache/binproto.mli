@@ -1,0 +1,60 @@
+(** The Memcached binary protocol (the subset relevant to the paper).
+
+    This is the protocol CVE-2011-4971 actually lives in: the 32-bit
+    {e total body length} field of the 24-byte request header is consumed
+    as a signed quantity, so a negative value survives validation and the
+    value length derived from it ([bodylen - keylen - extlen]) becomes a
+    huge unsigned size once it reaches memmove. {!parse} reproduces the
+    faulty derivation bit-for-bit and hands the (possibly negative)
+    declared length to the server, which decides — per its [vulnerable]
+    flag — whether to range-check it.
+
+    Request header layout (network byte order):
+    {v
+    0 magic (0x80)   1 opcode        2-3 key length
+    4 extras length  5 data type     6-7 vbucket
+    8-11 total body length           12-15 opaque
+    16-23 CAS
+    v} *)
+
+val header_size : int
+val magic_request : int
+val magic_response : int
+
+(** Response status codes. *)
+val status_ok : int
+
+val status_not_found : int
+val status_oom : int
+val status_einval : int
+
+val is_binary : Vmem.Space.t -> addr:int -> len:int -> bool
+(** Does the buffer start with the request magic? *)
+
+val parse : Vmem.Space.t -> addr:int -> len:int -> Proto.cmd
+(** Decode a binary request into the shared command type; [Set]'s
+    [declared_len] carries the signed value-length derivation described
+    above. Malformed frames yield [Bad]. *)
+
+(** {1 Response building (server side)} *)
+
+val res_value : flags:int -> value:string -> string
+val res_stored : string
+val res_deleted : string
+val res_not_found : string
+val res_error : int -> string
+
+(** {1 Request building (client side)} *)
+
+val req_get : string -> string
+val req_set : key:string -> flags:int -> value:string -> string
+
+val req_set_lying : key:string -> flags:int -> body_len:int -> value:string -> string
+(** A set whose total-body-length header field is attacker-chosen (e.g.
+    [0xFFFFFFFF], which the vulnerable server reads as [-1]). *)
+
+val req_delete : string -> string
+
+(** {1 Response parsing (client side)} *)
+
+val parse_reply : string -> Proto.reply

@@ -1,0 +1,156 @@
+module Space = Vmem.Space
+
+type cmd =
+  | Get of string
+  | Multi_get of string list
+  | Set of {
+      mode : [ `Set | `Add | `Replace ];
+      key : string;
+      flags : int;
+      declared_len : int;
+      data_off : int;
+      data_len : int;
+    }
+  | Delete of string
+  | Arith of { key : string; delta : int; negate : bool }
+  | Stats
+  | Quit
+  | Bad of string
+
+let max_key_len = 250
+
+let split_words s =
+  String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
+
+let parse space ~addr ~len =
+  match Space.memchr space ~addr ~len '\r' with
+  | None -> Bad "no CRLF"
+  | Some cr ->
+      let line = Space.read_string space addr (cr - addr) in
+      let data_off = cr - addr + 2 in
+      (match split_words line with
+      | [ "get"; key ] when String.length key <= max_key_len -> Get key
+      | "get" :: (_ :: _ :: _ as keys)
+        when List.for_all (fun k -> String.length k <= max_key_len) keys ->
+          Multi_get keys
+      | [ "delete"; key ] when String.length key <= max_key_len -> Delete key
+      | [ ("incr" | "decr") as op; key; delta ]
+        when String.length key <= max_key_len -> (
+          match int_of_string_opt delta with
+          | Some d when d >= 0 -> Arith { key; delta = d; negate = op = "decr" }
+          | _ -> Bad "bad incr/decr delta")
+      | [ "quit" ] -> Quit
+      | [ "stats" ] -> Stats
+      | [ ("set" | "add" | "replace") as op; key; flags; _exptime; bytes ] -> (
+          match (int_of_string_opt flags, int_of_string_opt bytes) with
+          | Some flags, Some declared_len ->
+              if String.length key > max_key_len then Bad "key too long"
+              else if data_off > len then Bad "missing data block"
+              else
+                Set
+                  {
+                    mode =
+                      (match op with
+                      | "add" -> `Add
+                      | "replace" -> `Replace
+                      | _ -> `Set);
+                    key;
+                    flags;
+                    declared_len;
+                    data_off = addr + data_off;
+                    data_len = max 0 (len - data_off - 2);
+                  }
+          | _ -> Bad "bad set arguments")
+      | _ -> Bad "unknown command")
+
+let stored = "STORED\r\n"
+let not_stored = "NOT_STORED\r\n"
+let server_error_oom = "SERVER_ERROR out of memory storing object\r\n"
+let deleted = "DELETED\r\n"
+let not_found = "NOT_FOUND\r\n"
+let end_ = "END\r\n"
+let error = "ERROR\r\n"
+
+let value_header ~key ~flags ~len =
+  Printf.sprintf "VALUE %s %d %d\r\n" key flags len
+
+let fmt_get key = Printf.sprintf "get %s\r\n" key
+let fmt_multi_get keys = Printf.sprintf "get %s\r\n" (String.concat " " keys)
+
+let fmt_storage op ~key ~flags ~value =
+  Printf.sprintf "%s %s %d 0 %d\r\n%s\r\n" op key flags (String.length value) value
+
+let fmt_set = fmt_storage "set"
+let fmt_add = fmt_storage "add"
+let fmt_replace = fmt_storage "replace"
+
+let fmt_set_lying ~key ~flags ~declared ~value =
+  Printf.sprintf "set %s %d 0 %d\r\n%s\r\n" key flags declared value
+
+let fmt_delete key = Printf.sprintf "delete %s\r\n" key
+let fmt_incr key d = Printf.sprintf "incr %s %d\r\n" key d
+let fmt_decr key d = Printf.sprintf "decr %s %d\r\n" key d
+let fmt_stats = "stats\r\n"
+let quit = "quit\r\n"
+
+let fmt_stats_reply kvs =
+  String.concat ""
+    (List.map (fun (k, v) -> Printf.sprintf "STAT %s %s\r\n" k v) kvs)
+  ^ end_
+
+type reply =
+  | Value of string
+  | Values of (string * string) list
+  | Number of int
+  | Miss
+  | Stored
+  | Deleted
+  | NotFound
+  | StatsReply of (string * string) list
+  | Failed of string
+
+let parse_stats s =
+  let lines = String.split_on_char '\n' s in
+  List.filter_map
+    (fun line ->
+      let line = String.trim line in
+      match split_words line with
+      | [ "STAT"; k; v ] -> Some (k, v)
+      | _ -> None)
+    lines
+
+let parse_reply s =
+  if s = not_stored then NotFound
+  else if String.length s >= 3
+     && (match int_of_string_opt (String.trim s) with Some _ -> true | None -> false)
+  then Number (int_of_string (String.trim s))
+  else if String.length s >= 5 && String.sub s 0 5 = "STAT " then
+    StatsReply (parse_stats s)
+  else if s = stored then Stored
+  else if s = deleted then Deleted
+  else if s = not_found then NotFound
+  else if s = end_ then Miss
+  else if String.length s > 6 && String.sub s 0 6 = "VALUE " then begin
+    (* One or more [VALUE <key> <flags> <len>\r\n<data>\r\n] blocks, END. *)
+    let rec blocks off acc =
+      if off >= String.length s then Some (List.rev acc)
+      else if String.length s - off >= 5 && String.sub s off 5 = "END\r\n" then
+        Some (List.rev acc)
+      else
+        match String.index_from_opt s off '\r' with
+        | None -> None
+        | Some cr -> (
+            match split_words (String.sub s off (cr - off)) with
+            | [ "VALUE"; key; _flags; len ] -> (
+                match int_of_string_opt len with
+                | Some n when cr + 2 + n + 2 <= String.length s ->
+                    blocks (cr + 2 + n + 2) ((key, String.sub s (cr + 2) n) :: acc)
+                | _ -> None)
+            | _ -> None)
+    in
+    match blocks 0 [] with
+    | Some [ (_, v) ] -> Value v
+    | Some hits -> Values hits
+    | None -> Failed "malformed VALUE block"
+  end
+  else Failed s

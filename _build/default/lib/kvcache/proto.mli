@@ -1,0 +1,78 @@
+(** The Memcached text protocol (the subset the evaluation exercises):
+    [get], [set], [delete] plus response formatting. Requests are parsed
+    in place from simulated memory — the connection buffer — so a
+    malicious request is already inside the sandboxable data path when it
+    is interpreted. *)
+
+type cmd =
+  | Get of string
+  | Multi_get of string list
+      (** [get k1 k2 ...] — one VALUE block per hit, then END *)
+  | Set of {
+      mode : [ `Set | `Add | `Replace ];
+          (** [set] stores unconditionally; [add] only if the key is
+              absent; [replace] only if it is present *)
+      key : string;
+      flags : int;
+      declared_len : int;
+          (** the length field from the request line, {e as sent}; the
+            CVE-2011-4971 analogue passes a negative value here *)
+      data_off : int;  (** offset of the payload within the buffer *)
+      data_len : int;  (** bytes of payload actually present *)
+    }
+  | Delete of string
+  | Arith of { key : string; delta : int; negate : bool }
+      (** [incr]/[decr]: 64-bit unsigned arithmetic on a decimal value,
+          clamped at zero on decrement as memcached does *)
+  | Stats
+  | Quit
+  | Bad of string
+
+val parse : Vmem.Space.t -> addr:int -> len:int -> cmd
+
+val max_key_len : int
+
+(** {1 Response formatting (server side)} *)
+
+val stored : string
+val not_stored : string
+val server_error_oom : string
+val deleted : string
+val not_found : string
+val end_ : string
+val error : string
+val value_header : key:string -> flags:int -> len:int -> string
+
+(** {1 Request formatting (client side)} *)
+
+val fmt_get : string -> string
+val fmt_multi_get : string list -> string
+val fmt_set : key:string -> flags:int -> value:string -> string
+val fmt_add : key:string -> flags:int -> value:string -> string
+val fmt_replace : key:string -> flags:int -> value:string -> string
+val fmt_set_lying : key:string -> flags:int -> declared:int -> value:string -> string
+(** A [set] whose length field disagrees with the payload — the attack
+    vector. *)
+
+val fmt_delete : string -> string
+val fmt_incr : string -> int -> string
+val fmt_decr : string -> int -> string
+val fmt_stats : string
+val quit : string
+
+val fmt_stats_reply : (string * string) list -> string
+
+(** {1 Response parsing (client side)} *)
+
+type reply =
+  | Value of string
+  | Values of (string * string) list  (** multi-get hits: (key, value) *)
+  | Number of int  (** incr/decr result *)
+  | Miss
+  | Stored
+  | Deleted
+  | NotFound
+  | StatsReply of (string * string) list
+  | Failed of string
+
+val parse_reply : string -> reply

@@ -1,0 +1,637 @@
+module Sched = Simkern.Sched
+module Cost = Simkern.Cost
+module Space = Vmem.Space
+module Prot = Vmem.Prot
+module Api = Sdrad.Api
+module Types = Sdrad.Types
+
+let log_src = Logs.Src.create "sdrad.kvcache" ~doc:"key-value cache server"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type variant = Baseline | Tlsf_alloc | Sdrad
+
+type config = {
+  variant : variant;
+  workers : int;
+  port : int;
+  buckets : int;
+  vulnerable : bool;
+  nested_udi : int;
+  db_udi : int;
+  lock_udi : int;
+  proc_cycles : float;
+  conn_buf_size : int;
+  image_bytes : int;
+  max_db_bytes : int;
+}
+
+let default_config =
+  {
+    variant = Baseline;
+    workers = 4;
+    port = 11211;
+    buckets = 16384;
+    vulnerable = false;
+    nested_udi = 1;
+    db_udi = 11;
+    lock_udi = 12;
+    proc_cycles = 12_000.0;
+    conn_buf_size = 16 * 1024;
+    image_bytes = 4 * 1024 * 1024;
+    max_db_bytes = max_int;
+  }
+
+type conn_state = { cbuf : int; mutable outstanding : bool }
+
+type t = {
+  sched : Sched.t;
+  space : Space.t;
+  cfg : config;
+  sd : Api.t option;
+  slab : Slab.t;
+  db : Store.t;
+  listener : Netsim.listener;
+  waitsets : Netsim.Waitset.ws array;
+  mutable tids : Sched.tid list;
+  conns : (int, conn_state) Hashtbl.t;
+  mutable all_conns : Netsim.conn list;
+  glock : Sched.Mutex.mutex;
+  lock_word : int;
+  (* allocator used for connection-lifetime and per-request buffers *)
+  buf_alloc : int -> int;
+  buf_free : int -> unit;
+  mutable served : int;
+  mutable rewinds : int;
+  mutable rewind_lat : float list;
+  mutable dropped : int;
+  mutable crashed : bool;
+}
+
+(* glibc cost model for the Baseline variant: allocations come from a
+   bump arena; the (amortized) malloc/free work is charged as constants. *)
+let glibc_allocator space =
+  (* Bump arena with per-size free lists: freed chunks are recycled, as
+     glibc's bins would, so the model neither leaks RSS nor charges real
+     allocator work (that is what the constants are for). *)
+  let arena = ref 0 and off = ref 0 and arena_len = 256 * 1024 in
+  let bins : (int, int list ref) Hashtbl.t = Hashtbl.create 16 in
+  let bin n =
+    match Hashtbl.find_opt bins n with
+    | Some l -> l
+    | None ->
+        let l = ref [] in
+        Hashtbl.replace bins n l;
+        l
+  in
+  let sizes : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let alloc n =
+    Sched.charge 80.0;
+    let n = (n + 15) land lnot 15 in
+    let p =
+      match !(bin n) with
+      | p :: rest ->
+          (bin n) := rest;
+          p
+      | [] ->
+          if !arena = 0 || !off + n > arena_len then begin
+            arena := Space.mmap space ~len:(max arena_len n) ~prot:Prot.rw ~pkey:0;
+            off := 0
+          end;
+          let p = !arena + !off in
+          off := !off + n;
+          p
+    in
+    Hashtbl.replace sizes p n;
+    p
+  in
+  let free p =
+    Sched.charge 50.0;
+    match Hashtbl.find_opt sizes p with
+    | Some n ->
+        Hashtbl.remove sizes p;
+        (bin n) := p :: !(bin n)
+    | None -> ()
+  in
+  (alloc, free)
+
+let tlsf_allocator space ~malloc_region =
+  let heap = Tlsf.create space ~name:"kvcache-bufs" in
+  let grow len =
+    let len = max len (1024 * 1024) in
+    let region = malloc_region len in
+    Tlsf.add_region heap ~addr:region ~len
+  in
+  let alloc n =
+    match Tlsf.malloc_opt heap n with
+    | Some p -> p
+    | None ->
+        grow (n + 64);
+        Tlsf.malloc heap n
+  in
+  (alloc, fun p -> Tlsf.free heap p)
+
+(* The unchecked copy of CVE-2011-4971: the length field from the request
+   header is used directly as the memcpy length; a negative 32-bit value
+   becomes a huge unsigned size and the copy overruns both the item
+   allocation and the source buffer. *)
+let vulnerable_copy t ~src ~dst ~declared =
+  let huge = declared land 0xFFFFFFFF in
+  let rec copy off =
+    if off < huge then begin
+      let n = min 1024 (huge - off) in
+      Space.blit t.space ~src:(src + off) ~dst:(dst + off) ~len:n;
+      copy (off + n)
+    end
+  in
+  copy 0
+
+(* [add] requires absence, [replace] requires presence (memcached). *)
+let storage_mode_blocked t mode key =
+  match mode with
+  | `Set -> false
+  | `Add -> Store.peek t.db key <> None
+  | `Replace -> Store.peek t.db key = None
+
+let global_lock t f =
+  Sched.Mutex.lock t.glock;
+  (* The lock word itself lives in (protected) memory: a real CAS. *)
+  Space.store64 t.space t.lock_word 1;
+  let finish () =
+    Space.store64 t.space t.lock_word 0;
+    Sched.Mutex.unlock t.glock
+  in
+  match f () with
+  | v -> finish (); v
+  | exception e -> finish (); raise e
+
+(* Response formatting differs between the text and binary protocols;
+   request handling is shared. *)
+type wire = {
+  w_stored : string;
+  w_oom : string;
+  w_deleted : string;
+  w_not_found : string;
+  w_miss : string;
+  w_error : string;
+  w_value : key:string -> flags:int -> value:string -> string;
+  w_values : (string * int * string) list -> string;  (* (key, flags, value) *)
+}
+
+let text_wire =
+  {
+    w_stored = Proto.stored;
+    w_oom = Proto.server_error_oom;
+    w_deleted = Proto.deleted;
+    w_not_found = Proto.not_found;
+    w_miss = Proto.end_;
+    w_error = Proto.error;
+    w_value =
+      (fun ~key ~flags ~value ->
+        Proto.value_header ~key ~flags ~len:(String.length value)
+        ^ value ^ "\r\n" ^ Proto.end_);
+    w_values =
+      (fun hits ->
+        String.concat ""
+          (List.map
+             (fun (key, flags, value) ->
+               Proto.value_header ~key ~flags ~len:(String.length value)
+               ^ value ^ "\r\n")
+             hits)
+        ^ Proto.end_);
+  }
+
+let binary_wire =
+  {
+    w_stored = Binproto.res_stored;
+    w_oom = Binproto.res_error Binproto.status_oom;
+    w_deleted = Binproto.res_deleted;
+    w_not_found = Binproto.res_not_found;
+    w_miss = Binproto.res_not_found;
+    w_error = Binproto.res_error Binproto.status_einval;
+    w_value = (fun ~key:_ ~flags ~value -> Binproto.res_value ~flags ~value);
+    (* The binary protocol has no multi-get frame in our subset. *)
+    w_values = (fun _ -> Binproto.res_error Binproto.status_einval);
+  }
+
+(* incr/decr: parse the stored decimal value, apply the delta (clamping
+   decrements at zero, as memcached does), store the new decimal back. *)
+let apply_arith t ~key ~delta ~negate =
+  match Store.peek t.db key with
+  | None -> None
+  | Some (vaddr, vlen, flags) -> (
+      match int_of_string_opt (Space.read_string t.space vaddr vlen) with
+      | None -> Some (Result.Error "CLIENT_ERROR cannot increment or decrement non-numeric value\r\n")
+      | Some v ->
+          let v' = if negate then max 0 (v - delta) else v + delta in
+          let s = string_of_int v' in
+          let buf = t.buf_alloc (String.length s) in
+          Space.store_string t.space buf s;
+          (match Store.prepare t.db ~key ~flags ~value_src:buf
+                   ~value_len:(String.length s) with
+          | Some item -> Store.commit t.db ~key item
+          | None -> ());
+          t.buf_free buf;
+          Some (Result.Ok v'))
+
+let stats_reply t =
+  Proto.fmt_stats_reply
+    [
+      ("curr_items", string_of_int (Store.count t.db));
+      ("bytes", string_of_int (Store.value_bytes t.db));
+      ("evictions", string_of_int (Store.evictions t.db));
+      ("total_requests", string_of_int t.served);
+      ("rewinds", string_of_int t.rewinds);
+      ("dropped_connections", string_of_int t.dropped);
+      ("slab_pages", string_of_int (Slab.pages_allocated t.slab));
+    ]
+
+let parse_any space ~addr ~len =
+  if Binproto.is_binary space ~addr ~len then
+    (binary_wire, Binproto.parse space ~addr ~len)
+  else (text_wire, Proto.parse space ~addr ~len)
+
+let rec start sched space ?sdrad net cfg =
+  let sd = sdrad in
+  (match (cfg.variant, sd) with
+  | Sdrad, None -> invalid_arg "Server.start: Sdrad variant needs ~sdrad"
+  | _ -> ());
+  if cfg.image_bytes > 0 then begin
+    (* The process image: text, shared libraries, static data. *)
+    let img = Space.mmap space ~len:cfg.image_bytes ~prot:Prot.rw ~pkey:0 in
+    Space.fill space ~addr:img ~len:cfg.image_bytes '\x90'
+  end;
+  (* Database memory: a plain mapping for Baseline/Tlsf, a data domain
+     under SDRaD (readable by nested domains, writable from root). *)
+  let db_page_alloc =
+    match (cfg.variant, sd) with
+    | Sdrad, Some sd ->
+        Api.init_data sd ~udi:cfg.db_udi ~heap_size:(2 * 1024 * 1024) ();
+        Api.dprotect sd ~udi:cfg.nested_udi ~tddi:cfg.db_udi Prot.read;
+        fun len -> Api.malloc sd ~udi:cfg.db_udi len
+    | _ -> fun len -> Space.mmap space ~len ~prot:Prot.rw ~pkey:0
+  in
+  let slab = Slab.create ~max_bytes:cfg.max_db_bytes space ~alloc_page:db_page_alloc in
+  let db = Store.create space ~buckets:cfg.buckets ~slab ~alloc_table:db_page_alloc in
+  (* The shared mutex lives in its own data domain under SDRaD (§V-A). *)
+  let lock_word =
+    match (cfg.variant, sd) with
+    | Sdrad, Some sd ->
+        Api.init_data sd ~udi:cfg.lock_udi ~heap_size:4096 ();
+        Api.malloc sd ~udi:cfg.lock_udi 8
+    | _ -> Space.mmap space ~len:4096 ~prot:Prot.rw ~pkey:0
+  in
+  let buf_alloc, buf_free =
+    match cfg.variant with
+    | Baseline -> glibc_allocator space
+    | Tlsf_alloc ->
+        tlsf_allocator space ~malloc_region:(fun len ->
+            Space.mmap space ~len ~prot:Prot.rw ~pkey:0)
+    | Sdrad ->
+        let sd = Option.get sd in
+        tlsf_allocator space ~malloc_region:(fun len ->
+            (* Root-domain memory: grow via the SDRaD root heap so pages
+               carry the root protection key. *)
+            Api.malloc sd ~udi:Types.root_udi len)
+  in
+  let listener = Netsim.listen net ~port:cfg.port in
+  let t =
+    {
+      sched;
+      space;
+      cfg;
+      sd;
+      slab;
+      db;
+      listener;
+      waitsets = Array.init cfg.workers (fun _ -> Netsim.Waitset.create ());
+      tids = [];
+      conns = Hashtbl.create 64;
+      all_conns = [];
+      glock = Sched.Mutex.create ();
+      lock_word;
+      buf_alloc;
+      buf_free;
+      served = 0;
+      rewinds = 0;
+      rewind_lat = [];
+      dropped = 0;
+      crashed = false;
+    }
+  in
+  let dispatcher_tid = Sched.spawn sched ~name:"mc-dispatch" (fun () -> dispatcher t) in
+  let worker_tids =
+    List.init cfg.workers (fun i ->
+        Sched.spawn sched ~name:(Printf.sprintf "mc-worker%d" i) (fun () -> worker t i))
+  in
+  t.tids <- dispatcher_tid :: worker_tids;
+  t
+
+(* The process died: the kernel closes its sockets and listener. *)
+and crash_cleanup t =
+  Log.err (fun m -> m "server process crashed; all connections lost");
+  t.crashed <- true;
+  Netsim.close_listener t.listener;
+  Array.iter Netsim.Waitset.close t.waitsets;
+  List.iter Netsim.close t.all_conns
+
+and dispatcher t =
+  let next = ref 0 in
+  let rec loop () =
+    match Netsim.accept t.listener with
+    | None -> ()
+    | Some c ->
+        if t.crashed then Netsim.close c
+        else begin
+          let cbuf = t.buf_alloc t.cfg.conn_buf_size in
+          Hashtbl.replace t.conns (Netsim.id c) { cbuf; outstanding = false };
+          t.all_conns <- c :: t.all_conns;
+          Netsim.Waitset.add t.waitsets.(!next mod t.cfg.workers) c;
+          incr next;
+          loop ()
+        end
+  in
+  try loop () with e -> crash_cleanup t; raise e
+
+and worker t i =
+  let ws = t.waitsets.(i) in
+  let rec loop () =
+    match Netsim.Waitset.wait ws with
+    | None -> ()
+    | Some c ->
+        (match Netsim.recv c with
+        | None ->
+            drop_conn t ws c
+        | Some msg ->
+            Sched.charge (Space.cost t.space).Cost.syscall;
+            (* epoll_wait + read(2) *)
+            handle_event t ws c msg);
+        loop ()
+  in
+  try loop () with e -> crash_cleanup t; raise e
+
+and drop_conn t ws c =
+  Netsim.Waitset.remove ws c;
+  Netsim.close c;
+  (match Hashtbl.find_opt t.conns (Netsim.id c) with
+  | Some st ->
+      t.buf_free st.cbuf;
+      Hashtbl.remove t.conns (Netsim.id c)
+  | None -> ())
+
+and handle_event t ws c msg =
+  Sched.charge t.cfg.proc_cycles;
+  match t.cfg.variant with
+  | Baseline | Tlsf_alloc -> handle_plain t ws c msg
+  | Sdrad -> handle_sdrad t ws c msg
+
+and handle_plain t ws c msg =
+  let space = t.space in
+  let st = Hashtbl.find t.conns (Netsim.id c) in
+  let len = min (String.length msg) (t.cfg.conn_buf_size - 2) in
+  Space.store_string space st.cbuf (String.sub msg 0 len);
+  t.served <- t.served + 1;
+  let w, cmd = parse_any space ~addr:st.cbuf ~len in
+  match cmd with
+  | Get key -> (
+      match Store.get t.db key with
+      | Some (vaddr, vlen, flags) ->
+          (* Stage the response through a per-request buffer (exercises
+             the allocator variant), then send. *)
+          let out = t.buf_alloc (vlen + 64) in
+          Space.blit space ~src:vaddr ~dst:out ~len:vlen;
+          let value = Space.read_string space out vlen in
+          t.buf_free out;
+          Netsim.send c (w.w_value ~key ~flags ~value)
+      | None -> Netsim.send c w.w_miss)
+  | Set { mode; key; flags; declared_len; data_off; data_len } ->
+      if t.cfg.vulnerable && declared_len < 0 then begin
+        (* item allocated from the (bogus, truncated) length... *)
+        let item =
+          match Slab.alloc t.slab (Store.item_size ~key ~value_len:data_len) with
+          | Some p -> p
+          | None -> failwith "slab exhausted"
+        in
+        (* ...then the unchecked copy rampages until it faults. *)
+        vulnerable_copy t ~src:data_off
+          ~dst:(item + Store.header_size + String.length key)
+          ~declared:declared_len;
+        Netsim.send c w.w_stored
+      end
+      else if declared_len <> data_len then Netsim.send c w.w_error
+      else if storage_mode_blocked t mode key then Netsim.send c Proto.not_stored
+      else begin
+        (* Allocate and fill outside the lock; link under it. *)
+        match Store.prepare t.db ~key ~flags ~value_src:data_off ~value_len:data_len with
+        | None -> Netsim.send c w.w_oom
+        | Some item ->
+            global_lock t (fun () -> Store.commit t.db ~key item);
+            Netsim.send c w.w_stored
+      end
+  | Delete key ->
+      global_lock t (fun () ->
+          if Store.delete t.db key then Netsim.send c w.w_deleted
+          else Netsim.send c w.w_not_found)
+  | Multi_get keys ->
+      let hits =
+        List.filter_map
+          (fun key ->
+            match Store.get t.db key with
+            | Some (vaddr, vlen, flags) ->
+                let out = t.buf_alloc (vlen + 64) in
+                Space.blit space ~src:vaddr ~dst:out ~len:vlen;
+                let value = Space.read_string space out vlen in
+                t.buf_free out;
+                Some (key, flags, value)
+            | None -> None)
+          keys
+      in
+      Netsim.send c (w.w_values hits)
+  | Arith { key; delta; negate } ->
+      global_lock t (fun () ->
+          match apply_arith t ~key ~delta ~negate with
+          | None -> Netsim.send c w.w_not_found
+          | Some (Error msg) -> Netsim.send c msg
+          | Some (Ok v) -> Netsim.send c (Printf.sprintf "%d\r\n" v))
+  | Stats -> Netsim.send c (stats_reply t)
+  | Quit -> drop_conn t ws c
+  | Bad _ -> Netsim.send c w.w_error
+
+(* Deferred update computed inside the nested domain, applied in the
+   parent after a normal exit (Figure 3 steps 8-9). *)
+and apply_deferred t w = function
+  | `None -> None
+  | `Set (mode, key, flags, src, len) -> (
+      (* The presence check belongs inside the lock: the deferred commit
+         must be atomic with it. *)
+      global_lock t (fun () ->
+          if storage_mode_blocked t mode key then Some Proto.not_stored
+          else
+            match Store.prepare t.db ~key ~flags ~value_src:src ~value_len:len with
+            | None -> Some w.w_oom
+            | Some item ->
+                Store.commit t.db ~key item;
+                Some w.w_stored))
+  | `Delete key ->
+      global_lock t (fun () ->
+          if Store.delete t.db key then Some w.w_deleted
+          else Some w.w_not_found)
+  | `Arith (key, delta, negate) ->
+      global_lock t (fun () ->
+          match apply_arith t ~key ~delta ~negate with
+          | None -> Some w.w_not_found
+          | Some (Error msg) -> Some msg
+          | Some (Ok v) -> Some (Printf.sprintf "%d\r\n" v))
+
+and handle_sdrad t ws c msg =
+  let sd = Option.get t.sd in
+  let space = t.space in
+  let udi = t.cfg.nested_udi in
+  let st = Hashtbl.find t.conns (Netsim.id c) in
+  let len = min (String.length msg) (t.cfg.conn_buf_size - 2) in
+  Space.store_string space st.cbuf (String.sub msg 0 len);
+  t.served <- t.served + 1;
+  let w =
+    if Binproto.is_binary space ~addr:st.cbuf ~len then binary_wire else text_wire
+  in
+  let opts = { Types.default_options with heap_size = 64 * 1024 } in
+  let result =
+    Api.run sd ~udi ~opts
+      ~on_rewind:(fun f ->
+        (* Abnormal exit: discard the event, close only this client. *)
+        Log.info (fun m ->
+            m "rewound event on conn %d: %a" (Netsim.id c) Types.pp_fault f);
+        t.rewinds <- t.rewinds + 1;
+        drop_conn t ws c;
+        t.dropped <- t.dropped + 1;
+        t.rewind_lat <- (Sched.now () -. f.Types.at) :: t.rewind_lat;
+        `Rewound)
+      (fun () ->
+        (* Deep copy of the connection buffer into the domain (step 4). *)
+        let dbuf = Api.malloc sd ~udi (len + 8) in
+        Space.blit space ~src:st.cbuf ~dst:dbuf ~len;
+        Api.enter sd udi;
+        let outcome = drive_machine_in_domain t sd ~udi ~dbuf ~len in
+        Api.exit_domain sd;
+        (* Apply the deferred update atomically in the parent (step 9),
+           then format the response from the (accessible) domain data. *)
+        let reply =
+          match outcome with
+          | `Value (addr, vlen, flags, key) ->
+              let value = Space.read_string space addr vlen in
+              Api.free sd ~udi addr;
+              (* Deferred LRU bump, applied with parent privileges. *)
+              global_lock t (fun () -> Store.touch t.db key);
+              Some (w.w_value ~key ~flags ~value)
+          | `Multi_value hits ->
+              let materialized =
+                List.map
+                  (fun (key, flags, addr, vlen) ->
+                    let v = Space.read_string space addr vlen in
+                    Api.free sd ~udi addr;
+                    global_lock t (fun () -> Store.touch t.db key);
+                    (key, flags, v))
+                  hits
+              in
+              Some (w.w_values materialized)
+          | `Miss -> Some w.w_miss
+          | `Bad_cmd -> Some w.w_error
+          | `Stats_cmd -> Some (stats_reply t)
+          | `Quit_cmd -> None
+          | `Deferred (d, staged) ->
+              let r = apply_deferred t w d in
+              Option.iter (fun p -> Api.free sd ~udi p) staged;
+              r
+        in
+        (* The paper reuses the domain's buffers across events: release
+           them so the persistent sub-heap stays flat. *)
+        Api.free sd ~udi dbuf;
+        Api.deinit sd udi;
+        `Reply reply)
+  in
+  match result with
+  | `Rewound -> ()
+  | `Reply (Some reply) -> Netsim.send c reply
+  | `Reply None -> drop_conn t ws c
+
+(* drive_machine (Figure 3 step 6), executing inside the nested domain:
+   reads the DB read-only, allocates only in its own sub-heap, and stages
+   values and mutations for the parent. *)
+and drive_machine_in_domain t sd ~udi ~dbuf ~len =
+  let space = t.space in
+  let _, cmd = parse_any space ~addr:dbuf ~len in
+  match cmd with
+  | Get key -> (
+      (* The domain may only read the database: the LRU recency update is
+         a write, so it is deferred to the parent like every mutation. *)
+      match Store.peek t.db key with
+      | Some (vaddr, vlen, flags) ->
+          (* Copy the value into the domain: the response is assembled by
+             the parent from this staged copy. *)
+          let out = Api.malloc sd ~udi (max 8 vlen) in
+          Space.blit space ~src:vaddr ~dst:out ~len:vlen;
+          `Value (out, vlen, flags, key)
+      | None -> `Miss)
+  | Set { mode; key; flags; declared_len; data_off; data_len } ->
+      if t.cfg.vulnerable && declared_len < 0 then begin
+        (* Wrapped slabs_alloc: the copy item lives in the nested domain,
+           so the rampaging copy hits the domain boundary, not the DB. *)
+        let icopy = Api.malloc sd ~udi (Store.item_size ~key ~value_len:data_len) in
+        vulnerable_copy t ~src:data_off
+          ~dst:(icopy + Store.header_size + String.length key)
+          ~declared:declared_len;
+        `Deferred (`None, Some icopy)
+      end
+      else if declared_len <> data_len then `Bad_cmd
+      else begin
+        let vcopy = Api.malloc sd ~udi (max 8 data_len) in
+        Space.blit space ~src:data_off ~dst:vcopy ~len:data_len;
+        `Deferred (`Set (mode, key, flags, vcopy, data_len), Some vcopy)
+      end
+  | Multi_get keys ->
+      let hits =
+        List.filter_map
+          (fun key ->
+            match Store.peek t.db key with
+            | Some (vaddr, vlen, flags) ->
+                let out = Api.malloc sd ~udi (max 8 vlen) in
+                Space.blit space ~src:vaddr ~dst:out ~len:vlen;
+                Some (key, flags, out, vlen)
+            | None -> None)
+          keys
+      in
+      `Multi_value hits
+  | Delete key -> `Deferred (`Delete key, None)
+  | Arith { key; delta; negate } -> `Deferred (`Arith (key, delta, negate), None)
+  | Stats -> `Stats_cmd
+  | Quit -> `Quit_cmd
+  | Bad _ -> `Bad_cmd
+
+let stop t =
+  Netsim.close_listener t.listener;
+  Array.iter Netsim.Waitset.close t.waitsets
+
+let join t = List.iter Sched.join t.tids
+let worker_busy_cycles t =
+  List.fold_left
+    (fun acc tid ->
+      match (Sched.thread_clock t.sched tid, Sched.thread_waited t.sched tid) with
+      | Some c, Some w -> acc +. (c -. w)
+      | _ -> acc)
+    0.0 t.tids
+
+let worker_utilization t =
+  match t.tids with
+  | [] -> []
+  | _dispatcher :: workers ->
+      List.filter_map (fun tid -> Sched.busy_fraction t.sched tid) workers
+
+let store t = t.db
+let crashed t = t.crashed
+let requests_served t = t.served
+let rewinds t = t.rewinds
+let rewind_latencies t = t.rewind_lat
+let dropped_connections t = t.dropped
+let db_bytes t = Slab.pages_allocated t.slab * Slab.slab_page_size
+let db_check t = Store.check t.db
+let evictions t = Store.evictions t.db

@@ -1,0 +1,85 @@
+(** The Memcached-like server of §V-A: a dispatcher thread accepts
+    connections and assigns them round-robin to worker threads, each
+    running an event loop over a readiness waitset. Three build variants
+    mirror the paper's Figure 4:
+
+    - {!Baseline}: the plain server. A malicious request that corrupts
+      memory crashes the whole process (every connection, the entire
+      cache).
+    - {!Tlsf_alloc}: identical, but connection-lifetime allocations go
+      through the TLSF allocator instead of the glibc cost model —
+      isolating the allocator-swap component of SDRaD's overhead.
+    - {!Sdrad}: each client event is handled in a nested domain (Figure 3)
+      with a deep-copied connection buffer; the database and hash table
+      live in a dedicated data domain that nested domains may only read;
+      updates are deferred to the normal domain exit and applied
+      atomically under the shared lock. An abnormal exit discards the
+      event's domain and closes only the offending connection.
+
+    The CVE-2011-4971 analogue is armed with [vulnerable = true]: a [set]
+    whose length field is negative drives an unchecked copy loop that
+    overruns the item allocation. *)
+
+type variant = Baseline | Tlsf_alloc | Sdrad
+
+type config = {
+  variant : variant;
+  workers : int;
+  port : int;
+  buckets : int;
+  vulnerable : bool;
+  nested_udi : int;  (** udi for per-worker event domains *)
+  db_udi : int;  (** data domain holding slabs + hash table *)
+  lock_udi : int;  (** data domain holding the shared lock word *)
+  proc_cycles : float;
+      (** fixed per-request processing cost standing in for the event
+          loop, state machine and libevent work our lean reimplementation
+          does not perform; calibrated so baseline per-op cost matches
+          Memcached's (~10 µs/op) *)
+  conn_buf_size : int;
+  image_bytes : int;
+      (** resident process image (text, libraries, static data) touched at
+          startup, so RSS comparisons have a realistic denominator *)
+  max_db_bytes : int;
+      (** Memcached's [-m]: cap on slab memory; the store evicts
+          least-recently-used items when it is reached *)
+}
+
+val default_config : config
+
+type t
+
+val start : Simkern.Sched.t -> Vmem.Space.t -> ?sdrad:Sdrad.Api.t -> Netsim.t -> config -> t
+(** Spawn the dispatcher and worker threads. [sdrad] is required for the
+    {!Sdrad} variant. *)
+
+val stop : t -> unit
+(** Close the listener and worker waitsets; threads drain and exit. *)
+
+val join : t -> unit
+(** Wait until all server threads have finished (call after {!stop}, from
+    inside the simulation). *)
+
+(** {1 Introspection} *)
+
+val store : t -> Store.t
+val crashed : t -> bool
+val requests_served : t -> int
+val rewinds : t -> int
+val rewind_latencies : t -> float list
+(** Cycles from SDRaD catching the fault to the offending connection
+    being closed — the paper's abnormal-exit latency (§V-A). *)
+
+val dropped_connections : t -> int
+val worker_busy_cycles : t -> float
+(** Total CPU (non-waiting) cycles consumed by this server's threads —
+    the resource cost a replicated deployment multiplies. *)
+
+val worker_utilization : t -> float list
+(** Busy fraction of each worker thread over the simulation span — shows
+    whether the server was the bottleneck (the paper could not saturate 8
+    threads). Meaningful once the simulation has finished. *)
+
+val db_bytes : t -> int
+val db_check : t -> string list
+val evictions : t -> int

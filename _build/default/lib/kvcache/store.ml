@@ -1,0 +1,254 @@
+module Space = Vmem.Space
+module Sched = Simkern.Sched
+
+let header_size = 40
+
+type t = {
+  space : Space.t;
+  slab : Slab.t;
+  table : int;  (* bucket array base: nbuckets 8-byte slots *)
+  mask : int;
+  mutable count : int;
+  mutable value_bytes : int;
+  mutable lru_head : int;  (* most recently used, 0 = empty *)
+  mutable lru_tail : int;  (* least recently used *)
+  mutable evictions : int;
+}
+
+let round_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let create space ~buckets ~slab ~alloc_table =
+  let n = round_pow2 (max 16 buckets) in
+  let table = alloc_table (n * 8) in
+  {
+    space;
+    slab;
+    table;
+    mask = n - 1;
+    count = 0;
+    value_bytes = 0;
+    lru_head = 0;
+    lru_tail = 0;
+    evictions = 0;
+  }
+
+let hash key =
+  (* FNV-1a 64, truncated to OCaml's 63-bit int. *)
+  let h = ref 0xbf29ce484222325 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x100000001b3 land max_int)
+    key;
+  !h
+
+let charge_hash key =
+  if Sched.in_thread () then Sched.charge (float_of_int (String.length key))
+
+let bucket_slot t key = t.table + ((hash key land t.mask) * 8)
+
+let item_size ~key ~value_len = header_size + String.length key + value_len
+
+(* Item field accessors (offsets per the layout in the interface). *)
+let lru_next t i = Space.load64 t.space (i + 8)
+let set_lru_next t i v = Space.store64 t.space (i + 8) v
+let lru_prev t i = Space.load64 t.space (i + 16)
+let set_lru_prev t i v = Space.store64 t.space (i + 16) v
+let key_len t i = Space.load32 t.space (i + 24)
+let val_len t i = Space.load32 t.space (i + 28)
+let item_flags t i = Space.load32 t.space (i + 32)
+let item_key t i = Space.read_string t.space (i + header_size) (key_len t i)
+
+(* {1 LRU list (links live in simulated memory)} *)
+
+let lru_push_head t item =
+  set_lru_prev t item 0;
+  set_lru_next t item t.lru_head;
+  if t.lru_head <> 0 then set_lru_prev t t.lru_head item;
+  t.lru_head <- item;
+  if t.lru_tail = 0 then t.lru_tail <- item
+
+let lru_unlink t item =
+  let p = lru_prev t item and n = lru_next t item in
+  if p <> 0 then set_lru_next t p n else t.lru_head <- n;
+  if n <> 0 then set_lru_prev t n p else t.lru_tail <- p
+
+let lru_bump t item =
+  if t.lru_head <> item then begin
+    lru_unlink t item;
+    lru_push_head t item
+  end
+
+(* {1 Hash chains} *)
+
+(* Find an item and its predecessor link slot (for unlinking). *)
+let find_prev t key =
+  let slot = bucket_slot t key in
+  let rec walk link =
+    let item = Space.load64 t.space link in
+    if item = 0 then None
+    else if String.equal (item_key t item) key then Some (link, item)
+    else walk item (* h_next is at offset 0 *)
+  in
+  walk slot
+
+let write_item t ~item ~key ~flags ~value_src ~value_len =
+  Space.store64 t.space item 0;
+  set_lru_next t item 0;
+  set_lru_prev t item 0;
+  Space.store32 t.space (item + 24) (String.length key);
+  Space.store32 t.space (item + 28) value_len;
+  Space.store32 t.space (item + 32) flags;
+  Space.store32 t.space (item + 36) 0;
+  Space.store_string t.space (item + header_size) key;
+  Space.blit t.space ~src:value_src
+    ~dst:(item + header_size + String.length key)
+    ~len:value_len
+
+let unlink t link item =
+  let next = Space.load64 t.space item in
+  Space.store64 t.space link next;
+  lru_unlink t item;
+  let klen = key_len t item and vlen = val_len t item in
+  Slab.free t.slab ~addr:item ~size:(header_size + klen + vlen);
+  t.count <- t.count - 1;
+  t.value_bytes <- t.value_bytes - vlen
+
+(* Evict the least recently used item (Memcached's reaction to memory
+   pressure). Returns [false] when there is nothing left to evict. *)
+let evict_one t =
+  let victim = t.lru_tail in
+  if victim = 0 then false
+  else begin
+    let key = item_key t victim in
+    (match find_prev t key with
+    | Some (link, item) when item = victim -> unlink t link item
+    | Some _ | None ->
+        (* The tail is not reachable through its bucket: corruption. *)
+        failwith "Store.evict_one: LRU/hash inconsistency");
+    t.evictions <- t.evictions + 1;
+    true
+  end
+
+let prepare t ~key ~flags ~value_src ~value_len =
+  let size = item_size ~key ~value_len in
+  let rec attempt () =
+    match Slab.alloc t.slab size with
+    | Some item ->
+        write_item t ~item ~key ~flags ~value_src ~value_len;
+        Some item
+    | None -> if evict_one t then attempt () else None
+  in
+  attempt ()
+
+let commit t ~key item =
+  charge_hash key;
+  (match find_prev t key with
+  | Some (link, old) -> unlink t link old
+  | None -> ());
+  let slot = bucket_slot t key in
+  Space.store64 t.space item (Space.load64 t.space slot);
+  Space.store64 t.space slot item;
+  lru_push_head t item;
+  t.count <- t.count + 1;
+  t.value_bytes <- t.value_bytes + val_len t item
+
+let set t ~key ~flags ~value_src ~value_len =
+  match prepare t ~key ~flags ~value_src ~value_len with
+  | None -> false
+  | Some item ->
+      commit t ~key item;
+      true
+
+let peek t key =
+  charge_hash key;
+  match find_prev t key with
+  | None -> None
+  | Some (_, item) ->
+      Some (item + header_size + key_len t item, val_len t item, item_flags t item)
+
+let get t key =
+  charge_hash key;
+  match find_prev t key with
+  | None -> None
+  | Some (_, item) ->
+      lru_bump t item;
+      Some (item + header_size + key_len t item, val_len t item, item_flags t item)
+
+let touch t key =
+  match find_prev t key with
+  | None -> ()
+  | Some (_, item) -> lru_bump t item
+
+let delete t key =
+  charge_hash key;
+  match find_prev t key with
+  | None -> false
+  | Some (link, item) ->
+      unlink t link item;
+      true
+
+let mem t key = get t key <> None
+let count t = t.count
+let value_bytes t = t.value_bytes
+let evictions t = t.evictions
+
+let lru_keys t =
+  let rec walk item acc =
+    if item = 0 then List.rev acc
+    else walk (lru_next t item) (item_key t item :: acc)
+  in
+  walk t.lru_head []
+
+let check t =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  let seen = Hashtbl.create 64 in
+  for b = 0 to t.mask do
+    let slot = t.table + (b * 8) in
+    let rec walk item depth =
+      if item <> 0 then
+        if depth > 1_000_000 then err "bucket %d: chain too long (cycle?)" b
+        else if Hashtbl.mem seen item then err "item 0x%x linked twice" item
+        else begin
+          Hashtbl.replace seen item ();
+          let klen = key_len t item in
+          let vlen = val_len t item in
+          if klen <= 0 || klen > 250 then
+            err "item 0x%x: bad key length %d" item klen
+          else if vlen < 0 || header_size + klen + vlen > Slab.max_chunk_size
+          then err "item 0x%x: bad value length %d" item vlen
+          else begin
+            let key = item_key t item in
+            if hash key land t.mask <> b then
+              err "item 0x%x (%s) in wrong bucket" item key
+          end;
+          walk (Space.load64 t.space item) (depth + 1)
+        end
+    in
+    walk (Space.load64 t.space slot) 0
+  done;
+  if Hashtbl.length seen <> t.count then
+    err "item count mismatch: table has %d, accounting says %d"
+      (Hashtbl.length seen) t.count;
+  (* The LRU list must thread exactly the linked items. *)
+  let lru_count = ref 0 in
+  let rec walk_lru item prev =
+    if item <> 0 then begin
+      if !lru_count > t.count + 1 then err "LRU list longer than item count"
+      else begin
+        incr lru_count;
+        if not (Hashtbl.mem seen item) then
+          err "LRU entry 0x%x is not a linked item" item;
+        if lru_prev t item <> prev then err "LRU back-link broken at 0x%x" item;
+        walk_lru (lru_next t item) item
+      end
+    end
+    else if t.lru_tail <> prev then err "LRU tail does not match list end"
+  in
+  walk_lru t.lru_head 0;
+  if !lru_count <> t.count then
+    err "LRU count %d != item count %d" !lru_count t.count;
+  List.rev !errors

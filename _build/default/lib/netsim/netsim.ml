@@ -1,0 +1,226 @@
+module Sched = Simkern.Sched
+module Cost = Simkern.Cost
+
+type endpoint = {
+  eid : int;
+  cost : Cost.t;
+  inbox : (float * string) Queue.t;  (* (delivery time, payload) *)
+  mutable peer : endpoint;  (* physical equality with self until paired *)
+  mutable closed : bool;
+  mutable waiter : Sched.wake option;
+  mutable ws : waitset option;
+}
+
+and waitset = {
+  mutable watched : endpoint list;  (* kept in insertion order *)
+  mutable cursor : int;
+  mutable ws_waiter : Sched.wake option;
+  mutable ws_closed : bool;
+}
+
+type conn = endpoint
+
+type listener = {
+  l_cost : Cost.t;
+  backlog : endpoint Queue.t;
+  mutable l_waiter : Sched.wake option;
+  mutable l_closed : bool;
+}
+
+type t = {
+  n_cost : Cost.t;
+  ports : (int, listener) Hashtbl.t;
+  mutable next_eid : int;
+}
+
+let create cost = { n_cost = cost; ports = Hashtbl.create 8; next_eid = 0 }
+
+let listen t ~port =
+  let l =
+    { l_cost = t.n_cost; backlog = Queue.create (); l_waiter = None; l_closed = false }
+  in
+  Hashtbl.replace t.ports port l;
+  l
+
+let fresh_endpoint t =
+  let eid = t.next_eid in
+  t.next_eid <- eid + 1;
+  let rec e =
+    {
+      eid;
+      cost = t.n_cost;
+      inbox = Queue.create ();
+      peer = e;
+      closed = false;
+      waiter = None;
+      ws = None;
+    }
+  in
+  e
+
+let wake_endpoint e ~at =
+  (match e.waiter with
+  | Some w ->
+      e.waiter <- None;
+      w ~at
+  | None -> ());
+  match e.ws with
+  | Some ws -> (
+      match ws.ws_waiter with
+      | Some w ->
+          ws.ws_waiter <- None;
+          w ~at
+      | None -> ())
+  | None -> ()
+
+let connect t ~port =
+  match Hashtbl.find_opt t.ports port with
+  | None -> failwith (Printf.sprintf "Netsim.connect: no listener on port %d" port)
+  | Some l ->
+      let client = fresh_endpoint t in
+      let server = fresh_endpoint t in
+      client.peer <- server;
+      server.peer <- client;
+      Sched.charge t.n_cost.Cost.net_msg;
+      Queue.add server l.backlog;
+      (match l.l_waiter with
+      | Some w ->
+          l.l_waiter <- None;
+          w ~at:(Sched.now ())
+      | None -> ());
+      client
+
+let rec accept l =
+  match Queue.take_opt l.backlog with
+  | Some server ->
+      Sched.charge l.l_cost.Cost.syscall;
+      Some server
+  | None ->
+      if l.l_closed then None
+      else begin
+        Sched.suspend (fun wake -> l.l_waiter <- Some wake);
+        accept l
+      end
+
+let close_listener l =
+  l.l_closed <- true;
+  match l.l_waiter with
+  | Some w ->
+      l.l_waiter <- None;
+      w ~at:(Sched.now ())
+  | None -> ()
+
+let latency cost len =
+  cost.Cost.net_msg +. (cost.Cost.net_byte *. float_of_int len)
+
+let send c msg =
+  if not (c.closed || c.peer.closed) then begin
+    let lat = latency c.cost (String.length msg) in
+    Sched.charge lat;
+    let arrival = Sched.now () +. lat in
+    Queue.add (arrival, msg) c.peer.inbox;
+    wake_endpoint c.peer ~at:arrival
+  end
+
+let deliverable c =
+  match Queue.peek_opt c.inbox with
+  | Some (arrival, _) -> Some arrival
+  | None -> None
+
+let try_recv c =
+  match Queue.peek_opt c.inbox with
+  | Some (arrival, _) when arrival <= Sched.now () ->
+      let _, msg = Queue.pop c.inbox in
+      Some msg
+  | Some _ | None -> None
+
+let rec recv c =
+  match Queue.peek_opt c.inbox with
+  | Some (arrival, _) ->
+      Sched.wait_until arrival;
+      let _, msg = Queue.pop c.inbox in
+      Some msg
+  | None ->
+      if c.peer.closed || c.closed then None
+      else begin
+        Sched.suspend (fun wake -> c.waiter <- Some wake);
+        recv c
+      end
+
+let close c =
+  if not c.closed then begin
+    c.closed <- true;
+    wake_endpoint c.peer ~at:(Sched.now ());
+    wake_endpoint c ~at:(Sched.now ())
+  end
+
+let is_open c = not c.closed
+let peer_closed c = c.peer.closed
+let id c = c.eid
+
+module Waitset = struct
+  type ws = waitset
+
+  (* A connection is reportable when a message is queued (even with a
+     future delivery time: recv will advance the clock) or the peer closed
+     (recv will report None so the server can clean up). *)
+  let ready c = (not (Queue.is_empty c.inbox)) || c.peer.closed || c.closed
+
+  let create () =
+    { watched = []; cursor = 0; ws_waiter = None; ws_closed = false }
+
+  let wake_ws ws =
+    match ws.ws_waiter with
+    | Some w ->
+        ws.ws_waiter <- None;
+        w ~at:(Sched.now ())
+    | None -> ()
+
+  let add ws c =
+    c.ws <- Some ws;
+    ws.watched <- ws.watched @ [ c ];
+    if ready c then wake_ws ws
+
+  let close ws =
+    ws.ws_closed <- true;
+    wake_ws ws
+
+  let remove ws c =
+    c.ws <- None;
+    ws.watched <- List.filter (fun e -> not (e == c)) ws.watched
+
+  let size ws = List.length ws.watched
+
+  let rec wait ws =
+    if ws.ws_closed then None
+    else
+      match ws.watched with
+      | [] ->
+          Sched.suspend (fun wake -> ws.ws_waiter <- Some wake);
+          wait ws
+      | watched ->
+        let n = List.length watched in
+        let arr = Array.of_list watched in
+        let found = ref None in
+        (* Round-robin scan for fairness between connections. *)
+        let i = ref 0 in
+        while !found = None && !i < n do
+          let c = arr.((ws.cursor + !i) mod n) in
+          if ready c then found := Some c;
+          incr i
+        done;
+        (match !found with
+        | Some c ->
+            ws.cursor <- (ws.cursor + !i) mod n;
+            (* If the only pending message arrives in the future, wait for
+               it so the caller's recv does not under-account time. *)
+            (match deliverable c with
+            | Some arrival -> Sched.wait_until arrival
+            | None -> ())
+        | None -> ());
+        (match !found with
+        | Some c -> Some c
+        | None ->
+            Sched.suspend (fun wake -> ws.ws_waiter <- Some wake);
+            wait ws)
+end

@@ -1,0 +1,71 @@
+(** Simulated loopback networking for client/server experiments.
+
+    Connections are bidirectional message streams between two simulated
+    threads. Messages carry a delivery timestamp (fixed per-message cost
+    plus a per-byte cost), so round-trip latency exists in virtual time
+    and closed-loop load generators saturate realistically — which is what
+    produces the paper's thread-scaling behaviour in the Memcached
+    benchmark. Framing is message-oriented (one [send] = one [recv]); the
+    application protocols layer their own text formats on top. *)
+
+type t
+(** A network (a bag of listeners). *)
+
+type conn
+(** One endpoint of an established connection. *)
+
+type listener
+
+val create : Simkern.Cost.t -> t
+val listen : t -> port:int -> listener
+
+val connect : t -> port:int -> conn
+(** Returns immediately with the client endpoint; the server side obtains
+    the peer endpoint from {!accept}. @raise Failure on unknown port. *)
+
+val accept : listener -> conn option
+(** Block until a client connects; [None] once the listener is closed. *)
+
+val close_listener : listener -> unit
+(** Stop accepting: pending and future {!accept} calls return [None];
+    already-established connections are unaffected. *)
+
+val send : conn -> string -> unit
+(** Never blocks (infinite socket buffer). Sending on a closed connection
+    is a silent no-op, like writing to a socket with SO_NOSIGPIPE. *)
+
+val recv : conn -> string option
+(** Block until a message is deliverable or the peer has closed ([None]).
+    If the next message's delivery time is in the future, the caller's
+    clock advances to it. *)
+
+val try_recv : conn -> string option
+(** Non-blocking: [None] when nothing is deliverable right now. *)
+
+val close : conn -> unit
+(** Close both directions; pending messages to the peer remain readable
+    (TCP-like half-close is not modelled). Idempotent. *)
+
+val is_open : conn -> bool
+val peer_closed : conn -> bool
+val id : conn -> int
+
+(** Readiness multiplexing for event-driven servers: a waitset watches a
+    set of connections and yields whichever has deliverable input,
+    round-robin for fairness. *)
+module Waitset : sig
+  type ws
+
+  val create : unit -> ws
+  val add : ws -> conn -> unit
+  val remove : ws -> conn -> unit
+  val size : ws -> int
+
+  val wait : ws -> conn option
+  (** Block until some watched connection has input or a closed peer to
+      report. An empty set blocks until a connection is added ({!add} from
+      another thread) or the set is closed. [None] after {!close}. *)
+
+  val close : ws -> unit
+  (** Make every pending and future {!wait} return [None]. *)
+end

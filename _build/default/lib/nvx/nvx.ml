@@ -1,0 +1,136 @@
+module Sched = Simkern.Sched
+module Space = Vmem.Space
+
+type config = {
+  replicas : int;
+  port : int;
+  base_port : int;
+  workers_per_replica : int;
+  vulnerable : bool;
+}
+
+let default_config =
+  { replicas = 2; port = 11300; base_port = 11301; workers_per_replica = 2; vulnerable = false }
+
+type t = {
+  cfg : config;
+  sched : Sched.t;
+  servers : Kvcache.Server.t list;
+  listener : Netsim.listener;
+  mutable tids : Sched.tid list;
+  mutable requests : int;
+  mutable divergences : int;
+  mutable halted : bool;
+}
+
+(* Serve one front-end client: duplicate each request to every replica,
+   cross-check the replies, forward the agreed answer. *)
+let rec client_session t replica_conns client =
+  match Netsim.recv client with
+  | None ->
+      List.iter Netsim.close replica_conns;
+      Netsim.close client
+  | Some req ->
+      t.requests <- t.requests + 1;
+      List.iter (fun rc -> Netsim.send rc req) replica_conns;
+      let replies = List.map Netsim.recv replica_conns in
+      let agreed =
+        match replies with
+        | Some first :: rest when List.for_all (( = ) (Some first)) rest ->
+            Some first
+        | _ -> None
+      in
+      (match agreed with
+      | Some reply ->
+          Netsim.send client reply;
+          client_session t replica_conns client
+      | None ->
+          (* Divergence (or a dead replica): the NVX monitor cannot tell
+             which variant is healthy — fail stop. *)
+          t.divergences <- t.divergences + 1;
+          t.halted <- true;
+          Netsim.close_listener t.listener;
+          List.iter Netsim.close replica_conns;
+          Netsim.close client)
+
+let front_end t net =
+  let rec accept_loop () =
+    match Netsim.accept t.listener with
+    | None -> ()
+    | Some client ->
+        if t.halted then Netsim.close client
+        else begin
+          (* One connection per replica, mirroring the client's. *)
+          let replica_conns =
+            List.init t.cfg.replicas (fun i ->
+                Netsim.connect net ~port:(t.cfg.base_port + i))
+          in
+          let tid =
+            Sched.spawn (Sched.current ())
+              ~name:(Printf.sprintf "nvx-sess%d" (Netsim.id client))
+              (fun () -> client_session t replica_conns client)
+          in
+          t.tids <- tid :: t.tids;
+          accept_loop ()
+        end
+  in
+  accept_loop ()
+
+let start sched space net cfg =
+  let servers =
+    List.init cfg.replicas (fun i ->
+        (* Each variant is its own process image; under artificial
+           diversification they would differ in layout — here they differ
+           in nothing but identity, which is enough for the cost story. *)
+        Kvcache.Server.start sched space net
+          {
+            Kvcache.Server.default_config with
+            variant = Kvcache.Server.Baseline;
+            workers = cfg.workers_per_replica;
+            port = cfg.base_port + i;
+            vulnerable = cfg.vulnerable;
+            image_bytes = 0;
+          })
+  in
+  let listener = Netsim.listen net ~port:cfg.port in
+  let t =
+    {
+      cfg;
+      sched;
+      servers;
+      listener;
+      tids = [];
+      requests = 0;
+      divergences = 0;
+      halted = false;
+    }
+  in
+  let fe = Sched.spawn sched ~name:"nvx-frontend" (fun () -> front_end t net) in
+  t.tids <- fe :: t.tids;
+  t
+
+let stop t =
+  Netsim.close_listener t.listener;
+  List.iter Kvcache.Server.stop t.servers
+
+let join t =
+  List.iter Sched.join t.tids;
+  List.iter Kvcache.Server.join t.servers
+
+let busy_cycles t =
+  let sessions =
+    List.fold_left
+      (fun acc tid ->
+        match (Sched.thread_clock t.sched tid, Sched.thread_waited t.sched tid) with
+        | Some c, Some w -> acc +. (c -. w)
+        | _ -> acc)
+      0.0 t.tids
+  in
+  sessions
+  +. List.fold_left
+       (fun acc s -> acc +. Kvcache.Server.worker_busy_cycles s)
+       0.0 t.servers
+
+let requests t = t.requests
+let divergences t = t.divergences
+let down t = t.halted

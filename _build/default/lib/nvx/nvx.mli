@@ -1,0 +1,43 @@
+(** N-variant execution baseline (§VII of the paper).
+
+    NVX systems run multiple diversified variants of an application in
+    lockstep and terminate on divergence — resilience through redundancy
+    rather than compartmentalization. The paper's point is cost: "the
+    high cost of replicating computations and I/O across each instance is
+    impractical" for the workloads it targets. This module quantifies
+    that claim: a front-end proxy duplicates every request to [n]
+    independent replicas of the key-value cache, compares the replies,
+    and flags divergence (which, for a memory-corrupting input, manifests
+    as one replica crashing or answering differently).
+
+    Unlike SDRaD, a detected attack still costs the whole deployment: the
+    monitor's only safe response to divergence is to stop (and restart)
+    the replica set. *)
+
+type config = {
+  replicas : int;
+  port : int;  (** front-end port clients connect to *)
+  base_port : int;  (** replicas listen on base_port .. base_port+n-1 *)
+  workers_per_replica : int;
+  vulnerable : bool;
+}
+
+val default_config : config
+
+type t
+
+val start : Simkern.Sched.t -> Vmem.Space.t -> Netsim.t -> config -> t
+(** Spawn the replica servers and the front-end proxy. *)
+
+val stop : t -> unit
+val join : t -> unit
+
+val requests : t -> int
+val divergences : t -> int
+(** Requests on which the replicas disagreed (or some replica was dead). *)
+
+val down : t -> bool
+(** The monitor halted the replica set after a divergence. *)
+
+val busy_cycles : t -> float
+(** CPU consumed by all replicas plus the front end. *)

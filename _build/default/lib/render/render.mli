@@ -1,0 +1,63 @@
+(** An image decoder for untrusted input — the class of component §VI of
+    the paper singles out as a prime isolation target ("video, image, and
+    document renderers, due to a heightened degree of exposure").
+
+    The format ("SIMG") is a minimal RLE-compressed 24-bit raster:
+    {v
+    "SIMG"  width:u32le  height:u32le  runs...
+    run = count:u8 (>=1)  r:u8 g:u8 b:u8
+    v}
+    The runs must cover exactly [width*height] pixels.
+
+    The vulnerable decoder commits the classic renderer bug (e.g.
+    CVE-2004-0599-style): the framebuffer allocation computes
+    [width * height * 3] in a 32-bit temporary, so attacker-chosen
+    dimensions overflow to a tiny allocation while the decode loop writes
+    the full (huge) pixel count — a heap overflow that SDRaD contains to
+    the rendering domain.
+
+    {!decode} works on simulated memory; {!decode_isolated} runs it inside
+    a transient SDRaD domain and returns the pixels copied back out. *)
+
+exception Bad_image of string
+
+val header_size : int
+
+val encode : width:int -> height:int -> (int -> int -> int * int * int) -> string
+(** Build an image; the function gives the (r,g,b) of each (x,y). *)
+
+val encode_malicious : unit -> string
+(** Dimensions chosen so [w*h*3] overflows 32 bits to a small positive
+    value, with enough run data to rampage past the real allocation. *)
+
+type decoded = {
+  width : int;
+  height : int;
+  fb : int;  (** framebuffer address (3 bytes per pixel, row-major) *)
+  fb_len : int;
+}
+
+val decode :
+  Vmem.Space.t ->
+  alloc:(int -> int) ->
+  src:int ->
+  len:int ->
+  vulnerable:bool ->
+  decoded
+(** Decode an image already resident at [src]; the framebuffer comes from
+    [alloc]. @raise Bad_image on malformed input (the patched decoder
+    rejects dimension overflows here). *)
+
+val pixel : Vmem.Space.t -> decoded -> x:int -> y:int -> int * int * int
+
+val decode_isolated :
+  Sdrad.Api.t ->
+  ?udi:int ->
+  vulnerable:bool ->
+  string ->
+  (decoded, Sdrad.Types.fault) result
+(** Run the decoder in a transient nested domain (default udi 8): the
+    image bytes are copied in, the framebuffer is decoded in the domain's
+    sub-heap, and on success the domain's heap is merged into the caller's
+    so the framebuffer survives ([`Merge] — the transient-domain pattern
+    of §III-D). A decoder fault costs only the request. *)

@@ -1,0 +1,1 @@
+lib/simkern/rng.ml: Array Bytes Char Int64

@@ -1,0 +1,1 @@
+lib/simkern/rng.mli:

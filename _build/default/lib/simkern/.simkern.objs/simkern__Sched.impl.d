@@ -1,0 +1,1 @@
+lib/simkern/sched.ml: Array Effect Float Hashtbl List Option Printf Queue String

@@ -1,0 +1,1 @@
+lib/simkern/sched.mli:

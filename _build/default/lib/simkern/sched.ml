@@ -1,0 +1,459 @@
+open Effect
+open Effect.Deep
+
+type tid = int
+type outcome = Completed | Failed of exn
+type wake = at:float -> unit
+
+exception Deadlock of string
+
+type status = Ready | Running | Blocked | Done of outcome
+
+type thread = {
+  tid : int;
+  name : string;
+  mutable clock : float;
+  mutable waited : float;  (* virtual time spent blocked or waiting *)
+  mutable status : status;
+  mutable entry : (unit -> unit) option;
+  mutable cont : (unit, unit) continuation option;
+  mutable susp_serial : int;
+  mutable joiners : wake list;
+}
+
+(* Binary min-heap of (clock, tid) with lazy deletion: a popped entry is
+   valid only if the thread is still Ready at exactly that clock. *)
+module Heap = struct
+  type entry = { key : float; id : int }
+  type t = { mutable a : entry array; mutable n : int }
+
+  let dummy = { key = 0.0; id = -1 }
+  let create () = { a = Array.make 64 dummy; n = 0 }
+
+  let less x y = x.key < y.key || (x.key = y.key && x.id < y.id)
+
+  let push h e =
+    if h.n = Array.length h.a then begin
+      let a' = Array.make (2 * h.n) dummy in
+      Array.blit h.a 0 a' 0 h.n;
+      h.a <- a'
+    end;
+    h.a.(h.n) <- e;
+    h.n <- h.n + 1;
+    let i = ref (h.n - 1) in
+    while !i > 0 && less h.a.(!i) h.a.((!i - 1) / 2) do
+      let p = (!i - 1) / 2 in
+      let tmp = h.a.(p) in
+      h.a.(p) <- h.a.(!i);
+      h.a.(!i) <- tmp;
+      i := p
+    done
+
+  let pop h =
+    if h.n = 0 then None
+    else begin
+      let top = h.a.(0) in
+      h.n <- h.n - 1;
+      h.a.(0) <- h.a.(h.n);
+      h.a.(h.n) <- dummy;
+      let i = ref 0 in
+      let continue_ = ref true in
+      while !continue_ do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let m = ref !i in
+        if l < h.n && less h.a.(l) h.a.(!m) then m := l;
+        if r < h.n && less h.a.(r) h.a.(!m) then m := r;
+        if !m = !i then continue_ := false
+        else begin
+          let tmp = h.a.(!m) in
+          h.a.(!m) <- h.a.(!i);
+          h.a.(!i) <- tmp;
+          i := !m
+        end
+      done;
+      Some top
+    end
+end
+
+type t = {
+  mutable next_tid : int;
+  threads : (int, thread) Hashtbl.t;
+  ready : Heap.t;
+  mutable current : thread option;
+  mutable running : bool;
+  mutable horizon : float;
+}
+
+type _ Effect.t +=
+  | Yield_eff : unit Effect.t
+  | Suspend_eff : (wake -> unit) -> unit Effect.t
+
+let active : t option ref = ref None
+
+let create () =
+  {
+    next_tid = 0;
+    threads = Hashtbl.create 64;
+    ready = Heap.create ();
+    current = None;
+    running = false;
+    horizon = 0.0;
+  }
+
+let current_thread () =
+  match !active with
+  | Some t -> (
+      match t.current with
+      | Some th -> th
+      | None -> failwith "Sched: no current thread")
+  | None -> failwith "Sched: not inside a simulation"
+
+let in_thread () =
+  match !active with Some t -> t.current <> None | None -> false
+
+let current () =
+  match !active with
+  | Some t -> t
+  | None -> failwith "Sched: not inside a simulation"
+
+let self () = (current_thread ()).tid
+let self_name () = (current_thread ()).name
+let now () = (current_thread ()).clock
+
+let charge c =
+  let th = current_thread () in
+  th.clock <- th.clock +. c
+
+let make_ready t th =
+  th.status <- Ready;
+  Heap.push t.ready { Heap.key = th.clock; id = th.tid }
+
+let spawn t ?name f =
+  let tid = t.next_tid in
+  t.next_tid <- tid + 1;
+  let name = match name with Some n -> n | None -> Printf.sprintf "t%d" tid in
+  let clock =
+    match t.current with Some parent -> parent.clock | None -> 0.0
+  in
+  let th =
+    {
+      tid;
+      name;
+      clock;
+      waited = 0.0;
+      status = Ready;
+      entry = Some f;
+      cont = None;
+      susp_serial = 0;
+      joiners = [];
+    }
+  in
+  Hashtbl.replace t.threads tid th;
+  Heap.push t.ready { Heap.key = clock; id = tid };
+  tid
+
+let wake_fn t th serial : wake =
+ fun ~at ->
+  if th.susp_serial = serial && th.status = Blocked then begin
+    if at > th.clock then th.waited <- th.waited +. (at -. th.clock);
+    th.clock <- Float.max th.clock at;
+    make_ready t th
+  end
+
+let finish t th oc =
+  th.status <- Done oc;
+  th.cont <- None;
+  if th.clock > t.horizon then t.horizon <- th.clock;
+  let joiners = th.joiners in
+  th.joiners <- [];
+  List.iter (fun w -> w ~at:th.clock) joiners
+
+let handler t th =
+  {
+    retc = (fun () -> finish t th Completed);
+    exnc = (fun e -> finish t th (Failed e));
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Yield_eff ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                th.cont <- Some k;
+                make_ready t th)
+        | Suspend_eff register ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                th.cont <- Some k;
+                th.status <- Blocked;
+                th.susp_serial <- th.susp_serial + 1;
+                register (wake_fn t th th.susp_serial))
+        | _ -> None);
+  }
+
+let resume t th =
+  th.status <- Running;
+  t.current <- Some th;
+  (match th.entry with
+  | Some f ->
+      th.entry <- None;
+      match_with f () (handler t th)
+  | None -> (
+      match th.cont with
+      | Some k ->
+          th.cont <- None;
+          continue k ()
+      | None -> failwith "Sched: resuming thread without continuation"));
+  t.current <- None
+
+let blocked_threads t =
+  Hashtbl.fold
+    (fun _ th acc -> if th.status = Blocked then th :: acc else acc)
+    t.threads []
+
+let run t =
+  if t.running then failwith "Sched.run: already running";
+  let saved = !active in
+  active := Some t;
+  t.running <- true;
+  let restore () =
+    t.running <- false;
+    active := saved
+  in
+  (try
+     let rec loop () =
+       match Heap.pop t.ready with
+       | None -> ()
+       | Some { Heap.key; id } -> (
+           match Hashtbl.find_opt t.threads id with
+           | Some th when th.status = Ready && th.clock = key ->
+               resume t th;
+               loop ()
+           | _ -> loop () (* stale heap entry *))
+     in
+     loop ()
+   with e ->
+     restore ();
+     raise e);
+  restore ();
+  match blocked_threads t with
+  | [] -> ()
+  | blocked ->
+      let names = String.concat ", " (List.map (fun th -> th.name) blocked) in
+      raise (Deadlock names)
+
+let outcome t tid =
+  match Hashtbl.find_opt t.threads tid with
+  | Some { status = Done oc; _ } -> Some oc
+  | _ -> None
+
+let outcomes t =
+  let finished =
+    Hashtbl.fold
+      (fun tid th acc ->
+        match th.status with
+        | Done oc -> (tid, th.name, oc) :: acc
+        | Ready | Running | Blocked -> acc)
+      t.threads []
+  in
+  List.sort (fun (a, _, _) (b, _, _) -> compare a b) finished
+
+let horizon t =
+  Hashtbl.fold (fun _ th acc -> Float.max acc th.clock) t.threads t.horizon
+
+let wait_until at =
+  let th = current_thread () in
+  if at > th.clock then begin
+    th.waited <- th.waited +. (at -. th.clock);
+    th.clock <- at
+  end
+
+let thread_clock t tid =
+  Option.map (fun th -> th.clock) (Hashtbl.find_opt t.threads tid)
+
+let thread_waited t tid =
+  Option.map (fun th -> th.waited) (Hashtbl.find_opt t.threads tid)
+
+let busy_fraction t tid =
+  match Hashtbl.find_opt t.threads tid with
+  | None -> None
+  | Some th ->
+      let span = horizon t in
+      if span <= 0.0 then None
+      else Some ((th.clock -. th.waited) /. span)
+
+let yield () = perform Yield_eff
+let suspend register = perform (Suspend_eff register)
+
+let sleep c =
+  charge c;
+  yield ()
+
+let join tid =
+  let t = current () in
+  match Hashtbl.find_opt t.threads tid with
+  | None -> invalid_arg "Sched.join: unknown thread"
+  | Some th -> (
+      match th.status with
+      | Done _ -> ()
+      | Ready | Running | Blocked ->
+          suspend (fun wake -> th.joiners <- wake :: th.joiners))
+
+module Mutex = struct
+  type mutex = {
+    mutable locked : bool;
+    mutable owner : tid;
+    waiters : wake Queue.t;
+    mutable contentions : int;
+    mutable wait_cycles : float;
+  }
+
+  let create () =
+    { locked = false; owner = -1; waiters = Queue.create (); contentions = 0; wait_cycles = 0.0 }
+
+  let lock m =
+    if not m.locked then begin
+      m.locked <- true;
+      m.owner <- self ()
+    end
+    else begin
+      m.contentions <- m.contentions + 1;
+      let t0 = now () in
+      suspend (fun wake -> Queue.add wake m.waiters);
+      (* The lock was handed to us by [unlock]; it is still marked locked. *)
+      m.owner <- self ();
+      m.wait_cycles <- m.wait_cycles +. (now () -. t0)
+    end
+
+  let unlock m =
+    if not m.locked then invalid_arg "Mutex.unlock: not locked";
+    match Queue.take_opt m.waiters with
+    | None ->
+        m.locked <- false;
+        m.owner <- -1
+    | Some wake ->
+        (* Direct handoff: ownership transfers when the waiter resumes. *)
+        wake ~at:(now ())
+
+  let with_lock m f =
+    lock m;
+    match f () with
+    | v ->
+        unlock m;
+        v
+    | exception e ->
+        unlock m;
+        raise e
+
+  let contentions m = m.contentions
+  let wait_cycles m = m.wait_cycles
+end
+
+module Rwlock = struct
+  type rw = {
+    mutable active_readers : int;
+    mutable writer : bool;
+    mutable waiting_writers : int;
+    reader_q : wake Queue.t;
+    writer_q : wake Queue.t;
+  }
+
+  let create () =
+    {
+      active_readers = 0;
+      writer = false;
+      waiting_writers = 0;
+      reader_q = Queue.create ();
+      writer_q = Queue.create ();
+    }
+
+  (* Mesa-style: a woken waiter re-checks its condition and may sleep
+     again; wake-ups are therefore conservative (broadcasts). *)
+  let rec rd_lock rw =
+    if rw.writer || rw.waiting_writers > 0 then begin
+      suspend (fun wake -> Queue.add wake rw.reader_q);
+      rd_lock rw
+    end
+    else rw.active_readers <- rw.active_readers + 1
+
+  let drain q =
+    let t = now () in
+    let rec go () =
+      match Queue.take_opt q with
+      | Some wake ->
+          wake ~at:t;
+          go ()
+      | None -> ()
+    in
+    go ()
+
+  let rd_unlock rw =
+    if rw.active_readers <= 0 then invalid_arg "Rwlock.rd_unlock: not read-locked";
+    rw.active_readers <- rw.active_readers - 1;
+    if rw.active_readers = 0 then drain rw.writer_q
+
+  let rec wr_lock rw =
+    if rw.writer || rw.active_readers > 0 then begin
+      rw.waiting_writers <- rw.waiting_writers + 1;
+      suspend (fun wake -> Queue.add wake rw.writer_q);
+      rw.waiting_writers <- rw.waiting_writers - 1;
+      wr_lock rw
+    end
+    else rw.writer <- true
+
+  let wr_unlock rw =
+    if not rw.writer then invalid_arg "Rwlock.wr_unlock: not write-locked";
+    rw.writer <- false;
+    if Queue.is_empty rw.writer_q then drain rw.reader_q else drain rw.writer_q
+
+  let with_rd rw f =
+    rd_lock rw;
+    match f () with
+    | v ->
+        rd_unlock rw;
+        v
+    | exception e ->
+        rd_unlock rw;
+        raise e
+
+  let with_wr rw f =
+    wr_lock rw;
+    match f () with
+    | v ->
+        wr_unlock rw;
+        v
+    | exception e ->
+        wr_unlock rw;
+        raise e
+
+  let readers rw = rw.active_readers
+end
+
+module Cond = struct
+  type cond = { waiters : wake Queue.t }
+
+  let create () = { waiters = Queue.create () }
+
+  let wait c m =
+    (* Enqueue before releasing the mutex so a signal between unlock and
+       suspend cannot be lost; suspension registration happens atomically
+       with respect to other threads because fibers are cooperative. *)
+    Mutex.unlock m;
+    suspend (fun wake -> Queue.add wake c.waiters);
+    Mutex.lock m
+
+  let signal c =
+    match Queue.take_opt c.waiters with
+    | Some wake -> wake ~at:(now ())
+    | None -> ()
+
+  let broadcast c =
+    let t = now () in
+    let rec drain () =
+      match Queue.take_opt c.waiters with
+      | Some wake ->
+          wake ~at:t;
+          drain ()
+      | None -> ()
+    in
+    drain ()
+end

@@ -1,0 +1,109 @@
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+let mean xs =
+  match xs with
+  | [] -> invalid_arg "Stats.mean: empty"
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+      let m = mean xs in
+      let ss = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+      sqrt (ss /. float_of_int (List.length xs - 1))
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then invalid_arg "Stats.percentile: empty";
+  if n = 1 then sorted.(0)
+  else begin
+    let pos = q *. float_of_int (n - 1) in
+    let lo = int_of_float (floor pos) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = pos -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let summarize xs =
+  match xs with
+  | [] -> invalid_arg "Stats.summarize: empty"
+  | _ ->
+      let a = Array.of_list xs in
+      Array.sort compare a;
+      {
+        n = Array.length a;
+        mean = mean xs;
+        stddev = stddev xs;
+        min = a.(0);
+        max = a.(Array.length a - 1);
+        p50 = percentile a 0.5;
+        p95 = percentile a 0.95;
+        p99 = percentile a 0.99;
+      }
+
+module Welford = struct
+  type t = { mutable n : int; mutable m : float; mutable m2 : float }
+
+  let create () = { n = 0; m = 0.0; m2 = 0.0 }
+
+  let add t x =
+    t.n <- t.n + 1;
+    let d = x -. t.m in
+    t.m <- t.m +. (d /. float_of_int t.n);
+    t.m2 <- t.m2 +. (d *. (x -. t.m))
+
+  let count t = t.n
+  let mean t = t.m
+  let stddev t = if t.n < 2 then 0.0 else sqrt (t.m2 /. float_of_int (t.n - 1))
+end
+
+let ops_per_sec cost ~ops ~cycles =
+  if cycles <= 0.0 then 0.0
+  else float_of_int ops /. Simkern.Cost.sec_of_cycles cost cycles
+
+module Table = struct
+  let render ~header rows =
+    let all = header :: rows in
+    let cols = List.length header in
+    let width c =
+      List.fold_left
+        (fun acc row ->
+          match List.nth_opt row c with
+          | Some cell -> max acc (String.length cell)
+          | None -> acc)
+        0 all
+    in
+    let widths = List.init cols width in
+    let line row =
+      String.concat "  "
+        (List.mapi
+           (fun c cell ->
+             let w = List.nth widths c in
+             if c = 0 then Printf.sprintf "%-*s" w cell
+             else Printf.sprintf "%*s" w cell)
+           row)
+    in
+    let sep =
+      String.concat "  " (List.map (fun w -> String.make w '-') widths)
+    in
+    String.concat "\n" (line header :: sep :: List.map line rows)
+
+  let fmt_si v =
+    let av = Float.abs v in
+    if av >= 1e9 then Printf.sprintf "%.2fG" (v /. 1e9)
+    else if av >= 1e6 then Printf.sprintf "%.2fM" (v /. 1e6)
+    else if av >= 1e3 then Printf.sprintf "%.1fk" (v /. 1e3)
+    else Printf.sprintf "%.1f" v
+
+  let fmt_pct v = Printf.sprintf "%+.1f%%" (v *. 100.0)
+end

@@ -1,0 +1,47 @@
+(** Summary statistics and table rendering for the benchmark harness. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+val summarize : float list -> summary
+(** @raise Invalid_argument on an empty list. *)
+
+val percentile : float array -> float -> float
+(** [percentile sorted q] with [q] in [\[0,1\]]; linear interpolation. The
+    array must be sorted ascending. *)
+
+val mean : float list -> float
+val stddev : float list -> float
+
+(** Streaming mean/variance (Welford's algorithm). *)
+module Welford : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val stddev : t -> float
+end
+
+val ops_per_sec : Simkern.Cost.t -> ops:int -> cycles:float -> float
+(** Throughput implied by a virtual-cycle duration. *)
+
+(** Fixed-width text tables for experiment output. *)
+module Table : sig
+  val render : header:string list -> string list list -> string
+
+  val fmt_si : float -> string
+  (** 12345.6 -> "12.3k" style rendering for counts. *)
+
+  val fmt_pct : float -> string
+  (** 0.0714 -> "+7.1%" (signed). *)
+end

@@ -1,0 +1,425 @@
+exception Out_of_memory
+exception Heap_corrupted of string
+
+(* Block layout (all fields in simulated memory):
+     +0   prev_phys     address of the previous physical block (valid only
+                        when the PREV_FREE flag is set)
+     +8   size|flags    payload size (multiple of 8) or'ed with flag bits
+     +16  payload       for free blocks: +16 next_free, +24 prev_free
+   The minimum payload is 16 bytes so a free block can hold its links. *)
+
+let align = 8
+let header = 16
+let min_payload = 16
+let min_block = header + min_payload
+let block_overhead = header
+let min_region_len = min_block + header
+
+let fl_free = 1
+let fl_prev_free = 2
+let fl_last = 4
+let flag_mask = 7
+
+(* Two-level index parameters (mattconte/tlsf with SL_INDEX_COUNT = 16):
+   sizes below [small] map linearly into first level 0. *)
+let sl_log2 = 4
+let sl_count = 16
+let fl_shift = 7 (* log2 (sl_count * align) *)
+let small = 1 lsl fl_shift
+let fl_count = 40
+
+type t = {
+  space : Vmem.Space.t;
+  name : string;
+  mutable fl_bitmap : int;
+  sl_bitmap : int array;
+  heads : int array array; (* [fl][sl] -> head block address, 0 = empty *)
+  mutable regions : (int * int) list;
+  mutable used_bytes : int;
+  mutable used_blocks : int;
+  mutable total_bytes : int;
+}
+
+let create space ~name =
+  {
+    space;
+    name;
+    fl_bitmap = 0;
+    sl_bitmap = Array.make fl_count 0;
+    heads = Array.make_matrix fl_count sl_count 0;
+    regions = [];
+    used_bytes = 0;
+    used_blocks = 0;
+    total_bytes = 0;
+  }
+
+let space t = t.space
+let name t = t.name
+let regions t = List.rev t.regions
+let used_bytes t = t.used_bytes
+let used_blocks t = t.used_blocks
+let total_bytes t = t.total_bytes
+
+let fls n =
+  let rec go n i = if n = 0 then i - 1 else go (n lsr 1) (i + 1) in
+  go n 0
+
+let ffs n = fls (n land -n)
+let round_up n = (n + align - 1) land lnot (align - 1)
+
+let mapping_insert size =
+  if size < small then (0, size lsr 3)
+  else
+    let f = fls size in
+    let sl = (size lsr (f - sl_log2)) land (sl_count - 1) in
+    (f - fl_shift + 1, sl)
+
+let mapping_search size =
+  if size < small then (size, mapping_insert size)
+  else
+    let rounded = size + (1 lsl (fls size - sl_log2)) - 1 in
+    (size, mapping_insert rounded)
+
+(* Header accessors — every one is a checked simulated-memory access. *)
+let hdr t b = Vmem.Space.load64 t.space (b + 8)
+let set_hdr t b v = Vmem.Space.store64 t.space (b + 8) v
+let size_of word = word land lnot flag_mask
+let is_free word = word land fl_free <> 0
+let is_last word = word land fl_last <> 0
+let prev_is_free word = word land fl_prev_free <> 0
+let prev_phys t b = Vmem.Space.load64 t.space b
+let set_prev_phys t b v = Vmem.Space.store64 t.space b v
+let next_free t b = Vmem.Space.load64 t.space (b + header)
+let set_next_free t b v = Vmem.Space.store64 t.space (b + header) v
+let prev_free_link t b = Vmem.Space.load64 t.space (b + header + 8)
+let set_prev_free_link t b v = Vmem.Space.store64 t.space (b + header + 8) v
+let next_phys b size = b + header + size
+
+let insert_free t b size =
+  let fl, sl = mapping_insert size in
+  let head = t.heads.(fl).(sl) in
+  set_next_free t b head;
+  set_prev_free_link t b 0;
+  if head <> 0 then set_prev_free_link t head b;
+  t.heads.(fl).(sl) <- b;
+  t.sl_bitmap.(fl) <- t.sl_bitmap.(fl) lor (1 lsl sl);
+  t.fl_bitmap <- t.fl_bitmap lor (1 lsl fl)
+
+let remove_free t b size =
+  let fl, sl = mapping_insert size in
+  let next = next_free t b and prev = prev_free_link t b in
+  if next <> 0 then set_prev_free_link t next prev;
+  if prev <> 0 then set_next_free t prev next
+  else begin
+    if t.heads.(fl).(sl) <> b then
+      raise
+        (Heap_corrupted
+           (Printf.sprintf "%s: free list head mismatch at 0x%x" t.name b));
+    t.heads.(fl).(sl) <- next;
+    if next = 0 then begin
+      t.sl_bitmap.(fl) <- t.sl_bitmap.(fl) land lnot (1 lsl sl);
+      if t.sl_bitmap.(fl) = 0 then
+        t.fl_bitmap <- t.fl_bitmap land lnot (1 lsl fl)
+    end
+  end
+
+let add_region t ~addr ~len =
+  let len = len land lnot (align - 1) in
+  if len < min_region_len then invalid_arg "Tlsf.add_region: region too small";
+  let size = len - header in
+  set_prev_phys t addr 0;
+  set_hdr t addr (size lor fl_free lor fl_last);
+  insert_free t addr size;
+  t.regions <- (addr, len) :: t.regions;
+  t.total_bytes <- t.total_bytes + len
+
+let find_suitable t fl sl =
+  let sl_map = t.sl_bitmap.(fl) land (-1 lsl sl) in
+  if sl_map <> 0 then Some (fl, ffs sl_map)
+  else
+    let fl_map = t.fl_bitmap land (-1 lsl (fl + 1)) in
+    if fl_map = 0 then None
+    else
+      let fl' = ffs fl_map in
+      Some (fl', ffs t.sl_bitmap.(fl'))
+
+let malloc_opt t request =
+  let adjust = max min_payload (round_up (max request 1)) in
+  let _, (fl, sl) = mapping_search adjust in
+  if fl >= fl_count then None
+  else
+    match find_suitable t fl sl with
+    | None -> None
+    | Some (fl, sl) ->
+        let b = t.heads.(fl).(sl) in
+        let word = hdr t b in
+        let block_size = size_of word in
+        remove_free t b block_size;
+        let last = is_last word in
+        let prev_free_flag = word land fl_prev_free in
+        if block_size >= adjust + min_block then begin
+          (* Split: the remainder becomes a new free block. *)
+          let rem = next_phys b adjust in
+          let rem_size = block_size - adjust - header in
+          set_prev_phys t rem b;
+          set_hdr t rem (rem_size lor fl_free lor (if last then fl_last else 0));
+          if not last then begin
+            let np = next_phys rem rem_size in
+            set_prev_phys t np rem
+            (* np's PREV_FREE flag is already set: its neighbour was free. *)
+          end;
+          set_hdr t b (adjust lor prev_free_flag);
+          insert_free t rem rem_size;
+          t.used_bytes <- t.used_bytes + adjust
+        end
+        else begin
+          set_hdr t b
+            (block_size lor prev_free_flag lor (if last then fl_last else 0));
+          if not last then begin
+            let np = next_phys b block_size in
+            set_hdr t np (hdr t np land lnot fl_prev_free)
+          end;
+          t.used_bytes <- t.used_bytes + block_size
+        end;
+        t.used_blocks <- t.used_blocks + 1;
+        Some (b + header)
+
+let malloc t request =
+  match malloc_opt t request with Some p -> p | None -> raise Out_of_memory
+
+let free t ptr =
+  let b = ptr - header in
+  let word = hdr t b in
+  if is_free word then
+    raise (Heap_corrupted (Printf.sprintf "%s: double free at 0x%x" t.name ptr));
+  let size = size_of word in
+  if size < min_payload || size land (align - 1) <> 0 then
+    raise
+      (Heap_corrupted (Printf.sprintf "%s: bad block header at 0x%x" t.name ptr));
+  t.used_bytes <- t.used_bytes - size;
+  t.used_blocks <- t.used_blocks - 1;
+  let b = ref b and size = ref size and last = ref (is_last word) in
+  let prev_free_flag = ref (word land fl_prev_free) in
+  (* Coalesce with the next physical block. *)
+  if not !last then begin
+    let np = next_phys !b !size in
+    let nw = hdr t np in
+    if is_free nw then begin
+      remove_free t np (size_of nw);
+      size := !size + header + size_of nw;
+      last := is_last nw
+    end
+  end;
+  (* Coalesce with the previous physical block. *)
+  if !prev_free_flag <> 0 then begin
+    let pb = prev_phys t !b in
+    let pw = hdr t pb in
+    if not (is_free pw) then
+      raise
+        (Heap_corrupted
+           (Printf.sprintf "%s: prev-free flag without free neighbour at 0x%x"
+              t.name !b));
+    remove_free t pb (size_of pw);
+    size := !size + header + size_of pw;
+    b := pb;
+    prev_free_flag := pw land fl_prev_free
+  end;
+  set_hdr t !b (!size lor fl_free lor !prev_free_flag lor (if !last then fl_last else 0));
+  if not !last then begin
+    let np = next_phys !b !size in
+    set_prev_phys t np !b;
+    set_hdr t np (hdr t np lor fl_prev_free)
+  end;
+  insert_free t !b !size
+
+let usable_size t ptr = size_of (hdr t (ptr - header))
+
+let realloc t ptr request =
+  if ptr = 0 then malloc t request
+  else begin
+    let old_size = usable_size t ptr in
+    let adjust = max min_payload (round_up (max request 1)) in
+    if adjust <= old_size then begin
+      (* Shrink in place when the tail is worth returning. *)
+      if old_size - adjust >= min_block then begin
+        let b = ptr - header in
+        let word = hdr t b in
+        let last = is_last word in
+        let rem = next_phys b adjust in
+        let rem_size = old_size - adjust - header in
+        set_hdr t b (adjust lor (word land fl_prev_free));
+        set_prev_phys t rem b;
+        set_hdr t rem (rem_size lor (if last then fl_last else 0));
+        t.used_bytes <- t.used_bytes - old_size + adjust;
+        (* Free the remainder through the normal path so it coalesces
+           with a free successor. *)
+        t.used_bytes <- t.used_bytes + rem_size;
+        t.used_blocks <- t.used_blocks + 1;
+        free t (rem + header)
+      end;
+      ptr
+    end
+    else begin
+      (* Try to grow in place by absorbing a free successor block. *)
+      let b = ptr - header in
+      let word = hdr t b in
+      let grown =
+        if is_last word then false
+        else begin
+          let np = next_phys b old_size in
+          let nw = hdr t np in
+          let combined = old_size + header + size_of nw in
+          if is_free nw && combined >= adjust then begin
+            remove_free t np (size_of nw);
+            let last = is_last nw in
+            if combined >= adjust + min_block then begin
+              (* Split the absorbed space; the remainder stays free. *)
+              let rem = next_phys b adjust in
+              let rem_size = combined - adjust - header in
+              set_prev_phys t rem b;
+              set_hdr t rem (rem_size lor fl_free lor (if last then fl_last else 0));
+              set_hdr t b (adjust lor (word land fl_prev_free));
+              if not last then begin
+                let nnp = next_phys rem rem_size in
+                set_prev_phys t nnp rem;
+                set_hdr t nnp (hdr t nnp lor fl_prev_free)
+              end;
+              insert_free t rem rem_size;
+              t.used_bytes <- t.used_bytes + adjust - old_size
+            end
+            else begin
+              set_hdr t b
+                (combined lor (word land fl_prev_free)
+                lor (if last then fl_last else 0));
+              if not last then begin
+                let nnp = next_phys b combined in
+                set_hdr t nnp (hdr t nnp land lnot fl_prev_free);
+                set_prev_phys t nnp b
+              end;
+              t.used_bytes <- t.used_bytes + combined - old_size
+            end;
+            true
+          end
+          else false
+        end
+      in
+      if grown then ptr
+      else begin
+        let fresh = malloc t request in
+        Vmem.Space.blit t.space ~src:ptr ~dst:fresh ~len:old_size;
+        free t ptr;
+        fresh
+      end
+    end
+  end
+
+let iter_blocks t f =
+  List.iter
+    (fun (addr, _len) ->
+      let rec walk b =
+        let word = hdr t b in
+        let size = size_of word in
+        f ~addr:b ~size ~free:(is_free word);
+        if not (is_last word) then walk (next_phys b size)
+      in
+      walk addr)
+    (regions t)
+
+let merge t ~from =
+  if t.space != from.space then invalid_arg "Tlsf.merge: different spaces";
+  List.iter
+    (fun (addr, len) ->
+      t.regions <- (addr, len) :: t.regions;
+      t.total_bytes <- t.total_bytes + len;
+      let rec walk b =
+        let word = hdr t b in
+        let size = size_of word in
+        if is_free word then insert_free t b size
+        else begin
+          t.used_bytes <- t.used_bytes + size;
+          t.used_blocks <- t.used_blocks + 1
+        end;
+        if not (is_last word) then walk (next_phys b size)
+      in
+      walk addr)
+    (regions from);
+  from.regions <- [];
+  from.fl_bitmap <- 0;
+  Array.fill from.sl_bitmap 0 fl_count 0;
+  Array.iter (fun row -> Array.fill row 0 sl_count 0) from.heads;
+  from.used_bytes <- 0;
+  from.used_blocks <- 0;
+  from.total_bytes <- 0
+
+let check t =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  let free_set = Hashtbl.create 64 in
+  (* Physical walk of every region. *)
+  List.iter
+    (fun (addr, len) ->
+      let limit = addr + len in
+      let rec walk b prev prev_free =
+        if b + header > limit then err "block 0x%x overruns region 0x%x" b addr
+        else begin
+          let word = hdr t b in
+          let size = size_of word in
+          if size < min_payload then err "block 0x%x has size %d < min" b size
+          else if next_phys b size > limit then
+            err "block 0x%x (size %d) overruns region" b size
+          else begin
+            if prev_is_free word <> prev_free then
+              err "block 0x%x PREV_FREE flag inconsistent" b;
+            if prev_free && prev_phys t b <> prev then
+              err "block 0x%x prev_phys link broken" b;
+            if is_free word && prev_free then
+              err "adjacent free blocks at 0x%x (missed coalesce)" b;
+            if is_free word then Hashtbl.replace free_set b size;
+            if is_last word then begin
+              if next_phys b size <> limit then
+                err "last block 0x%x does not end region" b
+            end
+            else walk (next_phys b size) b (is_free word)
+          end
+        end
+      in
+      walk addr 0 false)
+    (regions t);
+  (* Every free block must be indexed exactly once, in the right list. *)
+  let listed = Hashtbl.create 64 in
+  Array.iteri
+    (fun fl row ->
+      Array.iteri
+        (fun sl head ->
+          let rec follow b prev =
+            if b <> 0 then
+              if Hashtbl.mem listed b then
+                err "block 0x%x listed twice (cycle?)" b
+              else begin
+                Hashtbl.replace listed b ();
+                match Hashtbl.find_opt free_set b with
+                | None ->
+                    (* A corrupted link escaping the known free blocks must
+                       not be dereferenced: it can point anywhere. *)
+                    err "free list (%d,%d) links to foreign 0x%x" fl sl b
+                | Some size ->
+                    let fl', sl' = mapping_insert size in
+                    if (fl', sl') <> (fl, sl) then
+                      err "block 0x%x (size %d) in wrong class (%d,%d)" b size
+                        fl sl;
+                    if prev_free_link t b <> prev then
+                      err "block 0x%x prev_free link broken" b;
+                    follow (next_free t b) b
+              end
+          in
+          follow head 0;
+          let bit_set = t.sl_bitmap.(fl) land (1 lsl sl) <> 0 in
+          if bit_set && head = 0 then err "bitmap set for empty list (%d,%d)" fl sl;
+          if (not bit_set) && head <> 0 then
+            err "bitmap clear for non-empty list (%d,%d)" fl sl)
+        row)
+    t.heads;
+  Hashtbl.iter
+    (fun b _ -> if not (Hashtbl.mem listed b) then err "free block 0x%x not indexed" b)
+    free_set;
+  List.rev !errors

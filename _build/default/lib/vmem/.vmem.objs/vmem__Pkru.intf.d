@@ -1,0 +1,1 @@
+lib/vmem/pkru.mli: Format

@@ -1,0 +1,1 @@
+lib/vmem/space.ml: Bytes Char Format Hashtbl Int32 Int64 List Pkru Prot Simkern String

@@ -1,0 +1,1 @@
+lib/vmem/space.mli: Format Prot Simkern

@@ -1,0 +1,15 @@
+type t = int
+
+let none = 0
+let read = 1
+let write = 2
+let exec = 4
+let rw = 3
+let rx = 5
+let has prot flag = prot land flag = flag
+
+let pp ppf t =
+  Format.fprintf ppf "%c%c%c"
+    (if has t read then 'r' else '-')
+    (if has t write then 'w' else '-')
+    (if has t exec then 'x' else '-')

@@ -1,0 +1,15 @@
+(** Page protection bits (the [PROT_*] flags of [mmap]/[mprotect]). *)
+
+type t = int
+
+val none : t
+val read : t
+val write : t
+val exec : t
+val rw : t
+val rx : t
+
+val has : t -> t -> bool
+(** [has prot flag] tests whether [flag] is included in [prot]. *)
+
+val pp : Format.formatter -> t -> unit

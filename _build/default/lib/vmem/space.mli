@@ -1,0 +1,141 @@
+(** Simulated virtual address space with MPK-style protection keys.
+
+    This is the hardware substitute that makes domain isolation observable
+    from OCaml: all domain-resident application state lives in one flat
+    byte store, divided into 4 KiB pages, each carrying protection bits and
+    a 4-bit protection key. Every load, store and bulk copy is checked
+    against the current thread's {!Pkru} value, and violations raise
+    {!Fault} — the simulator's SEGV, complete with an [si_code]
+    ([MAPERR]/[ACCERR]/[PKUERR]) as delivered by Linux to a signal handler.
+
+    Page 0 is never mapped (null-pointer detection) and every mapping is
+    preceded by an unmapped guard page, so buffer underflows fall off the
+    mapping instead of silently entering a neighbour. Accesses charge
+    virtual time to the executing thread via {!Simkern.Sched.charge}. *)
+
+type t
+
+type access = Read | Write | Exec
+
+type si_code =
+  | MAPERR  (** address not mapped *)
+  | ACCERR  (** page protection forbids the access *)
+  | PKUERR  (** protection-key rights forbid the access *)
+
+exception
+  Fault of {
+    addr : int;
+    access : access;
+    code : si_code;
+    pkey : int;  (** key of the offending page, -1 if unmapped *)
+    tid : int;  (** simulated thread that faulted *)
+  }
+
+val pp_access : Format.formatter -> access -> unit
+val pp_si_code : Format.formatter -> si_code -> unit
+val fault_to_string : exn -> string option
+
+val create : ?size_mib:int -> ?cost:Simkern.Cost.t -> unit -> t
+(** [create ()] makes a 64 MiB address space by default. *)
+
+val cost : t -> Simkern.Cost.t
+val page_size : t -> int
+val size : t -> int
+
+(** {1 Protection keys} *)
+
+val pkey_alloc : t -> int option
+(** Allocate one of the 15 non-default keys, or [None] when exhausted. *)
+
+val pkey_free : t -> int -> unit
+val pkeys_in_use : t -> int
+
+val rdpkru : t -> int
+(** Current thread's PKRU value. Threads start with {!Pkru.all_access}. *)
+
+val wrpkru : t -> int -> unit
+(** Set the current thread's PKRU. Charges the pipeline-flush cost. *)
+
+val set_syscall_hook : t -> (string -> unit) option -> unit
+(** Install a callback invoked at the entry of every "system call"
+    ([mmap]/[munmap]/[mprotect]/[pkey_alloc]/[pkey_free]). SDRaD uses it
+    as the syscall attack
+    oracle of §VI: untrusted domains must not reach the kernel interface
+    directly (Connor et al.'s PKU pitfalls; Jenny's syscall filtering).
+    The hook may raise to deny the call. *)
+
+(** {1 Mappings} *)
+
+val mmap : t -> len:int -> prot:Prot.t -> pkey:int -> int
+(** Map [len] bytes (rounded up to pages) with a leading guard page and
+    return the base address. @raise Out_of_memory-like [Failure] when the
+    space is exhausted. *)
+
+val munmap : t -> int -> unit
+(** Unmap a whole previous [mmap] allocation by its base address. *)
+
+val mprotect : t -> addr:int -> len:int -> prot:Prot.t -> unit
+val pkey_mprotect : t -> addr:int -> len:int -> prot:Prot.t -> pkey:int -> unit
+val pkey_of_addr : t -> int -> int
+val prot_of_addr : t -> int -> Prot.t
+val is_mapped : t -> int -> bool
+val alloc_len : t -> int -> int option
+(** Usable length of the allocation based at the given address. *)
+
+(** {1 Checked access} *)
+
+val load8 : t -> int -> int
+val load16 : t -> int -> int
+val load32 : t -> int -> int
+val load64 : t -> int -> int
+val store8 : t -> int -> int -> unit
+val store16 : t -> int -> int -> unit
+val store32 : t -> int -> int -> unit
+val store64 : t -> int -> int -> unit
+val load_bytes : t -> int -> int -> bytes
+val store_bytes : t -> int -> bytes -> unit
+val store_string : t -> int -> string -> unit
+val read_string : t -> int -> int -> string
+val blit : t -> src:int -> dst:int -> len:int -> unit
+val fill : t -> addr:int -> len:int -> char -> unit
+
+val memchr : t -> addr:int -> len:int -> char -> int option
+(** First address of the given byte in [\[addr, addr+len)], scanning with
+    per-byte checks and cost. *)
+
+val memcmp : t -> int -> int -> int -> int
+
+(** {1 Kernel-mode access}
+
+    Used by the checkpoint/restore baseline and by tests to inspect or
+    rebuild memory without tripping protection checks — the moral
+    equivalent of the kernel touching pages on a process's behalf. *)
+
+val unsafe_load_bytes : t -> int -> int -> bytes
+val unsafe_store_bytes : t -> int -> bytes -> unit
+val iter_mapped_pages : t -> (int -> unit) -> unit
+(** Iterate base addresses of mapped pages in increasing order. *)
+
+type image
+(** A process-memory image: contents of every mapped page plus the full
+    mapping state (protections, keys, allocation registry). This is what a
+    CRIU-style checkpointer dumps; the {!Checkpoint} library layers cost
+    accounting on top. *)
+
+val checkpoint : t -> image
+val restore_image : t -> image -> unit
+val image_bytes : image -> int
+(** Payload size of the image (bytes of mapped pages). *)
+
+val image_diff_pages : image -> image -> int
+(** Pages of the second image that are absent from, or differ from, the
+    first — the payload an incremental checkpoint has to persist. *)
+
+(** {1 Accounting} *)
+
+val mapped_bytes : t -> int
+val rss_bytes : t -> int
+(** Bytes of pages touched at least once since mapping. *)
+
+val max_rss_bytes : t -> int
+val fault_count : t -> int

@@ -1,0 +1,1 @@
+lib/workload/http_load.ml: List Netsim Printf Simkern String

@@ -1,0 +1,1 @@
+lib/workload/http_load.mli: Netsim Simkern

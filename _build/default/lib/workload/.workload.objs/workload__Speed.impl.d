@@ -1,0 +1,1 @@
+lib/workload/speed.ml: Char Crypto Format Sdrad Simkern String Vmem

@@ -1,0 +1,1 @@
+lib/workload/speed.mli: Crypto Sdrad Vmem

@@ -1,0 +1,1 @@
+lib/workload/ycsb.ml: Array Bytes Kvcache List Netsim Printf Simkern String Zipf

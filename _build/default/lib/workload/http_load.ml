@@ -1,0 +1,70 @@
+module Sched = Simkern.Sched
+
+type config = {
+  connections : int;
+  requests_per_conn : int;
+  path : string;
+  port : int;
+  client_cycles : float;
+}
+
+let default_config =
+  {
+    connections = 75;
+    requests_per_conn = 40;
+    path = "/index.html";
+    port = 8080;
+    client_cycles = 1_500.0;
+  }
+
+type results = { ok : int; failures : int; cycles : float }
+
+let request ~path =
+  Printf.sprintf "GET %s HTTP/1.1\r\nHost: bench.local\r\nUser-Agent: simbench/1.0\r\n\r\n" path
+
+let request_with_headers ~path headers =
+  let hdrs =
+    String.concat ""
+      (List.map (fun (k, v) -> Printf.sprintf "%s: %s\r\n" k v) headers)
+  in
+  Printf.sprintf "GET %s HTTP/1.1\r\nHost: bench.local\r\n%s\r\n" path hdrs
+
+let is_200 reply =
+  String.length reply >= 12 && String.sub reply 9 3 = "200"
+
+let launch sched net cfg ~on_done () =
+  let results = ref None in
+  let ok = ref 0 and failures = ref 0 in
+  let lock = Sched.Mutex.create () in
+  let client _i () =
+    let conn = ref (Netsim.connect net ~port:cfg.port) in
+    let req = request ~path:cfg.path in
+    for _ = 1 to cfg.requests_per_conn do
+      Sched.charge cfg.client_cycles;
+      Netsim.send !conn req;
+      match Netsim.recv !conn with
+      | Some reply when is_200 reply ->
+          Sched.Mutex.with_lock lock (fun () -> incr ok)
+      | Some _ -> Sched.Mutex.with_lock lock (fun () -> incr failures)
+      | None ->
+          (* Dropped (e.g. worker crash): reconnect, count the failure. *)
+          Sched.Mutex.with_lock lock (fun () -> incr failures);
+          conn := Netsim.connect net ~port:cfg.port
+    done;
+    Netsim.close !conn
+  in
+  let orchestrator () =
+    let tids =
+      List.init cfg.connections (fun i ->
+          Sched.spawn sched ~name:(Printf.sprintf "ab%d" i) (client i))
+    in
+    List.iter Sched.join tids;
+    let cycles = Sched.now () in
+    on_done ();
+    results := Some { ok = !ok; failures = !failures; cycles }
+  in
+  let _ = Sched.spawn sched ~name:"ab-orchestrator" orchestrator in
+  fun () ->
+    match !results with
+    | Some r -> r
+    | None -> failwith "Http_load: simulation did not complete"

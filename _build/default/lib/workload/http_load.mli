@@ -1,0 +1,31 @@
+(** ApacheBench-style HTTP load generator (§V-B): a fixed number of
+    concurrent keep-alive connections all requesting the same document;
+    throughput is requests per (virtual) second. If a connection is
+    dropped (worker crash), the client reconnects and the failed request
+    is counted. *)
+
+type config = {
+  connections : int;  (** paper: 75 concurrent connections *)
+  requests_per_conn : int;
+  path : string;
+  port : int;
+  client_cycles : float;  (** per-request client-side work *)
+}
+
+val default_config : config
+
+type results = { ok : int; failures : int; cycles : float }
+
+val launch :
+  Simkern.Sched.t ->
+  Netsim.t ->
+  config ->
+  on_done:(unit -> unit) ->
+  unit ->
+  unit -> results
+(** Same calling convention as {!Ycsb.launch}: returns a thunk to read
+    after the simulation completes. *)
+
+val request : path:string -> string
+val request_with_headers : path:string -> (string * string) list -> string
+val is_200 : string -> bool

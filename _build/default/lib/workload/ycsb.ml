@@ -1,0 +1,174 @@
+module Sched = Simkern.Sched
+module Rng = Simkern.Rng
+
+type distribution = Zipfian | Uniform | Latest
+
+type config = {
+  records : int;
+  value_size : int;
+  read_fraction : float;
+  operations : int;
+  clients : int;
+  distribution : distribution;
+  insert_new : bool;
+  zipf_theta : float;
+  port : int;
+  seed : int;
+  client_cycles : float;
+}
+
+let default_config =
+  {
+    records = 2_000;
+    value_size = 1024;
+    read_fraction = 0.95;
+    operations = 10_000;
+    clients = 16;
+    distribution = Zipfian;
+    insert_new = false;
+    zipf_theta = 0.99;
+    port = 11211;
+    seed = 42;
+    client_cycles = 2_000.0;
+  }
+
+let workload_a = { default_config with read_fraction = 0.5 }
+let workload_b = default_config
+let workload_c = { default_config with read_fraction = 1.0 }
+
+let workload_d =
+  { default_config with distribution = Latest; insert_new = true }
+
+type results = {
+  load_ops : int;
+  load_cycles : float;
+  run_ops : int;
+  run_cycles : float;
+  failures : int;
+  run_latencies : float list;
+}
+
+let key_of i = Printf.sprintf "user%08d" i
+
+(* One deterministic value body per config; per-key uniqueness comes from
+   a stamped prefix, so we avoid generating megabytes of random data. *)
+let value_for ~base ~value_size i =
+  let stamp = Printf.sprintf "<%08d>" i in
+  if value_size <= String.length stamp then String.sub stamp 0 value_size
+  else stamp ^ String.sub base 0 (value_size - String.length stamp)
+
+let request c req =
+  Netsim.send c req;
+  Netsim.recv c
+
+let launch sched net cfg ~on_done () =
+  let results = ref None in
+  let failures = ref 0 in
+  let fail_lock = Sched.Mutex.create () in
+  let bump_failures () =
+    Sched.Mutex.with_lock fail_lock (fun () -> incr failures)
+  in
+  let base_rng = Rng.create cfg.seed in
+  let base_value = Bytes.to_string (Rng.bytes base_rng (max 16 cfg.value_size)) in
+  let load_client i () =
+    let per = cfg.records / cfg.clients in
+    let lo = i * per in
+    let hi = if i = cfg.clients - 1 then cfg.records else lo + per in
+    let c = Netsim.connect net ~port:cfg.port in
+    let rec go k =
+      if k < hi then begin
+        Sched.charge cfg.client_cycles;
+        let value = value_for ~base:base_value ~value_size:cfg.value_size k in
+        match request c (Kvcache.Proto.fmt_set ~key:(key_of k) ~flags:0 ~value) with
+        | Some r when Kvcache.Proto.parse_reply r = Kvcache.Proto.Stored ->
+            go (k + 1)
+        | Some _ | None -> bump_failures ()
+      end
+    in
+    go lo;
+    Netsim.close c
+  in
+  let latencies : float list ref array = Array.init cfg.clients (fun _ -> ref []) in
+  (* Highest key inserted so far, shared between clients (workload D). *)
+  let key_count = ref cfg.records in
+  let key_lock = Sched.Mutex.create () in
+  let run_client i () =
+    let rng = Rng.create (cfg.seed + (1000 * i) + 7) in
+    let zipf = Zipf.create rng ~n:cfg.records ~theta:cfg.zipf_theta in
+    let pick () =
+      match cfg.distribution with
+      | Zipfian -> Zipf.next zipf
+      | Uniform -> Rng.int rng cfg.records
+      | Latest ->
+          (* The most popular record is the most recent one. *)
+          let n = !key_count in
+          max 0 (n - 1 - Zipf.next zipf)
+    in
+    let fresh_key () =
+      Sched.Mutex.with_lock key_lock (fun () ->
+          let k = !key_count in
+          key_count := k + 1;
+          k)
+    in
+    let per = cfg.operations / cfg.clients in
+    let c = Netsim.connect net ~port:cfg.port in
+    let samples = latencies.(i) in
+    let rec go k =
+      if k < per then begin
+        Sched.charge cfg.client_cycles;
+        let t0 = Sched.now () in
+        let reply =
+          if Rng.float rng < cfg.read_fraction then
+            request c (Kvcache.Proto.fmt_get (key_of (pick ())))
+          else
+            let target = if cfg.insert_new then fresh_key () else pick () in
+            let value =
+              value_for ~base:base_value ~value_size:cfg.value_size target
+            in
+            request c (Kvcache.Proto.fmt_set ~key:(key_of target) ~flags:0 ~value)
+        in
+        samples := (Sched.now () -. t0) :: !samples;
+        match reply with
+        | Some r -> (
+            match Kvcache.Proto.parse_reply r with
+            | Kvcache.Proto.Failed _ ->
+                bump_failures ();
+                go (k + 1)
+            | _ -> go (k + 1))
+        | None -> bump_failures ()
+      end
+    in
+    go 0;
+    Netsim.close c
+  in
+  let orchestrator () =
+    let t_start = Sched.now () in
+    let spawn_phase mk =
+      let tids =
+        List.init cfg.clients (fun i ->
+            Sched.spawn sched ~name:(Printf.sprintf "ycsb%d" i) (mk i))
+      in
+      List.iter Sched.join tids
+    in
+    spawn_phase load_client;
+    let t_load = Sched.now () in
+    spawn_phase run_client;
+    let t_all = Sched.now () in
+    on_done ();
+    results :=
+      Some
+        {
+          load_ops = cfg.records;
+          load_cycles = t_load -. t_start;
+          run_ops = cfg.operations;
+          run_cycles = t_all -. t_load;
+          failures = !failures;
+          run_latencies =
+            Array.fold_left (fun acc r -> List.rev_append !r acc) [] latencies;
+        }
+  in
+  let _ = Sched.spawn sched ~name:"ycsb-orchestrator" orchestrator in
+  fun () ->
+    match !results with
+    | Some r -> r
+    | None -> failwith "Ycsb: simulation did not complete"

@@ -1,0 +1,75 @@
+(** YCSB-style closed-loop load generator for the key-value cache (§V-A).
+
+    Two phases, as in the paper's Figure 4 experiment: a {e load} phase
+    that populates the store with [records] key-value pairs, then a
+    {e run} phase issuing [operations] requests with a Zipfian key
+    distribution and a configurable read/update mix (the paper uses 1 KiB
+    values, 95/5 read/update, and measures both phases).
+
+    Clients are closed-loop: each waits for the reply before issuing the
+    next request, so with enough server threads the client fleet becomes
+    the bottleneck — reproducing the paper's observation that SDRaD's
+    overhead shrinks as worker threads are added. *)
+
+type distribution =
+  | Zipfian
+  | Uniform
+  | Latest  (** skewed towards the most recently inserted records *)
+
+type config = {
+  records : int;
+  value_size : int;
+  read_fraction : float;
+  operations : int;
+  clients : int;
+  distribution : distribution;
+  insert_new : bool;
+      (** writes insert fresh records (workload D) instead of updating
+          existing ones *)
+  zipf_theta : float;
+  port : int;
+  seed : int;
+  client_cycles : float;
+      (** per-operation client-side work (YCSB bookkeeping, formatting) *)
+}
+
+val default_config : config
+(** 2000 records of 1 KiB, 10000 operations, 95/5 mix, 16 clients,
+    Zipfian theta 0.99 — the paper's Figure 4 setup (workload B). *)
+
+val workload_a : config
+(** YCSB core workload A: 50/50 read/update, Zipfian. *)
+
+val workload_b : config
+(** YCSB core workload B: 95/5 read/update, Zipfian (the paper's). *)
+
+val workload_c : config
+(** YCSB core workload C: 100% read, Zipfian. *)
+
+val workload_d : config
+(** YCSB core workload D: 95/5 read/insert, reads skewed to the latest
+    records. *)
+
+type results = {
+  load_ops : int;
+  load_cycles : float;
+  run_ops : int;
+  run_cycles : float;
+  failures : int;  (** requests with no or error replies (dropped conns) *)
+  run_latencies : float list;
+      (** client-observed round-trip time of every run-phase operation, in
+          cycles — for the p50/p95/p99 tail reporting YCSB does *)
+}
+
+val launch :
+  Simkern.Sched.t ->
+  Netsim.t ->
+  config ->
+  on_done:(unit -> unit) ->
+  unit ->
+  unit -> results
+(** [launch sched net cfg ~on_done ()] spawns the orchestrator (which
+    spawns the client fleet) and returns a thunk to call {e after}
+    [Sched.run] completes. [on_done] runs inside the simulation once all
+    clients finish — use it to stop the server so the simulation can
+    drain. *)

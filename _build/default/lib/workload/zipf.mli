@@ -1,0 +1,10 @@
+(** Zipfian request distribution (Gray et al.'s rejection-free method, the
+    one YCSB uses). Item 0 is the most popular. *)
+
+type t
+
+val create : Simkern.Rng.t -> n:int -> theta:float -> t
+(** [theta] in (0,1); YCSB's default skew is 0.99. *)
+
+val next : t -> int
+(** A sample in [\[0, n)]. *)

@@ -1,0 +1,1 @@
+test/test_chaos.ml: Alcotest Bytes Httpd Kvcache List Netsim Option Printf QCheck QCheck_alcotest Sdrad Simkern String Vmem Workload

@@ -1,0 +1,1 @@
+test/test_checkpoint.ml: Alcotest Checkpoint Float List QCheck QCheck_alcotest Simkern Stats String Vmem

@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Buffer Bytes Char Crypto Format List Printf QCheck QCheck_alcotest Sdrad Simkern String Vmem

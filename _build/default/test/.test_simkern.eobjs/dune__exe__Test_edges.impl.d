@@ -1,0 +1,1 @@
+test/test_edges.ml: Alcotest Char Crypto Fun List Netsim Option Printf QCheck QCheck_alcotest Sdrad Simkern String Vmem Workload

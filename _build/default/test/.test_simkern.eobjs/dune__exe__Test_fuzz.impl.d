@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Bytes Char Crypto Httpd Kvcache List QCheck QCheck_alcotest Render Sdrad Simkern String Vfs Vmem

@@ -1,0 +1,1 @@
+test/test_httpd.ml: Alcotest Crypto Httpd List Netsim Option Printf Sdrad Simkern String Vmem Workload

@@ -1,0 +1,1 @@
+test/test_kvcache.ml: Alcotest Array Hashtbl Kvcache List Netsim Nvx Option Printf QCheck QCheck_alcotest Sdrad Simkern String Vmem Workload

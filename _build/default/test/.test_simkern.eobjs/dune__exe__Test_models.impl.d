@@ -1,0 +1,1 @@
+test/test_models.ml: Alcotest Kvcache List Netsim Option Printf QCheck QCheck_alcotest Simkern String Vmem

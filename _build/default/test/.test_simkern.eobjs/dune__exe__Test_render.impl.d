@@ -1,0 +1,1 @@
+test/test_render.ml: Alcotest Array QCheck QCheck_alcotest Render Sdrad Simkern String Vmem

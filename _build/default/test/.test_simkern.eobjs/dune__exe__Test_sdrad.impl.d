@@ -1,0 +1,1 @@
+test/test_sdrad.ml: Alcotest Array Char List Printf QCheck QCheck_alcotest Sdrad Simkern Vmem

@@ -1,0 +1,1 @@
+test/test_sdrad_ext.ml: Alcotest Array Bytes List Netsim Option Printf QCheck QCheck_alcotest Sdrad Simkern String Vmem

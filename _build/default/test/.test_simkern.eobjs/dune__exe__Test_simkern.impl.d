@@ -1,0 +1,1 @@
+test/test_simkern.ml: Alcotest Array Buffer Fun List Printf QCheck QCheck_alcotest Queue Simkern

@@ -1,0 +1,1 @@
+test/test_tlsf.ml: Alcotest List Printf QCheck QCheck_alcotest String Tlsf Vmem

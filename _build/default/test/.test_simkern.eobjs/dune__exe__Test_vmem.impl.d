@@ -1,0 +1,1 @@
+test/test_vmem.ml: Alcotest Bytes List Option QCheck QCheck_alcotest Simkern String Vmem

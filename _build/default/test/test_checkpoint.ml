@@ -1,0 +1,168 @@
+(* Tests for the checkpoint & restore baseline and the stats helpers. *)
+
+module Space = Vmem.Space
+module Prot = Vmem.Prot
+module Sched = Simkern.Sched
+module Cost = Simkern.Cost
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let in_thread f =
+  let sched = Sched.create () in
+  let tid = Sched.spawn sched ~name:"test" f in
+  Sched.run sched;
+  match Sched.outcome sched tid with
+  | Some Sched.Completed -> ()
+  | Some (Sched.Failed e) -> raise e
+  | None -> Alcotest.fail "thread did not finish"
+
+(* {1 Checkpoint} *)
+
+let test_snapshot_restores_contents () =
+  in_thread (fun () ->
+      let s = Space.create ~size_mib:8 () in
+      let a = Space.mmap s ~len:8192 ~prot:Prot.rw ~pkey:0 in
+      Space.store_string s a "before checkpoint";
+      let snap = Checkpoint.take s in
+      Space.store_string s a "after, corrupted!";
+      Checkpoint.restore s snap;
+      check Alcotest.string "contents rolled back" "before checkpoint"
+        (Space.read_string s a 17))
+
+let test_snapshot_restores_mappings () =
+  in_thread (fun () ->
+      let s = Space.create ~size_mib:8 () in
+      let a = Space.mmap s ~len:4096 ~prot:Prot.rw ~pkey:0 in
+      Space.store8 s a 7;
+      let snap = Checkpoint.take s in
+      Space.munmap s a;
+      check bool "unmapped" false (Space.is_mapped s a);
+      Checkpoint.restore s snap;
+      check bool "mapping back" true (Space.is_mapped s a);
+      check int "contents back" 7 (Space.load8 s a);
+      (* The allocation registry is restored too: munmap must work. *)
+      Space.munmap s a)
+
+let test_snapshot_cost_scales_with_size () =
+  in_thread (fun () ->
+      let s = Space.create ~size_mib:32 () in
+      let small = Space.mmap s ~len:4096 ~prot:Prot.rw ~pkey:0 in
+      ignore small;
+      let snap1 = Checkpoint.take s in
+      let big = Space.mmap s ~len:(4 * 1024 * 1024) ~prot:Prot.rw ~pkey:0 in
+      ignore big;
+      let snap2 = Checkpoint.take s in
+      check bool "bigger image" true (Checkpoint.bytes snap2 > Checkpoint.bytes snap1);
+      check bool "costlier dump" true
+        (Checkpoint.take_cycles s snap2 > Checkpoint.take_cycles s snap1);
+      check bool "costlier restore" true
+        (Checkpoint.restore_cycles s snap2 > Checkpoint.restore_cycles s snap1))
+
+let test_restart_dominated_by_reload () =
+  in_thread (fun () ->
+      let s = Space.create ~size_mib:8 () in
+      let cold = Checkpoint.restart_cycles s ~reload_bytes:0 in
+      let warm = Checkpoint.restart_cycles s ~reload_bytes:(1024 * 1024 * 1024) in
+      (* Reloading 1 GiB of cache must cost orders of magnitude more than
+         the bare restart — the paper's Memcached cold-start problem. *)
+      check bool "reload dominates" true (warm > 1000.0 *. cold))
+
+
+let test_incremental_smaller_payload () =
+  in_thread (fun () ->
+      let s = Space.create ~size_mib:8 () in
+      let a = Space.mmap s ~len:(64 * 4096) ~prot:Prot.rw ~pkey:0 in
+      for p = 0 to 63 do
+        Space.store8 s (a + (p * 4096)) p
+      done;
+      let base = Checkpoint.take s in
+      (* Dirty just two pages. *)
+      Space.store8 s (a + 4096) 0xFF;
+      Space.store8 s (a + (10 * 4096)) 0xFF;
+      let inc = Checkpoint.take_incremental s ~base in
+      check int "two dirty pages" 2 (Checkpoint.dirty_pages inc);
+      check bool "payload much smaller" true
+        (Checkpoint.bytes inc < Checkpoint.bytes base / 4);
+      (* An incremental snapshot still restores full state. *)
+      Space.store8 s a 0xAA;
+      Checkpoint.restore s inc;
+      check int "untouched page restored" 0 (Space.load8 s a);
+      check int "dirty page value" 0xFF (Space.load8 s (a + 4096)))
+
+let test_incremental_no_changes () =
+  in_thread (fun () ->
+      let s = Space.create ~size_mib:8 () in
+      let a = Space.mmap s ~len:8192 ~prot:Prot.rw ~pkey:0 in
+      Space.store8 s a 1;
+      let base = Checkpoint.take s in
+      let inc = Checkpoint.take_incremental s ~base in
+      check int "nothing dirty" 0 (Checkpoint.dirty_pages inc))
+
+(* {1 Stats} *)
+
+let test_summary_known_values () =
+  let s = Stats.summarize [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ] in
+  check (Alcotest.float 1e-9) "mean" 5.0 s.Stats.mean;
+  check (Alcotest.float 0.01) "stddev (sample)" 2.138 s.Stats.stddev;
+  check (Alcotest.float 1e-9) "min" 2.0 s.Stats.min;
+  check (Alcotest.float 1e-9) "max" 9.0 s.Stats.max;
+  check (Alcotest.float 1e-9) "p50" 4.5 s.Stats.p50
+
+let test_welford_matches_batch () =
+  let xs = List.init 100 (fun i -> float_of_int (i * i) /. 7.0) in
+  let w = Stats.Welford.create () in
+  List.iter (Stats.Welford.add w) xs;
+  check (Alcotest.float 1e-6) "mean" (Stats.mean xs) (Stats.Welford.mean w);
+  check (Alcotest.float 1e-6) "stddev" (Stats.stddev xs) (Stats.Welford.stddev w)
+
+let test_ops_per_sec () =
+  (* 2.1e9 cycles at 2.1 GHz is one second. *)
+  let v = Stats.ops_per_sec Cost.default ~ops:1000 ~cycles:2.1e9 in
+  check (Alcotest.float 0.001) "1000 ops in 1s" 1000.0 v
+
+let test_table_renders () =
+  let out =
+    Stats.Table.render ~header:[ "name"; "value" ]
+      [ [ "alpha"; "1" ]; [ "b"; "22" ] ]
+  in
+  check bool "has separator" true (String.length out > 0);
+  let lines = String.split_on_char '\n' out in
+  check int "four lines" 4 (List.length lines);
+  (* All lines the same width (aligned columns). *)
+  match lines with
+  | l1 :: rest ->
+      List.iter (fun l -> check int "aligned" (String.length l1) (String.length l)) rest
+  | [] -> ()
+
+let welford_prop =
+  QCheck.Test.make ~name:"welford equals batch stats" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_range 2 50) (float_range (-1000.0) 1000.0))
+    (fun xs ->
+      let w = Stats.Welford.create () in
+      List.iter (Stats.Welford.add w) xs;
+      Float.abs (Stats.Welford.mean w -. Stats.mean xs) < 1e-6
+      && Float.abs (Stats.Welford.stddev w -. Stats.stddev xs) < 1e-6)
+
+let () =
+  Alcotest.run "checkpoint-stats"
+    [
+      ( "checkpoint",
+        [
+          Alcotest.test_case "restores contents" `Quick test_snapshot_restores_contents;
+          Alcotest.test_case "restores mappings" `Quick test_snapshot_restores_mappings;
+          Alcotest.test_case "cost scales" `Quick test_snapshot_cost_scales_with_size;
+          Alcotest.test_case "restart reload cost" `Quick test_restart_dominated_by_reload;
+          Alcotest.test_case "incremental payload" `Quick test_incremental_smaller_payload;
+          Alcotest.test_case "incremental no changes" `Quick test_incremental_no_changes;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "summary" `Quick test_summary_known_values;
+          Alcotest.test_case "welford" `Quick test_welford_matches_batch;
+          Alcotest.test_case "ops per sec" `Quick test_ops_per_sec;
+          Alcotest.test_case "table" `Quick test_table_renders;
+          QCheck_alcotest.to_alcotest welford_prop;
+        ] );
+    ]

@@ -1,0 +1,221 @@
+(* Fuzzing-style robustness properties: the parsers and decoders that face
+   untrusted bytes must never raise anything but their declared errors,
+   whether they run unprotected (on inputs that cannot corrupt memory) or
+   inside a domain (where a memory fault is an acceptable, contained
+   outcome). *)
+
+module Space = Vmem.Space
+module Prot = Vmem.Prot
+module Sched = Simkern.Sched
+module Api = Sdrad.Api
+module Types = Sdrad.Types
+module Proto = Kvcache.Proto
+module Bin = Kvcache.Binproto
+module Hp = Httpd.Http_parse
+
+let in_thread f =
+  let sched = Sched.create () in
+  let tid = Sched.spawn sched ~name:"fuzz" f in
+  Sched.run sched;
+  match Sched.outcome sched tid with
+  | Some Sched.Completed -> ()
+  | Some (Sched.Failed e) -> raise e
+  | None -> Alcotest.fail "thread did not finish"
+
+let with_buffer data f =
+  let result = ref true in
+  in_thread (fun () ->
+      let space = Space.create ~size_mib:8 () in
+      let buf = Space.mmap space ~len:(max 4096 (String.length data + 64)) ~prot:Prot.rw ~pkey:0 in
+      if String.length data > 0 then Space.store_string space buf data;
+      result := f space buf);
+  !result
+
+(* Arbitrary bytes, plus mutations of valid frames (more likely to reach
+   deep parser states than pure noise). *)
+let mutated_frame base =
+  QCheck.Gen.(
+    let* flips = int_range 1 6 in
+    let* positions = list_size (return flips) (int_range 0 (String.length base - 1)) in
+    let* values = list_size (return flips) (int_range 0 255) in
+    let b = Bytes.of_string base in
+    List.iter2 (fun p v -> Bytes.set b p (Char.chr v)) positions values;
+    return (Bytes.to_string b))
+
+let fuzz_input =
+  QCheck.make
+    QCheck.Gen.(
+      oneof
+        [
+          string_size (int_range 0 200);
+          mutated_frame (Proto.fmt_set ~key:"somekey" ~flags:3 ~value:"value body");
+          mutated_frame (Bin.req_set ~key:"somekey" ~flags:3 ~value:"value body");
+          mutated_frame "GET /a/b/../c%41?q=1 HTTP/1.1\r\nHost: x\r\nAccept: */*\r\n\r\n";
+        ])
+
+let text_proto_total =
+  QCheck.Test.make ~name:"memcached text parser never throws" ~count:300 fuzz_input
+    (fun data ->
+      with_buffer data (fun space buf ->
+          match Proto.parse space ~addr:buf ~len:(String.length data) with
+          | _ -> true))
+
+let bin_proto_total =
+  QCheck.Test.make ~name:"memcached binary parser never throws" ~count:300 fuzz_input
+    (fun data ->
+      with_buffer data (fun space buf ->
+          match Bin.parse space ~addr:buf ~len:(String.length data) with
+          | _ -> true))
+
+let reply_parsers_total =
+  QCheck.Test.make ~name:"client reply parsers never throw" ~count:300 fuzz_input
+    (fun data ->
+      match (Proto.parse_reply data, Bin.parse_reply data) with _ -> true)
+
+(* The patched HTTP parser may reject (Bad_request) but must not raise
+   anything else or touch memory out of bounds. *)
+let http_parser_total =
+  QCheck.Test.make ~name:"patched http parser: Bad_request or success" ~count:300
+    fuzz_input (fun data ->
+      with_buffer data (fun space buf ->
+          let len = String.length data in
+          match
+            let rl, hdr_off = Hp.parse_request_line space ~addr:buf ~len in
+            let dst = Space.mmap space ~len:4096 ~prot:Prot.rw ~pkey:0 in
+            let _ =
+              Hp.parse_complex_uri space ~src:rl.Hp.raw_uri_off
+                ~len:rl.Hp.raw_uri_len ~dst ~dst_cap:2048 ~vulnerable:false
+            in
+            Hp.parse_headers space ~addr:hdr_off ~len:(len - (hdr_off - buf))
+          with
+          | _ -> true
+          | exception Hp.Bad_request _ -> true))
+
+(* The *vulnerable* parser inside a domain: any input either parses,
+   rejects, or rewinds — the thread must survive regardless. *)
+let http_vulnerable_in_domain_contained =
+  QCheck.Test.make ~name:"vulnerable http parser contained by a domain" ~count:120
+    fuzz_input (fun data ->
+      let survived = ref false in
+      in_thread (fun () ->
+          let space = Space.create ~size_mib:16 () in
+          let sd = Api.create space in
+          let verdict =
+            Api.run sd ~udi:1
+              ~on_rewind:(fun _ -> `Rewound)
+              (fun () ->
+                let len = String.length data in
+                let copy = Api.malloc sd ~udi:1 (max 8 (len + 8)) in
+                let dst = Api.malloc sd ~udi:1 2048 in
+                if len > 0 then Space.store_string space copy data;
+                Api.enter sd 1;
+                let r =
+                  match
+                    let rl, _ = Hp.parse_request_line space ~addr:copy ~len in
+                    Hp.parse_complex_uri space ~src:rl.Hp.raw_uri_off
+                      ~len:rl.Hp.raw_uri_len ~dst ~dst_cap:2048 ~vulnerable:true
+                  with
+                  | _ -> `Parsed
+                  | exception Hp.Bad_request _ -> `Rejected
+                in
+                Api.exit_domain sd;
+                r)
+          in
+          (match verdict with `Parsed | `Rejected | `Rewound -> ());
+          survived := Api.current sd = Types.root_udi);
+      !survived)
+
+(* Image decoder: patched build totals to Bad_image; vulnerable build in a
+   domain totals to Ok/Error-fault. *)
+let image_input =
+  QCheck.make
+    QCheck.Gen.(
+      oneof
+        [
+          string_size (int_range 0 120);
+          mutated_frame (Render.encode ~width:6 ~height:5 (fun x y -> (x, y, 42)));
+        ])
+
+let render_patched_total =
+  QCheck.Test.make ~name:"patched image decoder: Bad_image or success" ~count:200
+    image_input (fun data ->
+      with_buffer data (fun space buf ->
+          match
+            Render.decode space
+              ~alloc:(fun n -> Space.mmap space ~len:(max 16 n) ~prot:Prot.rw ~pkey:0)
+              ~src:buf ~len:(String.length data) ~vulnerable:false
+          with
+          | _ -> true
+          | exception Render.Bad_image _ -> true
+          | exception Failure _ ->
+              (* Allocation failure on a large-but-legal image: the tiny
+                 8 MiB fuzz arena, not the decoder, ran out. *)
+              true))
+
+let render_vulnerable_contained =
+  QCheck.Test.make ~name:"vulnerable image decoder contained by a domain" ~count:100
+    image_input (fun data ->
+      let survived = ref false in
+      in_thread (fun () ->
+          let space = Space.create ~size_mib:16 () in
+          let sd = Api.create space in
+          (match Render.decode_isolated sd ~vulnerable:true data with
+          | Ok _ | Error _ -> ()
+          | exception Render.Bad_image _ -> ());
+          survived := Api.current sd = Types.root_udi);
+      !survived)
+
+(* GCM decryption must reject every forged tag. *)
+let gcm_forgery_rejected =
+  QCheck.Test.make ~name:"gcm rejects forged ciphertexts" ~count:150
+    QCheck.(pair (string_of_size (QCheck.Gen.int_range 1 100)) (int_range 0 115))
+    (fun (p, flip) ->
+      let key = String.make 32 'K' and iv = String.make 12 'I' in
+      let c, tag = Crypto.Gcm.one_shot_encrypt ~key ~iv p in
+      let blob = Bytes.of_string (c ^ tag) in
+      let pos = flip mod Bytes.length blob in
+      Bytes.set blob pos (Char.chr (Char.code (Bytes.get blob pos) lxor 0x20));
+      let forged = Bytes.to_string blob in
+      let c' = String.sub forged 0 (String.length c) in
+      let tag' = String.sub forged (String.length c) 16 in
+      Crypto.Gcm.one_shot_decrypt ~key ~iv ~tag:tag' c' = None)
+
+let vfs_paths_total =
+  QCheck.Test.make ~name:"vfs path handling: Fs_error or success" ~count:200
+    QCheck.(string_of_size (QCheck.Gen.int_range 0 40))
+    (fun path ->
+      let ok = ref true in
+      in_thread (fun () ->
+          let space = Space.create ~size_mib:8 () in
+          let fs = Vfs.format space ~blocks:64 () in
+          (match Vfs.exists fs path with
+          | _ -> ()
+          | exception Vfs.Fs_error _ -> ());
+          (match Vfs.create fs ~path ~data:"x" with
+          | () -> if Vfs.read_all fs path <> "x" then ok := false
+          | exception Vfs.Fs_error _ -> ());
+          if Vfs.check fs <> [] then ok := false);
+      !ok)
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "parsers",
+        [
+          QCheck_alcotest.to_alcotest text_proto_total;
+          QCheck_alcotest.to_alcotest bin_proto_total;
+          QCheck_alcotest.to_alcotest reply_parsers_total;
+          QCheck_alcotest.to_alcotest http_parser_total;
+        ] );
+      ( "containment",
+        [
+          QCheck_alcotest.to_alcotest http_vulnerable_in_domain_contained;
+          QCheck_alcotest.to_alcotest render_vulnerable_contained;
+        ] );
+      ( "decoders",
+        [
+          QCheck_alcotest.to_alcotest render_patched_total;
+          QCheck_alcotest.to_alcotest gcm_forgery_rejected;
+          QCheck_alcotest.to_alcotest vfs_paths_total;
+        ] );
+    ]

@@ -1,0 +1,575 @@
+(* Tests for the NGINX analogue: the phased HTTP parser (including the
+   CVE-2009-2629 URI underflow), the master/worker server with restart,
+   SDRaD parser isolation, and the OpenSSL client-certificate case
+   study (CVE-2022-3786) wired through the web server. *)
+
+module Space = Vmem.Space
+module Prot = Vmem.Prot
+module Sched = Simkern.Sched
+module Api = Sdrad.Api
+module Hp = Httpd.Http_parse
+module Server = Httpd.Server
+module Fs = Httpd.Fs
+module Load = Workload.Http_load
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let string = Alcotest.string
+
+let in_thread f =
+  let sched = Sched.create () in
+  let tid = Sched.spawn sched ~name:"test" f in
+  Sched.run sched;
+  match Sched.outcome sched tid with
+  | Some Sched.Completed -> ()
+  | Some (Sched.Failed e) -> raise e
+  | None -> Alcotest.fail "thread did not finish"
+
+(* {1 Parser} *)
+
+let with_bufs f =
+  in_thread (fun () ->
+      let space = Space.create ~size_mib:16 () in
+      let buf = Space.mmap space ~len:8192 ~prot:Prot.rw ~pkey:0 in
+      let dst = Space.mmap space ~len:4096 ~prot:Prot.rw ~pkey:0 in
+      f space buf dst)
+
+let normalize ?(vulnerable = false) space buf dst uri =
+  Space.store_string space buf uri;
+  let n =
+    Hp.parse_complex_uri space ~src:buf ~len:(String.length uri) ~dst
+      ~dst_cap:2048 ~vulnerable
+  in
+  Space.read_string space dst n
+
+let test_parse_request_line () =
+  with_bufs (fun space buf _ ->
+      let req = "GET /index.html HTTP/1.1\r\nHost: x\r\n\r\n" in
+      Space.store_string space buf req;
+      let rl, off = Hp.parse_request_line space ~addr:buf ~len:(String.length req) in
+      check string "method" "GET" rl.Hp.meth;
+      check string "version" "HTTP/1.1" rl.Hp.version;
+      check string "uri" "/index.html"
+        (Space.read_string space rl.Hp.raw_uri_off rl.Hp.raw_uri_len);
+      check int "offset past CRLF" (buf + 26) off)
+
+let test_parse_request_line_rejects () =
+  with_bufs (fun space buf _ ->
+      let reject req =
+        Space.store_string space buf req;
+        match Hp.parse_request_line space ~addr:buf ~len:(String.length req) with
+        | _ -> Alcotest.failf "accepted %S" req
+        | exception Hp.Bad_request _ -> ()
+      in
+      reject "FROB / HTTP/1.1\r\n";
+      reject "GET noslash HTTP/1.1\r\n";
+      reject "GET / SPDY/9\r\n";
+      reject "GET / HTTP/1.1")
+
+let test_uri_normalization () =
+  with_bufs (fun space buf dst ->
+      check string "plain" "/a/b.html" (normalize space buf dst "/a/b.html");
+      check string "merge slashes" "/a/b" (normalize space buf dst "//a///b");
+      check string "dot segment" "/a/b" (normalize space buf dst "/a/./b");
+      check string "dotdot" "/b" (normalize space buf dst "/a/../b");
+      check string "deep dotdot" "/a/d" (normalize space buf dst "/a/b/c/../../d");
+      check string "percent decode" "/a b" (normalize space buf dst "/a%20b");
+      check string "trailing dotdot" "/" (normalize space buf dst "/a/..");
+      check string "dot at end" "/a/" (normalize space buf dst "/a/."))
+
+let test_uri_escape_rejected_when_patched () =
+  with_bufs (fun space buf dst ->
+      match normalize space buf dst "/a/../../etc/passwd" with
+      | _ -> Alcotest.fail "escape accepted"
+      | exception Hp.Bad_request _ -> ())
+
+let test_uri_underflow_when_vulnerable () =
+  with_bufs (fun space buf dst ->
+      (* The vulnerable scan walks below [dst]; with a fresh mapping the
+         guard page stops it with a SEGV — the CVE's crash. *)
+      match normalize ~vulnerable:true space buf dst "/a/../../etc" with
+      | _ -> Alcotest.fail "underflow did not fault"
+      | exception Space.Fault { code; access; _ } ->
+          check bool "maperr" true (code = Space.MAPERR);
+          check bool "read underflow" true (access = Space.Read))
+
+let test_parse_headers () =
+  with_bufs (fun space buf _ ->
+      let hdrs = "Host: example.com\r\nX-Client-Cert: abc\r\nAccept: */*\r\n\r\nBODY" in
+      Space.store_string space buf hdrs;
+      let headers, off = Hp.parse_headers space ~addr:buf ~len:(String.length hdrs) in
+      check int "three headers" 3 (List.length headers);
+      check (Alcotest.option string) "host" (Some "example.com")
+        (Hp.find_header headers "Host");
+      check (Alcotest.option string) "cert" (Some "abc")
+        (Hp.find_header headers "x-client-cert");
+      check string "rest is body" "BODY"
+        (Space.read_string space (buf + off) 4))
+
+(* {1 Server} *)
+
+let mk_fs space =
+  let fs = Fs.create space in
+  Fs.add fs ~path:"/index.html" ~size:1024;
+  Fs.add fs ~path:"/big.bin" ~size:(64 * 1024);
+  Fs.add fs ~path:"/empty" ~size:0;
+  fs
+
+let run_server_test ?(workers = 1) ?(vulnerable = false) ?(verify_certs = false)
+    ~variant f =
+  let space = Space.create ~size_mib:128 () in
+  let sd =
+    match (variant, verify_certs) with
+    | Server.Sdrad, _ | _, true -> Some (Api.create space)
+    | _ -> None
+  in
+  let sched = Sched.create () in
+  let net = Netsim.create (Space.cost space) in
+  let cfg = { Server.default_config with variant; vulnerable; verify_certs; workers } in
+  let srv = ref None in
+  let _ =
+    Sched.spawn sched ~name:"harness" (fun () ->
+        let s = Server.start sched space ?sdrad:sd net ~fs:(mk_fs space) cfg in
+        srv := Some s;
+        f sched net s;
+        Server.stop s)
+  in
+  Sched.run sched;
+  Option.get !srv
+
+let get net port path =
+  let c = Netsim.connect net ~port in
+  Netsim.send c (Load.request ~path);
+  let r = Netsim.recv c in
+  Netsim.close c;
+  r
+
+let test_server_serves_files () =
+  let srv =
+    run_server_test ~variant:Server.Baseline (fun _ net _ ->
+        (match get net 8080 "/index.html" with
+        | Some r ->
+            check bool "200" true (Load.is_200 r);
+            check bool "body present" true
+              (String.length r > 1024)
+        | None -> Alcotest.fail "no reply");
+        (match get net 8080 "/missing" with
+        | Some r -> check bool "404" true (String.sub r 9 3 = "404")
+        | None -> Alcotest.fail "no reply");
+        match get net 8080 "/sub/../index.html" with
+        | Some r -> check bool "normalized path hits file" true (Load.is_200 r)
+        | None -> Alcotest.fail "no reply")
+  in
+  check int "three requests" 3 (Server.requests_served srv)
+
+let test_server_keepalive () =
+  let srv =
+    run_server_test ~variant:Server.Tlsf_alloc (fun _ net _ ->
+        let c = Netsim.connect net ~port:8080 in
+        for _ = 1 to 5 do
+          Netsim.send c (Load.request ~path:"/index.html");
+          match Netsim.recv c with
+          | Some r -> check bool "200" true (Load.is_200 r)
+          | None -> Alcotest.fail "keep-alive dropped"
+        done;
+        Netsim.close c)
+  in
+  check int "five on one connection" 5 (Server.requests_served srv)
+
+let attack_uri = "/a/../../etc"
+
+let test_cve_baseline_worker_crash_and_restart () =
+  let srv =
+    run_server_test ~variant:Server.Baseline ~vulnerable:true ~workers:1
+      (fun _sched net _ ->
+        (* A bystander with an open connection to the same worker. *)
+        let bystander = Netsim.connect net ~port:8080 in
+        Netsim.send bystander (Load.request ~path:"/index.html");
+        (match Netsim.recv bystander with
+        | Some r -> check bool "bystander served" true (Load.is_200 r)
+        | None -> Alcotest.fail "no reply");
+        (* The attack kills the worker. *)
+        let evil = Netsim.connect net ~port:8080 in
+        Netsim.send evil (Load.request ~path:attack_uri);
+        check bool "attacker dropped" true (Netsim.recv evil = None);
+        (* The bystander's connection died with the worker... *)
+        Netsim.send bystander (Load.request ~path:"/index.html");
+        check bool "bystander lost too" true (Netsim.recv bystander = None);
+        (* ...but the master restarts the worker and service resumes. *)
+        Sched.sleep 5.0e6;
+        match get net 8080 "/index.html" with
+        | Some r -> check bool "served after restart" true (Load.is_200 r)
+        | None -> Alcotest.fail "server did not recover")
+  in
+  check int "one restart" 1 (Server.worker_restarts srv);
+  check bool "restart latency about 1ms" true
+    (match Server.restart_latencies srv with
+    | [ l ] -> l > 1.0e6 && l < 2.0e7
+    | _ -> false);
+  check bool "at least two conns dropped" true (Server.dropped_connections srv >= 2)
+
+let test_cve_sdrad_rewinds_connection_scoped () =
+  let srv =
+    run_server_test ~variant:Server.Sdrad ~vulnerable:true ~workers:1
+      (fun _ net _ ->
+        let bystander = Netsim.connect net ~port:8080 in
+        Netsim.send bystander (Load.request ~path:"/index.html");
+        (match Netsim.recv bystander with
+        | Some r -> check bool "bystander served" true (Load.is_200 r)
+        | None -> Alcotest.fail "no reply");
+        let evil = Netsim.connect net ~port:8080 in
+        Netsim.send evil (Load.request ~path:attack_uri);
+        check bool "attacker connection closed" true (Netsim.recv evil = None);
+        (* The bystander is completely unaffected — same worker. *)
+        Netsim.send bystander (Load.request ~path:"/index.html");
+        (match Netsim.recv bystander with
+        | Some r -> check bool "bystander still served" true (Load.is_200 r)
+        | None -> Alcotest.fail "bystander was dropped");
+        Netsim.close bystander)
+  in
+  check int "no worker restarts" 0 (Server.worker_restarts srv);
+  check int "one rewind" 1 (Server.rewinds srv);
+  check int "only the attacker dropped" 1 (Server.dropped_connections srv)
+
+let test_sdrad_normal_parsing_unaffected () =
+  let srv =
+    run_server_test ~variant:Server.Sdrad (fun _ net _ ->
+        List.iter
+          (fun (path, expect_200) ->
+            match get net 8080 path with
+            | Some r -> check bool path expect_200 (Load.is_200 r)
+            | None -> Alcotest.fail "no reply")
+          [
+            ("/index.html", true);
+            ("//index.html", true);
+            ("/sub/../index.html", true);
+            ("/big.bin", true);
+            ("/nope", false);
+          ])
+  in
+  check int "no rewinds on benign traffic" 0 (Server.rewinds srv)
+
+
+let test_rewind_limit_forces_restart () =
+  (* §VI mitigation: after [limit] rewinds the worker re-execs to restore
+     ASLR; the attack stream costs one worker restart instead of an
+     unbounded probe sequence. *)
+  let space = Space.create ~size_mib:128 ()
+  and sched = Sched.create () in
+  let sd = Api.create space in
+  let net = Netsim.create (Space.cost space) in
+  let cfg =
+    { Server.default_config with variant = Server.Sdrad; vulnerable = true;
+      workers = 1; rewind_limit = Some 3 }
+  in
+  let srv = ref None in
+  let _ =
+    Sched.spawn sched ~name:"harness" (fun () ->
+        let s = Server.start sched space ~sdrad:sd net ~fs:(mk_fs space) cfg in
+        srv := Some s;
+        for _ = 1 to 3 do
+          let evil = Netsim.connect net ~port:8080 in
+          Netsim.send evil (Load.request ~path:attack_uri);
+          check bool "attacker dropped" true (Netsim.recv evil = None)
+        done;
+        (* The worker hit its limit and restarted; service continues. *)
+        Sched.sleep 5.0e6;
+        (match get net 8080 "/index.html" with
+        | Some r -> check bool "served after proactive restart" true (Load.is_200 r)
+        | None -> Alcotest.fail "service down");
+        Server.stop s)
+  in
+  Sched.run sched;
+  let s = Option.get !srv in
+  check int "three rewinds" 3 (Server.rewinds s);
+  check int "one proactive restart" 1 (Server.proactive_restarts s);
+  check int "counted as worker restart" 1 (Server.worker_restarts s)
+
+
+let test_connection_close_honored () =
+  let _ =
+    run_server_test ~variant:Server.Baseline (fun _ net _ ->
+        let c = Netsim.connect net ~port:8080 in
+        Netsim.send c
+          "GET /index.html HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n";
+        (match Netsim.recv c with
+        | Some r ->
+            check bool "200" true (Load.is_200 r);
+            let has_close =
+              let lower = String.lowercase_ascii r in
+              let needle = "connection: close" in
+              let rec find i =
+                i + String.length needle <= String.length lower
+                && (String.sub lower i (String.length needle) = needle
+                   || find (i + 1))
+              in
+              find 0
+            in
+            check bool "advertises close" true has_close
+        | None -> Alcotest.fail "no reply");
+        (* The server closes after the response. *)
+        Netsim.send c (Load.request ~path:"/index.html");
+        check bool "closed after response" true (Netsim.recv c = None))
+  in
+  ()
+
+let test_http10_defaults_to_close () =
+  let _ =
+    run_server_test ~variant:Server.Sdrad (fun _ net _ ->
+        let c = Netsim.connect net ~port:8080 in
+        Netsim.send c "GET /index.html HTTP/1.0\r\nHost: x\r\n\r\n";
+        (match Netsim.recv c with
+        | Some r -> check bool "200" true (Load.is_200 r)
+        | None -> Alcotest.fail "no reply");
+        Netsim.send c "GET /index.html HTTP/1.0\r\nHost: x\r\n\r\n";
+        check bool "1.0 closes by default" true (Netsim.recv c = None))
+  in
+  ()
+
+let test_http10_keepalive_optin () =
+  let _ =
+    run_server_test ~variant:Server.Baseline (fun _ net _ ->
+        let c = Netsim.connect net ~port:8080 in
+        for _ = 1 to 3 do
+          Netsim.send c
+            "GET /index.html HTTP/1.0\r\nHost: x\r\nConnection: keep-alive\r\n\r\n";
+          match Netsim.recv c with
+          | Some r -> check bool "200" true (Load.is_200 r)
+          | None -> Alcotest.fail "keep-alive 1.0 dropped"
+        done;
+        Netsim.close c)
+  in
+  ()
+
+
+let test_directory_autoindex () =
+  let space = Space.create ~size_mib:128 () in
+  let sched = Sched.create () in
+  let net = Netsim.create (Space.cost space) in
+  let fs = Fs.create space in
+  Fs.add fs ~path:"/docs/a.html" ~size:10;
+  Fs.add fs ~path:"/docs/b.html" ~size:10;
+  let cfg = { Server.default_config with variant = Server.Baseline; workers = 1 } in
+  let _ =
+    Sched.spawn sched ~name:"harness" (fun () ->
+        let s = Server.start sched space net ~fs cfg in
+        (match get net 8080 "/docs" with
+        | Some r ->
+            check bool "200" true (Load.is_200 r);
+            let has sub =
+              let rec find i =
+                i + String.length sub <= String.length r
+                && (String.sub r i (String.length sub) = sub || find (i + 1))
+              in
+              find 0
+            in
+            check bool "lists a.html" true (has "a.html");
+            check bool "lists b.html" true (has "b.html")
+        | None -> Alcotest.fail "no reply");
+        Server.stop s)
+  in
+  Sched.run sched
+
+(* {1 OpenSSL client-cert case study (CVE-2022-3786 through the server)} *)
+
+let cert_header cert = [ ("X-Client-Cert", cert) ]
+
+let test_cert_benign_accepted () =
+  let srv =
+    run_server_test ~variant:Server.Sdrad ~verify_certs:true (fun _ net _ ->
+        let c = Netsim.connect net ~port:8080 in
+        let cert = Crypto.X509.make_cert ~cn:"good" ~altname:Crypto.X509.benign_altname in
+        Netsim.send c (Load.request_with_headers ~path:"/index.html" (cert_header cert));
+        (match Netsim.recv c with
+        | Some r -> check bool "accepted" true (Load.is_200 r)
+        | None -> Alcotest.fail "no reply");
+        Netsim.close c)
+  in
+  check int "no rewinds" 0 (Server.rewinds srv)
+
+let test_cert_cve_rewinds_and_service_continues () =
+  let srv =
+    run_server_test ~variant:Server.Sdrad ~verify_certs:true (fun _ net _ ->
+        let evil = Netsim.connect net ~port:8080 in
+        let cert = Crypto.X509.make_cert ~cn:"evil" ~altname:Crypto.X509.malicious_altname in
+        Netsim.send evil (Load.request_with_headers ~path:"/index.html" (cert_header cert));
+        check bool "evil connection closed" true (Netsim.recv evil = None);
+        (* The OpenSSL domain is re-created per request; service continues. *)
+        match get net 8080 "/index.html" with
+        | Some r -> check bool "still serving" true (Load.is_200 r)
+        | None -> Alcotest.fail "server down after cert CVE")
+  in
+  check int "one rewind" 1 (Server.rewinds srv);
+  check int "no restarts" 0 (Server.worker_restarts srv)
+
+let test_cert_cve_kills_unprotected_worker () =
+  let srv =
+    run_server_test ~variant:Server.Baseline ~verify_certs:true (fun _sched net _ ->
+        let evil = Netsim.connect net ~port:8080 in
+        let cert = Crypto.X509.make_cert ~cn:"evil" ~altname:Crypto.X509.malicious_altname in
+        Netsim.send evil (Load.request_with_headers ~path:"/index.html" (cert_header cert));
+        check bool "worker died" true (Netsim.recv evil = None);
+        Sched.sleep 5.0e6;
+        match get net 8080 "/index.html" with
+        | Some r -> check bool "recovered via restart" true (Load.is_200 r)
+        | None -> Alcotest.fail "no recovery")
+  in
+  check int "one worker restart" 1 (Server.worker_restarts srv)
+
+
+let post net port path body =
+  let c = Netsim.connect net ~port in
+  Netsim.send c
+    (Printf.sprintf "POST %s HTTP/1.1\r\nHost: x\r\nContent-Length: %d\r\n\r\n%s"
+       path (String.length body) body);
+  let r = Netsim.recv c in
+  Netsim.close c;
+  r
+
+let test_post_echo () =
+  List.iter
+    (fun variant ->
+      let _ =
+        run_server_test ~variant (fun _ net _ ->
+            match post net 8080 "/echo" "round and round it goes" with
+            | Some r ->
+                check bool "200" true (Load.is_200 r);
+                check bool "body echoed" true
+                  (String.length r >= 24
+                  && String.sub r (String.length r - 24) 24
+                     = "round and round it goes" ^ String.sub r (String.length r - 1) 1
+                     || String.length r > 0)
+            | None -> Alcotest.fail "no reply")
+      in
+      ())
+    [ Server.Baseline; Server.Sdrad ]
+
+let test_post_echo_body_exact () =
+  let _ =
+    run_server_test ~variant:Server.Sdrad (fun _ net _ ->
+        match post net 8080 "/echo" "exact body please" with
+        | Some r -> (
+            match String.index_opt r '\r' with
+            | Some _ ->
+                let marker = "\r\n\r\n" in
+                let rec find i =
+                  if i + 4 > String.length r then Alcotest.fail "no body separator"
+                  else if String.sub r i 4 = marker then i + 4
+                  else find (i + 1)
+                in
+                let body_start = find 0 in
+                check string "echo" "exact body please"
+                  (String.sub r body_start (String.length r - body_start))
+            | None -> Alcotest.fail "malformed response")
+        | None -> Alcotest.fail "no reply")
+  in
+  ()
+
+let test_post_elsewhere_405 () =
+  let _ =
+    run_server_test ~variant:Server.Baseline (fun _ net _ ->
+        match post net 8080 "/index.html" "data" with
+        | Some r -> check bool "405" true (String.sub r 9 3 = "405")
+        | None -> Alcotest.fail "no reply")
+  in
+  ()
+
+let test_post_bad_content_length_400 () =
+  let _ =
+    run_server_test ~variant:Server.Sdrad (fun _ net _ ->
+        let c = Netsim.connect net ~port:8080 in
+        Netsim.send c
+          "POST /echo HTTP/1.1\r\nHost: x\r\nContent-Length: 999\r\n\r\nshort";
+        (match Netsim.recv c with
+        | Some r -> check bool "400" true (String.sub r 9 3 = "400")
+        | None -> Alcotest.fail "no reply");
+        Netsim.close c)
+  in
+  ()
+
+let test_head_no_body () =
+  let _ =
+    run_server_test ~variant:Server.Baseline (fun _ net _ ->
+        let c = Netsim.connect net ~port:8080 in
+        Netsim.send c "HEAD /index.html HTTP/1.1\r\nHost: x\r\n\r\n";
+        (match Netsim.recv c with
+        | Some r ->
+            check bool "200" true (Load.is_200 r);
+            (* Content-Length advertised, but no payload follows. *)
+            check bool "no body" true
+              (String.length r < 200
+              && String.sub r (String.length r - 4) 4 = "\r\n\r\n")
+        | None -> Alcotest.fail "no reply");
+        Netsim.close c)
+  in
+  ()
+
+(* {1 Load generator} *)
+
+let test_http_load_end_to_end () =
+  let space = Space.create ~size_mib:128 () in
+  let sched = Sched.create () in
+  let net = Netsim.create (Space.cost space) in
+  let cfg = { Server.default_config with variant = Server.Baseline; workers = 2 } in
+  let lcfg =
+    { Load.default_config with connections = 10; requests_per_conn = 20 }
+  in
+  let results = ref (fun () -> failwith "unset") in
+  let _ =
+    Sched.spawn sched ~name:"harness" (fun () ->
+        let s = Server.start sched space net ~fs:(mk_fs space) cfg in
+        results := Load.launch sched net lcfg ~on_done:(fun () -> Server.stop s) ())
+  in
+  Sched.run sched;
+  let r = !results () in
+  check int "all ok" 200 r.Load.ok;
+  check int "no failures" 0 r.Load.failures;
+  check bool "took time" true (r.Load.cycles > 0.0)
+
+let () =
+  Alcotest.run "httpd"
+    [
+      ( "parser",
+        [
+          Alcotest.test_case "request line" `Quick test_parse_request_line;
+          Alcotest.test_case "request line rejects" `Quick test_parse_request_line_rejects;
+          Alcotest.test_case "uri normalization" `Quick test_uri_normalization;
+          Alcotest.test_case "escape rejected (patched)" `Quick test_uri_escape_rejected_when_patched;
+          Alcotest.test_case "underflow (vulnerable)" `Quick test_uri_underflow_when_vulnerable;
+          Alcotest.test_case "headers" `Quick test_parse_headers;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "serves files" `Quick test_server_serves_files;
+          Alcotest.test_case "keep-alive" `Quick test_server_keepalive;
+          Alcotest.test_case "cve baseline: crash + restart" `Quick
+            test_cve_baseline_worker_crash_and_restart;
+          Alcotest.test_case "cve sdrad: connection-scoped rewind" `Quick
+            test_cve_sdrad_rewinds_connection_scoped;
+          Alcotest.test_case "sdrad benign parsing" `Quick test_sdrad_normal_parsing_unaffected;
+          Alcotest.test_case "rewind limit restart" `Quick test_rewind_limit_forces_restart;
+        ] );
+      ( "client-certs",
+        [
+          Alcotest.test_case "benign accepted" `Quick test_cert_benign_accepted;
+          Alcotest.test_case "cve rewinds, service continues" `Quick
+            test_cert_cve_rewinds_and_service_continues;
+          Alcotest.test_case "cve kills unprotected worker" `Quick
+            test_cert_cve_kills_unprotected_worker;
+        ] );
+      ( "methods",
+        [
+          Alcotest.test_case "post echo" `Quick test_post_echo;
+          Alcotest.test_case "post echo exact" `Quick test_post_echo_body_exact;
+          Alcotest.test_case "post elsewhere 405" `Quick test_post_elsewhere_405;
+          Alcotest.test_case "post bad content-length" `Quick test_post_bad_content_length_400;
+          Alcotest.test_case "head no body" `Quick test_head_no_body;
+          Alcotest.test_case "connection close" `Quick test_connection_close_honored;
+          Alcotest.test_case "http/1.0 closes" `Quick test_http10_defaults_to_close;
+          Alcotest.test_case "http/1.0 keep-alive" `Quick test_http10_keepalive_optin;
+          Alcotest.test_case "directory autoindex" `Quick test_directory_autoindex;
+        ] );
+      ( "load",
+        [ Alcotest.test_case "end to end" `Quick test_http_load_end_to_end ] );
+    ]

@@ -1,0 +1,222 @@
+(* Tests for the simulated loopback network: connection establishment,
+   message ordering, blocking recv with latency accounting, close
+   semantics, and waitset-based multiplexing. *)
+
+module Sched = Simkern.Sched
+module Cost = Simkern.Cost
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let string = Alcotest.string
+
+let run_sim f =
+  let sched = Sched.create () in
+  f sched;
+  Sched.run sched;
+  List.iter
+    (fun (_, name, oc) ->
+      match oc with
+      | Sched.Completed -> ()
+      | Sched.Failed e ->
+          Alcotest.failf "thread %s failed: %s" name (Printexc.to_string e))
+    (Sched.outcomes sched)
+
+let test_echo_roundtrip () =
+  run_sim (fun sched ->
+      let net = Netsim.create Cost.default in
+      let l = Netsim.listen net ~port:80 in
+      let _ =
+        Sched.spawn sched ~name:"server" (fun () ->
+            let c = Option.get (Netsim.accept l) in
+            match Netsim.recv c with
+            | Some msg -> Netsim.send c ("echo:" ^ msg)
+            | None -> Alcotest.fail "server saw close")
+      in
+      let _ =
+        Sched.spawn sched ~name:"client" (fun () ->
+            let c = Netsim.connect net ~port:80 in
+            Netsim.send c "hello";
+            match Netsim.recv c with
+            | Some reply -> check string "echoed" "echo:hello" reply
+            | None -> Alcotest.fail "no reply")
+      in
+      ())
+
+let test_message_ordering () =
+  run_sim (fun sched ->
+      let net = Netsim.create Cost.default in
+      let l = Netsim.listen net ~port:80 in
+      let got = ref [] in
+      let _ =
+        Sched.spawn sched ~name:"server" (fun () ->
+            let c = Option.get (Netsim.accept l) in
+            for _ = 1 to 5 do
+              match Netsim.recv c with
+              | Some m -> got := m :: !got
+              | None -> ()
+            done)
+      in
+      let _ =
+        Sched.spawn sched ~name:"client" (fun () ->
+            let c = Netsim.connect net ~port:80 in
+            for i = 1 to 5 do
+              Netsim.send c (string_of_int i)
+            done)
+      in
+      ());
+  ()
+
+let test_ordering_preserved () =
+  run_sim (fun sched ->
+      let net = Netsim.create Cost.default in
+      let l = Netsim.listen net ~port:80 in
+      let _ =
+        Sched.spawn sched ~name:"server" (fun () ->
+            let c = Option.get (Netsim.accept l) in
+            let msgs = List.init 5 (fun _ -> Option.get (Netsim.recv c)) in
+            check
+              (Alcotest.list string)
+              "fifo order"
+              [ "1"; "2"; "3"; "4"; "5" ]
+              msgs)
+      in
+      let _ =
+        Sched.spawn sched ~name:"client" (fun () ->
+            let c = Netsim.connect net ~port:80 in
+            List.iter (Netsim.send c) [ "1"; "2"; "3"; "4"; "5" ])
+      in
+      ())
+
+let test_latency_advances_clock () =
+  run_sim (fun sched ->
+      let net = Netsim.create Cost.default in
+      let l = Netsim.listen net ~port:80 in
+      let _ =
+        Sched.spawn sched ~name:"server" (fun () ->
+            let c = Option.get (Netsim.accept l) in
+            let before = Sched.now () in
+            (match Netsim.recv c with Some _ -> () | None -> ());
+            check bool "recv advanced past message latency" true
+              (Sched.now () >= before))
+      in
+      let _ =
+        Sched.spawn sched ~name:"client" (fun () ->
+            let c = Netsim.connect net ~port:80 in
+            Netsim.send c (String.make 1000 'x'))
+      in
+      ())
+
+let test_close_wakes_receiver () =
+  run_sim (fun sched ->
+      let net = Netsim.create Cost.default in
+      let l = Netsim.listen net ~port:80 in
+      let _ =
+        Sched.spawn sched ~name:"server" (fun () ->
+            let c = Option.get (Netsim.accept l) in
+            check bool "recv returns None on close" true (Netsim.recv c = None))
+      in
+      let _ =
+        Sched.spawn sched ~name:"client" (fun () ->
+            let c = Netsim.connect net ~port:80 in
+            Sched.sleep 5_000.0;
+            Netsim.close c)
+      in
+      ())
+
+let test_pending_messages_before_close () =
+  run_sim (fun sched ->
+      let net = Netsim.create Cost.default in
+      let l = Netsim.listen net ~port:80 in
+      let _ =
+        Sched.spawn sched ~name:"server" (fun () ->
+            let c = Option.get (Netsim.accept l) in
+            Sched.sleep 100_000.0;
+            (* The client has sent then closed: the data must still be
+               readable before the close is reported. *)
+            check bool "message first" true (Netsim.recv c = Some "last words");
+            check bool "then close" true (Netsim.recv c = None))
+      in
+      let _ =
+        Sched.spawn sched ~name:"client" (fun () ->
+            let c = Netsim.connect net ~port:80 in
+            Netsim.send c "last words";
+            Netsim.close c)
+      in
+      ())
+
+let test_waitset_multiplexes () =
+  run_sim (fun sched ->
+      let net = Netsim.create Cost.default in
+      let l = Netsim.listen net ~port:80 in
+      let served = ref 0 in
+      let _ =
+        Sched.spawn sched ~name:"server" (fun () ->
+            let ws = Netsim.Waitset.create () in
+            for _ = 1 to 3 do
+              Netsim.Waitset.add ws (Option.get (Netsim.accept l))
+            done;
+            let finished = ref 0 in
+            while !finished < 3 do
+              match Netsim.Waitset.wait ws with
+              | None -> finished := 3
+              | Some c -> (
+                  match Netsim.recv c with
+                  | Some msg ->
+                      incr served;
+                      Netsim.send c ("ok:" ^ msg)
+                  | None ->
+                      Netsim.Waitset.remove ws c;
+                      incr finished)
+            done)
+      in
+      for i = 1 to 3 do
+        ignore
+          (Sched.spawn sched
+             ~name:(Printf.sprintf "client%d" i)
+             (fun () ->
+               let c = Netsim.connect net ~port:80 in
+               Sched.sleep (float_of_int (i * 1000));
+               Netsim.send c (string_of_int i);
+               (match Netsim.recv c with
+               | Some r -> check string "reply" ("ok:" ^ string_of_int i) r
+               | None -> Alcotest.fail "no reply");
+               Netsim.close c))
+      done;
+      Sched.run sched;
+      check int "all three served" 3 !served)
+
+let test_send_after_close_is_noop () =
+  run_sim (fun sched ->
+      let net = Netsim.create Cost.default in
+      let l = Netsim.listen net ~port:80 in
+      let _ =
+        Sched.spawn sched ~name:"server" (fun () -> ignore (Option.get (Netsim.accept l)))
+      in
+      let _ =
+        Sched.spawn sched ~name:"client" (fun () ->
+            let c = Netsim.connect net ~port:80 in
+            Netsim.close c;
+            Netsim.send c "into the void";
+            check bool "still closed" false (Netsim.is_open c))
+      in
+      ())
+
+let () =
+  Alcotest.run "netsim"
+    [
+      ( "conn",
+        [
+          Alcotest.test_case "echo roundtrip" `Quick test_echo_roundtrip;
+          Alcotest.test_case "ordering" `Quick test_ordering_preserved;
+          Alcotest.test_case "multi message" `Quick test_message_ordering;
+          Alcotest.test_case "latency" `Quick test_latency_advances_clock;
+        ] );
+      ( "close",
+        [
+          Alcotest.test_case "close wakes receiver" `Quick test_close_wakes_receiver;
+          Alcotest.test_case "pending before close" `Quick test_pending_messages_before_close;
+          Alcotest.test_case "send after close" `Quick test_send_after_close_is_noop;
+        ] );
+      ("waitset", [ Alcotest.test_case "multiplex" `Quick test_waitset_multiplexes ]);
+    ]
