@@ -1,0 +1,22 @@
+# Convenience entry points; everything is plain dune underneath.
+
+.PHONY: all check test chaos bench clean
+
+all: check
+
+# Tier-1 gate: full build plus the default test suites.
+check:
+	dune build
+	dune runtest
+
+test: check
+
+# Long fault-injection / DoS suites across five fixed seeds.
+chaos:
+	dune build @chaos
+
+bench:
+	dune exec bench/main.exe -- quick
+
+clean:
+	dune clean

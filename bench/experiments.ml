@@ -860,3 +860,105 @@ let a3 () =
     "rewind cost is independent of state size; checkpoint/restore and reload \
      scale linearly — the paper's motivation for compartmentalization-based \
      recovery"
+
+(* {1 R1 — supervision: the DoS-amplification cap (§VI)} *)
+
+(* "Unlimited Lives" warns that unlimited rollback is a DoS amplifier: a
+   looping attacker makes the victim pay a full rewind per probe, forever.
+   The supervisor's rewind budget converts that O(attacks) rewind bill
+   into O(budget): after the budget the attacker's domain is quarantined
+   and further probes are answered with a cheap busy reply. *)
+let run_dos_amplifier ~supervised ~attacks =
+  let space = Space.create ~size_mib:192 () in
+  let sd = Api.create ~virtual_keys:true space in
+  let sched = Sched.create () in
+  let net = Netsim.create (Space.cost space) in
+  let cfg =
+    {
+      Kvcache.Server.default_config with
+      variant = Kvcache.Server.Sdrad;
+      vulnerable = true;
+      workers = 2;
+      per_client_domains = true;
+    }
+  in
+  let policy =
+    {
+      Resilience.Supervisor.default_policy with
+      budget_max = 3;
+      budget_window = 1.0e9;
+      cooldown = 2.0e6;
+    }
+  in
+  let sup =
+    if supervised then Some (Resilience.Supervisor.attach ~policy sd) else None
+  in
+  let benign_ok = ref 0 in
+  let srv = ref None in
+  let _ =
+    Sched.spawn sched ~name:"harness" (fun () ->
+        let s =
+          Kvcache.Server.start sched space ~sdrad:sd ?supervisor:sup net cfg
+        in
+        srv := Some s;
+        let good =
+          Sched.spawn sched ~name:"good" (fun () ->
+              let c = Netsim.connect net ~src:1 ~port:11211 in
+              for i = 1 to 40 do
+                Sched.sleep 6_000.0;
+                Netsim.send c
+                  (Kvcache.Proto.fmt_set ~key:(Printf.sprintf "k%d" i)
+                     ~flags:0 ~value:"v");
+                match Netsim.recv c with
+                | Some r when r = Kvcache.Proto.stored -> incr benign_ok
+                | _ -> ()
+              done;
+              Netsim.close c)
+        in
+        let evil =
+          Sched.spawn sched ~name:"evil" (fun () ->
+              for _ = 1 to attacks do
+                Sched.sleep 10_000.0;
+                let c = Netsim.connect net ~src:777 ~port:11211 in
+                Netsim.send c
+                  (Kvcache.Proto.fmt_set_lying ~key:"pwn" ~flags:0
+                     ~declared:(-1) ~value:(String.make 300 'X'));
+                ignore (Netsim.recv c);
+                Netsim.close c
+              done)
+        in
+        Sched.join good;
+        Sched.join evil;
+        Kvcache.Server.stop s)
+  in
+  Sched.run sched;
+  let s = Option.get !srv in
+  let rewind_cycles =
+    List.fold_left ( +. ) 0.0 (Kvcache.Server.rewind_latencies s)
+  in
+  (Kvcache.Server.rewinds s, rewind_cycles,
+   Kvcache.Server.busy_rejections s, !benign_ok)
+
+let r1 () =
+  section "R1 (supervision, §VI) rewind budget caps the DoS amplifier";
+  let attacks = if !quick then 8 else 25 in
+  let row name supervised =
+    let rewinds, cycles, busy, benign = run_dos_amplifier ~supervised ~attacks in
+    [
+      name;
+      string_of_int attacks;
+      string_of_int rewinds;
+      Printf.sprintf "%.1f us" (us_of cycles);
+      string_of_int busy;
+      string_of_int benign;
+    ]
+  in
+  table
+    ~header:
+      [ "server"; "attacks"; "rewinds"; "rewind time"; "busy replies";
+        "benign ok" ]
+    [ row "unsupervised" false; row "supervised" true ];
+  print_endline
+    "unsupervised pays one rewind per attack; supervised pays at most the \
+     budget (3) and answers the rest with SERVER_ERROR busy, with no benign \
+     losses"

@@ -24,6 +24,7 @@ let all : (string * (unit -> unit)) list =
     ("a6", Experiments.a6);
     ("a2", Experiments.a2);
     ("a3", Experiments.a3);
+    ("r1", Experiments.r1);
     ("micro", Micro.run);
   ]
 

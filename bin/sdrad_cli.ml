@@ -4,7 +4,8 @@
      sdrad_cli cve <name>          run one CVE scenario (protected + not)
      sdrad_cli switch              print the domain-switch cost anatomy
      sdrad_cli kvbench [opts]      one Memcached YCSB configuration
-     sdrad_cli webbench [opts]     one NGINX load configuration *)
+     sdrad_cli webbench [opts]     one NGINX load configuration
+     sdrad_cli stats [opts]        supervised attack demo + monitor stats *)
 
 open Cmdliner
 module Space = Vmem.Space
@@ -316,10 +317,111 @@ let webbench_cmd =
   Cmd.v (Cmd.info "webbench" ~doc)
     Term.(const run $ variant_arg variants $ workers_arg $ size $ conns)
 
+(* {1 stats} *)
+
+let stats_cmd =
+  let doc =
+    "Run a short supervised attack scenario against the key-value cache and \
+     print the monitor's runtime statistics, the incident log, and the \
+     supervisor's circuit-breaker state."
+  in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED") in
+  let attacks = Arg.(value & opt int 8 & info [ "attacks" ] ~docv:"N") in
+  let run verbose seed attacks =
+    setup_logging verbose;
+    let module Supervisor = Resilience.Supervisor in
+    let space = Space.create ~size_mib:192 () in
+    let sd = Api.create ~virtual_keys:true space in
+    let sched = Sched.create () in
+    let net = Netsim.create (Space.cost space) in
+    let sup = Supervisor.attach sd in
+    let cfg =
+      {
+        Kvcache.Server.default_config with
+        variant = Kvcache.Server.Sdrad;
+        vulnerable = true;
+        workers = 2;
+        per_client_domains = true;
+      }
+    in
+    let srv = ref None in
+    let _ =
+      Sched.spawn sched ~name:"cli" (fun () ->
+          let s =
+            Kvcache.Server.start sched space ~sdrad:sd ~supervisor:sup net cfg
+          in
+          srv := Some s;
+          (* A benign client and a reconnecting attacker. *)
+          let good =
+            Sched.spawn sched ~name:"good" (fun () ->
+                let rng = Simkern.Rng.create seed in
+                let c = Netsim.connect net ~src:1 ~port:11211 in
+                for i = 1 to 20 do
+                  Sched.sleep (float_of_int (Simkern.Rng.int rng 8_000));
+                  Netsim.send c
+                    (Kvcache.Proto.fmt_set
+                       ~key:(Printf.sprintf "k%d" i)
+                       ~flags:0 ~value:"v");
+                  ignore (Netsim.recv c)
+                done;
+                Netsim.close c)
+          in
+          let evil =
+            Sched.spawn sched ~name:"evil" (fun () ->
+                for _ = 1 to attacks do
+                  Sched.sleep 20_000.0;
+                  let c = Netsim.connect net ~src:777 ~port:11211 in
+                  Netsim.send c
+                    (Kvcache.Proto.fmt_set_lying ~key:"pwn" ~flags:0
+                       ~declared:(-1) ~value:(String.make 300 'X'));
+                  ignore (Netsim.recv c);
+                  Netsim.close c
+                done)
+          in
+          Sched.join good;
+          Sched.join evil;
+          Kvcache.Server.stop s)
+    in
+    Sched.run sched;
+    let s = Option.get !srv in
+    print_endline "== monitor runtime stats ==";
+    print_endline
+      (Stats.Table.render ~header:[ "counter"; "value" ]
+         (List.map
+            (fun (k, v) -> [ k; string_of_int v ])
+            (Api.runtime_stats sd)));
+    Printf.printf "rewind count: %d\n" (Api.rewind_count sd);
+    Printf.printf "busy rejections: %d\n\n"
+      (Kvcache.Server.busy_rejections s);
+    print_endline "== incident log ==";
+    List.iter
+      (fun f -> Printf.printf "  %s\n" (Format.asprintf "%a" Sdrad.Types.pp_fault f))
+      (Api.incidents sd);
+    print_endline "\n== supervisor breaker states ==";
+    print_endline
+      (Stats.Table.render ~header:[ "udi"; "state"; "rewinds"; "rejections" ]
+         (List.map
+            (fun (udi, st) ->
+              let counters = Supervisor.domain_counters sup ~udi in
+              let get k =
+                match List.assoc_opt k counters with Some v -> v | None -> 0
+              in
+              [ string_of_int udi; Supervisor.breaker_to_string st;
+                string_of_int (get "rewinds"); string_of_int (get "rejections") ])
+            (Supervisor.states sup)));
+    print_endline
+      (Stats.Table.render ~header:[ "supervisor counter"; "value" ]
+         (List.map
+            (fun (k, v) -> [ k; string_of_int v ])
+            (Supervisor.stats sup)))
+  in
+  Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ verbose_arg $ seed $ attacks)
+
 let () =
   let doc = "Secure Domain Rewind and Discard — simulation toolkit" in
   let info = Cmd.info "sdrad_cli" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
-       [ costs_cmd; cve_cmd; switch_cmd; render_cmd; kvbench_cmd; webbench_cmd ]))
+       [ costs_cmd; cve_cmd; switch_cmd; render_cmd; kvbench_cmd; webbench_cmd;
+         stats_cmd ]))

@@ -902,6 +902,17 @@ let rewind_count t = t.rewinds
 let incidents t = List.rev t.incidents
 let set_incident_handler t h = t.incident_handler <- Some h
 
+(* Compose instead of clobber: the new handler runs first, then whatever
+   was installed before it. Lets a supervisor subscribe without stealing
+   the slot from application reporting (and vice versa). *)
+let add_incident_handler t h =
+  let prev = t.incident_handler in
+  t.incident_handler <-
+    Some
+      (fun f ->
+        h f;
+        match prev with Some p -> p f | None -> ())
+
 let on_abnormal_cleanup t f =
   let ts = thread_state t in
   match current_inst ts with

@@ -168,7 +168,13 @@ val incidents : t -> fault list
 val set_incident_handler : t -> (fault -> unit) -> unit
 (** Invoke a callback after every abnormal exit (once the parent's
     privileges are restored); use for alerting, rate-limiting rewinds, or
-    firewalling repeat offenders. *)
+    firewalling repeat offenders. Replaces any existing handler. *)
+
+val add_incident_handler : t -> (fault -> unit) -> unit
+(** Like {!set_incident_handler} but composes: the new handler runs
+    first, then the previously installed one(s). This is how a
+    {e supervisor} subscribes without stealing the slot from application
+    reporting. *)
 
 (** [on_abnormal_cleanup t f] registers [f] to run if the {e current}
     (entered) domain exits abnormally — the building block for

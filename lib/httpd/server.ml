@@ -4,6 +4,8 @@ module Space = Vmem.Space
 module Prot = Vmem.Prot
 module Api = Sdrad.Api
 module Types = Sdrad.Types
+module Supervisor = Resilience.Supervisor
+module Fault_inject = Resilience.Fault_inject
 
 let log_src = Logs.Src.create "sdrad.httpd" ~doc:"web server"
 
@@ -25,6 +27,7 @@ type config = {
   max_restarts : int;
   image_bytes : int;
   rewind_limit : int option;
+  per_worker_domains : bool;
 }
 
 let default_config =
@@ -42,6 +45,7 @@ let default_config =
     max_restarts = 1_000;
     image_bytes = 2 * 1024 * 1024;
     rewind_limit = None;
+    per_worker_domains = false;
   }
 
 let uri_dst_cap = 2048
@@ -62,6 +66,8 @@ type t = {
   space : Space.t;
   cfg : config;
   sd : Api.t option;
+  sup : Supervisor.t option;
+  faults : Fault_inject.t option;
   fs : Fs.t;
   listener : Netsim.listener;
   slots : worker_slot array;
@@ -82,6 +88,7 @@ type t = {
   mutable restart_lat : float list;
   mutable dropped : int;
   mutable proactive : int;
+  mutable busy_503 : int;
 }
 
 let glibc_allocator space =
@@ -143,7 +150,7 @@ let tlsf_allocator space =
         grow (n + 64);
         Tlsf.malloc heap n
   in
-  (alloc, fun p -> Tlsf.free heap p)
+  (alloc, (fun p -> Tlsf.free heap p), heap)
 
 let conn_token keep_alive = if keep_alive then "keep-alive" else "close"
 
@@ -158,6 +165,10 @@ let http_200_head ~keep_alive size =
     size (conn_token keep_alive)
 
 let http_404 = "HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n"
+
+let http_503 =
+  "HTTP/1.1 503 Service Unavailable\r\nRetry-After: 1\r\nContent-Length: 0\r\n\r\n"
+
 let http_400 = "HTTP/1.1 400 Bad Request\r\nContent-Length: 0\r\n\r\n"
 let http_403 = "HTTP/1.1 403 Forbidden\r\nContent-Length: 0\r\n\r\n"
 let http_405 = "HTTP/1.1 405 Method Not Allowed\r\nContent-Length: 0\r\n\r\n"
@@ -272,19 +283,26 @@ let handle_plain t slot c ~cbuf ~len =
       Netsim.send c http_400;
       `Keep
 
+(* With per-worker domains each slot parses in its own udi, so the
+   supervisor can quarantine one worker's parser without fencing the
+   others. [parser_udi] must leave [workers] consecutive udis free. *)
+let slot_udi t slot =
+  if t.cfg.per_worker_domains then t.cfg.parser_udi + slot.idx
+  else t.cfg.parser_udi
+
 (* SDRaD parsing (§V-B): request bytes are copied into the persistent
    parser domain, each parse phase is its own domain transition, and the
    normalized URI is copied back out on success. *)
 let handle_sdrad t slot sd c ~cbuf ~len =
-  let udi = t.cfg.parser_udi in
+  let udi = slot_udi t slot in
   let opts = { Types.default_options with heap_size = 64 * 1024 } in
-  Api.run sd ~udi ~opts
-    ~on_rewind:(fun f ->
-      t.rewinds <- t.rewinds + 1;
-      slot.slot_rewinds <- slot.slot_rewinds + 1;
-      t.rewind_lat <- (Sched.now () -. f.Types.at) :: t.rewind_lat;
-      `Close_faulted)
-    (fun () ->
+  let on_rewind f =
+    t.rewinds <- t.rewinds + 1;
+    slot.slot_rewinds <- slot.slot_rewinds + 1;
+    t.rewind_lat <- (Sched.now () -. f.Types.at) :: t.rewind_lat;
+    `Close_faulted
+  in
+  let body () =
       (* [dst] first so it sits at the bottom of the domain sub-heap:
          the underflow exits the domain instead of finding stale '/'
          bytes. *)
@@ -298,6 +316,12 @@ let handle_sdrad t slot sd c ~cbuf ~len =
          return values. *)
       let phase f =
         Api.enter sd udi;
+        (match t.faults with
+        | Some fi ->
+            ignore
+              (Fault_inject.fire_in_domain fi ~site:"httpd.parse" ~sd ~buf:copy
+                 ~len)
+        | None -> ());
         let r =
           match f () with
           | v -> Ok v
@@ -346,8 +370,23 @@ let handle_sdrad t slot sd c ~cbuf ~len =
       Api.free sd ~udi copy;
       Api.free sd ~udi dst;
       Api.deinit sd udi;
-      parsed)
-  |> function
+      parsed
+  in
+  let result =
+    match t.sup with
+    | Some sup ->
+        Supervisor.run sup ~udi ~opts ~on_rewind
+          ~on_busy:(fun ~until:_ -> `Busy)
+          body
+    | None -> Api.run sd ~udi ~opts ~on_rewind body
+  in
+  match result with
+  | `Busy ->
+      (* Quarantined parser domain: degrade instead of serving — the
+         client gets a retryable 503 and keeps its connection. *)
+      t.busy_503 <- t.busy_503 + 1;
+      Netsim.send c http_503;
+      `Keep
   | `Close_faulted -> `Close
   | `Bad_request ->
       Netsim.send c http_400;
@@ -357,7 +396,7 @@ let handle_sdrad t slot sd c ~cbuf ~len =
       respond t slot c ~meth ~version ~path ~headers
         ~body:(cbuf + body_rel, body_len)
 
-let rec start sched space ?sdrad net ~fs cfg =
+let rec start sched space ?sdrad ?supervisor ?faults net ~fs cfg =
   let sd = sdrad in
   (match (cfg.variant, sd) with
   | Sdrad, None -> invalid_arg "Httpd.Server.start: Sdrad variant needs ~sdrad"
@@ -369,14 +408,27 @@ let rec start sched space ?sdrad net ~fs cfg =
   let buf_alloc, buf_free =
     match cfg.variant with
     | Baseline -> glibc_allocator space
-    | Tlsf_alloc | Sdrad -> tlsf_allocator space
+    | Tlsf_alloc | Sdrad ->
+        let alloc, free, heap = tlsf_allocator space in
+        (match faults with
+        | Some fi -> Fault_inject.arm_tlsf fi heap ~site:"httpd.alloc"
+        | None -> ());
+        (alloc, free)
   in
   let pool_alloc =
     match (cfg.variant, sd) with
     | Sdrad, Some sd ->
-        (* Request pools live in a dedicated data domain (§V-B). *)
+        (* Request pools live in a dedicated data domain (§V-B). Every
+           parser udi a slot may use needs write access to it. *)
         Api.init_data sd ~udi:cfg.pool_udi ~heap_size:(256 * 1024) ();
-        Api.dprotect sd ~udi:cfg.parser_udi ~tddi:cfg.pool_udi Prot.rw;
+        let parser_udis =
+          if cfg.per_worker_domains then
+            List.init cfg.workers (fun i -> cfg.parser_udi + i)
+          else [ cfg.parser_udi ]
+        in
+        List.iter
+          (fun udi -> Api.dprotect sd ~udi ~tddi:cfg.pool_udi Prot.rw)
+          parser_udis;
         fun len -> Api.malloc sd ~udi:cfg.pool_udi len
     | _ ->
         (* One pool region per worker; a fresh mapping, so the guard page
@@ -390,6 +442,8 @@ let rec start sched space ?sdrad net ~fs cfg =
       space;
       cfg;
       sd;
+      sup = supervisor;
+      faults;
       fs;
       listener;
       slots =
@@ -420,6 +474,7 @@ let rec start sched space ?sdrad net ~fs cfg =
       restart_lat = [];
       dropped = 0;
       proactive = 0;
+      busy_503 = 0;
     }
   in
   Array.iter (fun slot -> spawn_worker t slot) t.slots;
@@ -499,7 +554,15 @@ and worker t slot =
                 Netsim.close c;
                 if v = `Close then t.dropped <- t.dropped + 1;
                 slot.live_conns <-
-                  List.filter (fun x -> not (x == c)) slot.live_conns));
+                  List.filter (fun x -> not (x == c)) slot.live_conns);
+            (* Scheduler-level chaos: lose this worker "process" between
+               requests; the master observes the death and respawns. *)
+            match t.faults with
+            | Some fi ->
+                ignore
+                  (Fault_inject.maybe_kill fi ~site:"httpd.worker"
+                     ~sched:t.sched ~tid:slot.tid)
+            | None -> ());
         (* §VI mitigation: after too many rewinds, re-exec voluntarily to
            re-randomize the address space. *)
         match t.cfg.rewind_limit with
@@ -564,6 +627,8 @@ let worker_restarts t = t.restarts
 let proactive_restarts t = t.proactive
 let restart_latencies t = t.restart_lat
 let dropped_connections t = t.dropped
+let busy_rejections t = t.busy_503
+let supervisor t = t.sup
 
 let alive t =
   Array.exists

@@ -41,6 +41,12 @@ type config = {
           a configurable number of rewindings" — a worker that has rewound
           this many times voluntarily re-execs (restoring address-space
           randomization), at the cost of one worker restart *)
+  per_worker_domains : bool;
+      (** {!Sdrad} variant only: worker [i] parses in udi
+          [parser_udi + i] instead of all workers sharing [parser_udi],
+          so the supervisor can quarantine one worker's parser without
+          fencing the others. [parser_udi] must leave [workers]
+          consecutive udis free of other uses. Off by default. *)
 }
 
 val default_config : config
@@ -51,10 +57,19 @@ val start :
   Simkern.Sched.t ->
   Vmem.Space.t ->
   ?sdrad:Sdrad.Api.t ->
+  ?supervisor:Resilience.Supervisor.t ->
+  ?faults:Resilience.Fault_inject.t ->
   Netsim.t ->
   fs:Fs.t ->
   config ->
   t
+(** [supervisor] (attached to the same [sdrad]) gates the parser domains:
+    requests hitting a quarantined parser udi are answered with [503
+    Service Unavailable] instead of being parsed. [faults] arms the
+    deterministic injection sites — ["httpd.alloc"] (buffer-allocator
+    failure), ["httpd.parse"] (corruption inside the parser domain, one
+    visit per parse phase) and ["httpd.worker"] (kill the worker thread
+    between requests). *)
 
 val stop : t -> unit
 val join : t -> unit
@@ -73,4 +88,10 @@ val restart_latencies : t -> float list
 (** Cycles from a worker's death to its replacement accepting work. *)
 
 val dropped_connections : t -> int
+
+val busy_rejections : t -> int
+(** Requests answered with 503 because the supervisor had the parser
+    domain quarantined. *)
+
+val supervisor : t -> Resilience.Supervisor.t option
 val alive : t -> bool

@@ -10,6 +10,7 @@ let status_ok = 0x0000
 let status_not_found = 0x0001
 let status_einval = 0x0004
 let status_oom = 0x0082
+let status_busy = 0x0085
 
 let is_binary space ~addr ~len = len >= 1 && Space.load8 space addr = magic_request
 

@@ -28,6 +28,10 @@ val status_not_found : int
 val status_oom : int
 val status_einval : int
 
+val status_busy : int
+(** Temporary-failure status (0x0085): the target domain is quarantined;
+    retry later. *)
+
 val is_binary : Vmem.Space.t -> addr:int -> len:int -> bool
 (** Does the buffer start with the request magic? *)
 

@@ -37,6 +37,11 @@ val max_key_len : int
 val stored : string
 val not_stored : string
 val server_error_oom : string
+
+val server_error_busy : string
+(** Sent instead of serving when the target domain is quarantined by the
+    supervisor — the client should back off and retry later. *)
+
 val deleted : string
 val not_found : string
 val end_ : string

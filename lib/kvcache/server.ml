@@ -4,6 +4,8 @@ module Space = Vmem.Space
 module Prot = Vmem.Prot
 module Api = Sdrad.Api
 module Types = Sdrad.Types
+module Supervisor = Resilience.Supervisor
+module Fault_inject = Resilience.Fault_inject
 
 let log_src = Logs.Src.create "sdrad.kvcache" ~doc:"key-value cache server"
 
@@ -24,6 +26,8 @@ type config = {
   conn_buf_size : int;
   image_bytes : int;
   max_db_bytes : int;
+  per_client_domains : bool;
+  client_udi_base : int;
 }
 
 let default_config =
@@ -40,6 +44,8 @@ let default_config =
     conn_buf_size = 16 * 1024;
     image_bytes = 4 * 1024 * 1024;
     max_db_bytes = max_int;
+    per_client_domains = false;
+    client_udi_base = 100;
   }
 
 type conn_state = { cbuf : int; mutable outstanding : bool }
@@ -49,6 +55,10 @@ type t = {
   space : Space.t;
   cfg : config;
   sd : Api.t option;
+  sup : Supervisor.t option;
+  faults : Fault_inject.t option;
+  client_udis : (int, int) Hashtbl.t;  (* source address -> stable udi *)
+  mutable next_client_udi : int;
   slab : Slab.t;
   db : Store.t;
   listener : Netsim.listener;
@@ -65,6 +75,7 @@ type t = {
   mutable rewinds : int;
   mutable rewind_lat : float list;
   mutable dropped : int;
+  mutable busy_rejections : int;
   mutable crashed : bool;
 }
 
@@ -129,7 +140,7 @@ let tlsf_allocator space ~malloc_region =
         grow (n + 64);
         Tlsf.malloc heap n
   in
-  (alloc, fun p -> Tlsf.free heap p)
+  (alloc, (fun p -> Tlsf.free heap p), heap)
 
 (* The unchecked copy of CVE-2011-4971: the length field from the request
    header is used directly as the memcpy length; a negative 32-bit value
@@ -170,6 +181,7 @@ let global_lock t f =
 type wire = {
   w_stored : string;
   w_oom : string;
+  w_busy : string;
   w_deleted : string;
   w_not_found : string;
   w_miss : string;
@@ -182,6 +194,7 @@ let text_wire =
   {
     w_stored = Proto.stored;
     w_oom = Proto.server_error_oom;
+    w_busy = Proto.server_error_busy;
     w_deleted = Proto.deleted;
     w_not_found = Proto.not_found;
     w_miss = Proto.end_;
@@ -205,6 +218,7 @@ let binary_wire =
   {
     w_stored = Binproto.res_stored;
     w_oom = Binproto.res_error Binproto.status_oom;
+    w_busy = Binproto.res_error Binproto.status_busy;
     w_deleted = Binproto.res_deleted;
     w_not_found = Binproto.res_not_found;
     w_miss = Binproto.res_not_found;
@@ -243,6 +257,7 @@ let stats_reply t =
       ("total_requests", string_of_int t.served);
       ("rewinds", string_of_int t.rewinds);
       ("dropped_connections", string_of_int t.dropped);
+      ("busy_rejections", string_of_int t.busy_rejections);
       ("slab_pages", string_of_int (Slab.pages_allocated t.slab));
     ]
 
@@ -251,7 +266,7 @@ let parse_any space ~addr ~len =
     (binary_wire, Binproto.parse space ~addr ~len)
   else (text_wire, Proto.parse space ~addr ~len)
 
-let rec start sched space ?sdrad net cfg =
+let rec start sched space ?sdrad ?supervisor ?faults net cfg =
   let sd = sdrad in
   (match (cfg.variant, sd) with
   | Sdrad, None -> invalid_arg "Server.start: Sdrad variant needs ~sdrad"
@@ -281,19 +296,30 @@ let rec start sched space ?sdrad net cfg =
         Api.malloc sd ~udi:cfg.lock_udi 8
     | _ -> Space.mmap space ~len:4096 ~prot:Prot.rw ~pkey:0
   in
-  let buf_alloc, buf_free =
+  let buf_alloc, buf_free, buf_heap =
     match cfg.variant with
-    | Baseline -> glibc_allocator space
+    | Baseline ->
+        let alloc, free = glibc_allocator space in
+        (alloc, free, None)
     | Tlsf_alloc ->
-        tlsf_allocator space ~malloc_region:(fun len ->
-            Space.mmap space ~len ~prot:Prot.rw ~pkey:0)
+        let alloc, free, heap =
+          tlsf_allocator space ~malloc_region:(fun len ->
+              Space.mmap space ~len ~prot:Prot.rw ~pkey:0)
+        in
+        (alloc, free, Some heap)
     | Sdrad ->
         let sd = Option.get sd in
-        tlsf_allocator space ~malloc_region:(fun len ->
-            (* Root-domain memory: grow via the SDRaD root heap so pages
-               carry the root protection key. *)
-            Api.malloc sd ~udi:Types.root_udi len)
+        let alloc, free, heap =
+          tlsf_allocator space ~malloc_region:(fun len ->
+              (* Root-domain memory: grow via the SDRaD root heap so pages
+                 carry the root protection key. *)
+              Api.malloc sd ~udi:Types.root_udi len)
+        in
+        (alloc, free, Some heap)
   in
+  (match (faults, buf_heap) with
+  | Some fi, Some heap -> Fault_inject.arm_tlsf fi heap ~site:"kv.alloc"
+  | _ -> ());
   let listener = Netsim.listen net ~port:cfg.port in
   let t =
     {
@@ -301,6 +327,10 @@ let rec start sched space ?sdrad net cfg =
       space;
       cfg;
       sd;
+      sup = supervisor;
+      faults;
+      client_udis = Hashtbl.create 16;
+      next_client_udi = cfg.client_udi_base;
       slab;
       db;
       listener;
@@ -316,6 +346,7 @@ let rec start sched space ?sdrad net cfg =
       rewinds = 0;
       rewind_lat = [];
       dropped = 0;
+      busy_rejections = 0;
       crashed = false;
     }
   in
@@ -483,10 +514,30 @@ and apply_deferred t w = function
           | Some (Error msg) -> Some msg
           | Some (Ok v) -> Some (Printf.sprintf "%d\r\n" v))
 
+(* With per-client domains, the udi is keyed by the connection's source
+   address, so a client that reconnects (e.g. after its connection was
+   dropped by a rewind) lands back in the same domain — its supervision
+   history (budget, backoff, quarantine) follows it across connections,
+   which is what defeats the reconnect-and-fault-again DoS loop. *)
+and udi_for_conn t c =
+  if not t.cfg.per_client_domains then t.cfg.nested_udi
+  else
+    let src = Netsim.remote_addr c in
+    match Hashtbl.find_opt t.client_udis src with
+    | Some udi -> udi
+    | None ->
+        let udi = t.next_client_udi in
+        t.next_client_udi <- udi + 1;
+        Hashtbl.replace t.client_udis src udi;
+        (match t.sd with
+        | Some sd -> Api.dprotect sd ~udi ~tddi:t.cfg.db_udi Prot.read
+        | None -> ());
+        udi
+
 and handle_sdrad t ws c msg =
   let sd = Option.get t.sd in
   let space = t.space in
-  let udi = t.cfg.nested_udi in
+  let udi = udi_for_conn t c in
   let st = Hashtbl.find t.conns (Netsim.id c) in
   let len = min (String.length msg) (t.cfg.conn_buf_size - 2) in
   Space.store_string space st.cbuf (String.sub msg 0 len);
@@ -495,61 +546,77 @@ and handle_sdrad t ws c msg =
     if Binproto.is_binary space ~addr:st.cbuf ~len then binary_wire else text_wire
   in
   let opts = { Types.default_options with heap_size = 64 * 1024 } in
+  let on_rewind f =
+    (* Abnormal exit: discard the event, close only this client. *)
+    Log.info (fun m ->
+        m "rewound event on conn %d: %a" (Netsim.id c) Types.pp_fault f);
+    t.rewinds <- t.rewinds + 1;
+    drop_conn t ws c;
+    t.dropped <- t.dropped + 1;
+    t.rewind_lat <- (Sched.now () -. f.Types.at) :: t.rewind_lat;
+    `Rewound
+  in
+  let body () =
+    (* Deep copy of the connection buffer into the domain (step 4). *)
+    let dbuf = Api.malloc sd ~udi (len + 8) in
+    Space.blit space ~src:st.cbuf ~dst:dbuf ~len;
+    Api.enter sd udi;
+    (match t.faults with
+    | Some fi ->
+        ignore (Fault_inject.fire_in_domain fi ~site:"kv.domain" ~sd ~buf:dbuf ~len)
+    | None -> ());
+    let outcome = drive_machine_in_domain t sd ~udi ~dbuf ~len in
+    Api.exit_domain sd;
+    (* Apply the deferred update atomically in the parent (step 9),
+       then format the response from the (accessible) domain data. *)
+    let reply =
+      match outcome with
+      | `Value (addr, vlen, flags, key) ->
+          let value = Space.read_string space addr vlen in
+          Api.free sd ~udi addr;
+          (* Deferred LRU bump, applied with parent privileges. *)
+          global_lock t (fun () -> Store.touch t.db key);
+          Some (w.w_value ~key ~flags ~value)
+      | `Multi_value hits ->
+          let materialized =
+            List.map
+              (fun (key, flags, addr, vlen) ->
+                let v = Space.read_string space addr vlen in
+                Api.free sd ~udi addr;
+                global_lock t (fun () -> Store.touch t.db key);
+                (key, flags, v))
+              hits
+          in
+          Some (w.w_values materialized)
+      | `Miss -> Some w.w_miss
+      | `Bad_cmd -> Some w.w_error
+      | `Stats_cmd -> Some (stats_reply t)
+      | `Quit_cmd -> None
+      | `Deferred (d, staged) ->
+          let r = apply_deferred t w d in
+          Option.iter (fun p -> Api.free sd ~udi p) staged;
+          r
+    in
+    (* The paper reuses the domain's buffers across events: release
+       them so the persistent sub-heap stays flat. *)
+    Api.free sd ~udi dbuf;
+    Api.deinit sd udi;
+    `Reply reply
+  in
   let result =
-    Api.run sd ~udi ~opts
-      ~on_rewind:(fun f ->
-        (* Abnormal exit: discard the event, close only this client. *)
-        Log.info (fun m ->
-            m "rewound event on conn %d: %a" (Netsim.id c) Types.pp_fault f);
-        t.rewinds <- t.rewinds + 1;
-        drop_conn t ws c;
-        t.dropped <- t.dropped + 1;
-        t.rewind_lat <- (Sched.now () -. f.Types.at) :: t.rewind_lat;
-        `Rewound)
-      (fun () ->
-        (* Deep copy of the connection buffer into the domain (step 4). *)
-        let dbuf = Api.malloc sd ~udi (len + 8) in
-        Space.blit space ~src:st.cbuf ~dst:dbuf ~len;
-        Api.enter sd udi;
-        let outcome = drive_machine_in_domain t sd ~udi ~dbuf ~len in
-        Api.exit_domain sd;
-        (* Apply the deferred update atomically in the parent (step 9),
-           then format the response from the (accessible) domain data. *)
-        let reply =
-          match outcome with
-          | `Value (addr, vlen, flags, key) ->
-              let value = Space.read_string space addr vlen in
-              Api.free sd ~udi addr;
-              (* Deferred LRU bump, applied with parent privileges. *)
-              global_lock t (fun () -> Store.touch t.db key);
-              Some (w.w_value ~key ~flags ~value)
-          | `Multi_value hits ->
-              let materialized =
-                List.map
-                  (fun (key, flags, addr, vlen) ->
-                    let v = Space.read_string space addr vlen in
-                    Api.free sd ~udi addr;
-                    global_lock t (fun () -> Store.touch t.db key);
-                    (key, flags, v))
-                  hits
-              in
-              Some (w.w_values materialized)
-          | `Miss -> Some w.w_miss
-          | `Bad_cmd -> Some w.w_error
-          | `Stats_cmd -> Some (stats_reply t)
-          | `Quit_cmd -> None
-          | `Deferred (d, staged) ->
-              let r = apply_deferred t w d in
-              Option.iter (fun p -> Api.free sd ~udi p) staged;
-              r
-        in
-        (* The paper reuses the domain's buffers across events: release
-           them so the persistent sub-heap stays flat. *)
-        Api.free sd ~udi dbuf;
-        Api.deinit sd udi;
-        `Reply reply)
+    match t.sup with
+    | Some sup ->
+        (* Supervised: a quarantined client udi is turned away before any
+           domain state is touched. *)
+        Supervisor.run sup ~udi ~opts ~on_rewind
+          ~on_busy:(fun ~until:_ -> `Busy)
+          body
+    | None -> Api.run sd ~udi ~opts ~on_rewind body
   in
   match result with
+  | `Busy ->
+      t.busy_rejections <- t.busy_rejections + 1;
+      Netsim.send c w.w_busy
   | `Rewound -> ()
   | `Reply (Some reply) -> Netsim.send c reply
   | `Reply None -> drop_conn t ws c
@@ -630,6 +697,9 @@ let store t = t.db
 let crashed t = t.crashed
 let requests_served t = t.served
 let rewinds t = t.rewinds
+let busy_rejections t = t.busy_rejections
+let client_domains t = Hashtbl.length t.client_udis
+let supervisor t = t.sup
 let rewind_latencies t = t.rewind_lat
 let dropped_connections t = t.dropped
 let db_bytes t = Slab.pages_allocated t.slab * Slab.slab_page_size

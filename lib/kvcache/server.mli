@@ -43,15 +43,36 @@ type config = {
   max_db_bytes : int;
       (** Memcached's [-m]: cap on slab memory; the store evicts
           least-recently-used items when it is reached *)
+  per_client_domains : bool;
+      (** {!Sdrad} variant only: key the event domain by the connection's
+          source address instead of sharing one [nested_udi], so a
+          client's supervision history (rewind budget, quarantine)
+          survives reconnects. Off by default. *)
+  client_udi_base : int;
+      (** first udi handed out for per-client domains (must not collide
+          with [db_udi]/[lock_udi]) *)
 }
 
 val default_config : config
 
 type t
 
-val start : Simkern.Sched.t -> Vmem.Space.t -> ?sdrad:Sdrad.Api.t -> Netsim.t -> config -> t
+val start :
+  Simkern.Sched.t ->
+  Vmem.Space.t ->
+  ?sdrad:Sdrad.Api.t ->
+  ?supervisor:Resilience.Supervisor.t ->
+  ?faults:Resilience.Fault_inject.t ->
+  Netsim.t ->
+  config ->
+  t
 (** Spawn the dispatcher and worker threads. [sdrad] is required for the
-    {!Sdrad} variant. *)
+    {!Sdrad} variant. [supervisor] (attached to the same [sdrad]) gates
+    every event domain: quarantined udis are answered with
+    [SERVER_ERROR busy] (status 0x85 on the binary protocol) instead of
+    being served. [faults] arms the deterministic injection sites —
+    ["kv.alloc"] (buffer-allocator failure) and ["kv.domain"]
+    (memory corruption inside the event domain). *)
 
 val stop : t -> unit
 (** Close the listener and worker waitsets; threads drain and exit. *)
@@ -71,6 +92,15 @@ val rewind_latencies : t -> float list
     being closed — the paper's abnormal-exit latency (§V-A). *)
 
 val dropped_connections : t -> int
+
+val busy_rejections : t -> int
+(** Requests answered with [SERVER_ERROR busy] because the supervisor had
+    the target domain quarantined. *)
+
+val client_domains : t -> int
+(** Per-client domains allocated so far (0 unless [per_client_domains]). *)
+
+val supervisor : t -> Resilience.Supervisor.t option
 val worker_busy_cycles : t -> float
 (** Total CPU (non-waiting) cycles consumed by this server's threads —
     the resource cost a replicated deployment multiplies. *)

@@ -1,9 +1,18 @@
 module Sched = Simkern.Sched
 module Cost = Simkern.Cost
 
+(* Link-level fault injection: what happens to one message on the wire.
+   The hook lives in a record shared by every endpoint of a network so a
+   chaos engine can be armed after connections exist. *)
+type send_action = Deliver | Drop | Truncate of int | Delay of float
+
+type hooks = { mutable on_send : (len:int -> send_action) option }
+
 type endpoint = {
   eid : int;
+  src : int;  (* source address of the connecting side, for peer identity *)
   cost : Cost.t;
+  hooks : hooks;
   inbox : (float * string) Queue.t;  (* (delivery time, payload) *)
   mutable peer : endpoint;  (* physical equality with self until paired *)
   mutable closed : bool;
@@ -31,9 +40,18 @@ type t = {
   n_cost : Cost.t;
   ports : (int, listener) Hashtbl.t;
   mutable next_eid : int;
+  n_hooks : hooks;
 }
 
-let create cost = { n_cost = cost; ports = Hashtbl.create 8; next_eid = 0 }
+let create cost =
+  {
+    n_cost = cost;
+    ports = Hashtbl.create 8;
+    next_eid = 0;
+    n_hooks = { on_send = None };
+  }
+
+let set_fault_hook t h = t.n_hooks.on_send <- h
 
 let listen t ~port =
   let l =
@@ -42,13 +60,15 @@ let listen t ~port =
   Hashtbl.replace t.ports port l;
   l
 
-let fresh_endpoint t =
+let fresh_endpoint t ~src =
   let eid = t.next_eid in
   t.next_eid <- eid + 1;
   let rec e =
     {
       eid;
+      src;
       cost = t.n_cost;
+      hooks = t.n_hooks;
       inbox = Queue.create ();
       peer = e;
       closed = false;
@@ -73,12 +93,16 @@ let wake_endpoint e ~at =
       | None -> ())
   | None -> ()
 
-let connect t ~port =
+(* [src] is the client's source address (think IP): connections made with
+   the same [src] are recognizably the same remote peer on the server
+   side via [remote_addr]. Defaults to a per-connection unique id. *)
+let connect ?src t ~port =
   match Hashtbl.find_opt t.ports port with
   | None -> failwith (Printf.sprintf "Netsim.connect: no listener on port %d" port)
   | Some l ->
-      let client = fresh_endpoint t in
-      let server = fresh_endpoint t in
+      let src = match src with Some s -> s | None -> t.next_eid in
+      let client = fresh_endpoint t ~src in
+      let server = fresh_endpoint t ~src in
       client.peer <- server;
       server.peer <- client;
       Sched.charge t.n_cost.Cost.net_msg;
@@ -115,11 +139,27 @@ let latency cost len =
 
 let send c msg =
   if not (c.closed || c.peer.closed) then begin
+    let action =
+      match c.hooks.on_send with
+      | Some h -> h ~len:(String.length msg)
+      | None -> Deliver
+    in
+    (* The sender always pays the transmission cost for what it put on the
+       wire; the fault decides what the receiver sees. *)
     let lat = latency c.cost (String.length msg) in
     Sched.charge lat;
-    let arrival = Sched.now () +. lat in
-    Queue.add (arrival, msg) c.peer.inbox;
-    wake_endpoint c.peer ~at:arrival
+    match action with
+    | Drop -> ()
+    | Deliver | Truncate _ | Delay _ ->
+        let msg =
+          match action with
+          | Truncate n -> String.sub msg 0 (max 0 (min n (String.length msg)))
+          | _ -> msg
+        in
+        let extra = match action with Delay d -> Float.max 0.0 d | _ -> 0.0 in
+        let arrival = Sched.now () +. lat +. extra in
+        Queue.add (arrival, msg) c.peer.inbox;
+        wake_endpoint c.peer ~at:arrival
   end
 
 let deliverable c =
@@ -157,6 +197,7 @@ let close c =
 let is_open c = not c.closed
 let peer_closed c = c.peer.closed
 let id c = c.eid
+let remote_addr c = c.src
 
 module Waitset = struct
   type ws = waitset

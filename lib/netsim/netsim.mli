@@ -19,9 +19,12 @@ type listener
 val create : Simkern.Cost.t -> t
 val listen : t -> port:int -> listener
 
-val connect : t -> port:int -> conn
+val connect : ?src:int -> t -> port:int -> conn
 (** Returns immediately with the client endpoint; the server side obtains
-    the peer endpoint from {!accept}. @raise Failure on unknown port. *)
+    the peer endpoint from {!accept}. [src] is the client's source address
+    (think IP): connections sharing it are recognizably the same remote
+    peer via {!remote_addr}; it defaults to a per-connection unique id.
+    @raise Failure on unknown port. *)
 
 val accept : listener -> conn option
 (** Block until a client connects; [None] once the listener is closed. *)
@@ -49,6 +52,23 @@ val close : conn -> unit
 val is_open : conn -> bool
 val peer_closed : conn -> bool
 val id : conn -> int
+
+val remote_addr : conn -> int
+(** The source address the connecting side supplied to {!connect} (same
+    value on both endpoints of a connection). *)
+
+(** {1 Link-level fault injection} *)
+
+type send_action =
+  | Deliver  (** normal delivery *)
+  | Drop  (** the message is lost; the sender still pays the send cost *)
+  | Truncate of int  (** deliver only the first [n] bytes *)
+  | Delay of float  (** extra latency, in cycles, on top of the model's *)
+
+val set_fault_hook : t -> (len:int -> send_action) option -> unit
+(** Arm (or disarm, with [None]) a network-wide hook consulted once per
+    {!send} with the payload length. Used by the chaos engine to drop,
+    truncate, or delay messages deterministically. *)
 
 (** Readiness multiplexing for event-driven servers: a waitset watches a
     set of connections and yields whichever has deliverable input,

@@ -1,0 +1,165 @@
+(* Deterministic fault-injection engine.
+
+   A plan is an ordered list of rules, each bound to a stable site label
+   ("kv.alloc", "httpd.parse", "net.c2s", ...). Substrates consult the
+   engine at their injection points ([decide], or one of the [arm_*]
+   adapters that plug directly into the Tlsf / Netsim hooks); every
+   eligible rule visit costs exactly one draw from a private splitmix64
+   stream, so with a deterministic scheduler the whole fault sequence is
+   a pure function of [(seed, plan)] — a failing chaos run is replayable
+   bit-for-bit, and two runs of the same experiment must produce
+   byte-identical event logs ([log_to_string]). *)
+
+module Rng = Simkern.Rng
+module Sched = Simkern.Sched
+module Api = Sdrad.Api
+module Space = Vmem.Space
+
+type kind =
+  | Alloc_fail  (* Tlsf malloc returns OOM *)
+  | Bit_flip  (* single-event upset in a mapped byte *)
+  | Wild_write  (* stray store into an unmapped page *)
+  | Stack_smash  (* clobber the canary of a stack frame *)
+  | Net_drop  (* message silently lost *)
+  | Net_truncate  (* message cut short at a random offset *)
+  | Net_delay of float  (* latency spike, extra cycles *)
+  | Kill_thread  (* scheduler-level loss of a thread *)
+
+let kind_to_string = function
+  | Alloc_fail -> "alloc-fail"
+  | Bit_flip -> "bit-flip"
+  | Wild_write -> "wild-write"
+  | Stack_smash -> "stack-smash"
+  | Net_drop -> "net-drop"
+  | Net_truncate -> "net-truncate"
+  | Net_delay d -> Printf.sprintf "net-delay(%.0f)" d
+  | Kill_thread -> "kill-thread"
+
+type rule = {
+  site : string;
+  kind : kind;
+  prob : float;  (* per-visit firing probability *)
+  max_fires : int;  (* total firing budget for this rule *)
+}
+
+let rule ?(prob = 1.0) ?(max_fires = max_int) ~site kind =
+  { site; kind; prob; max_fires }
+
+type event = { e_seq : int; e_site : string; e_kind : kind; e_at : float }
+
+type armed = { r : rule; mutable fired : int }
+
+type t = {
+  seed : int;
+  rng : Rng.t;
+  plan : armed list;
+  mutable events : event list;  (* newest first *)
+  mutable next_seq : int;
+}
+
+let create ~seed plan =
+  {
+    seed;
+    rng = Rng.create seed;
+    plan = List.map (fun r -> { r; fired = 0 }) plan;
+    events = [];
+    next_seq = 0;
+  }
+
+let seed t = t.seed
+
+let record t ~site kind =
+  let at = if Sched.in_thread () then Sched.now () else 0.0 in
+  t.events <-
+    { e_seq = t.next_seq; e_site = site; e_kind = kind; e_at = at } :: t.events;
+  t.next_seq <- t.next_seq + 1
+
+(* One draw per eligible (site-matching, budget-remaining) rule, in plan
+   order; the first rule whose draw lands under its probability fires. *)
+let decide t ~site =
+  let rec visit = function
+    | [] -> None
+    | a :: rest ->
+        if a.r.site = site && a.fired < a.r.max_fires then
+          if Rng.float t.rng < a.r.prob then begin
+            a.fired <- a.fired + 1;
+            record t ~site a.r.kind;
+            Some a.r.kind
+          end
+          else visit rest
+        else visit rest
+  in
+  visit t.plan
+
+(* {1 Firing helpers} *)
+
+let wild_write space =
+  (* Page 0 is never mapped: any store there is the canonical stray
+     pointer dereference and raises [Space.Fault (MAPERR)]. *)
+  Space.store64 space 64 0x41414141
+
+let flip_random_bit t space ~addr ~len =
+  if len > 0 then
+    Space.flip_bit space
+      ~addr:(addr + Rng.int t.rng len)
+      ~bit:(Rng.int t.rng 8)
+  else false
+
+let smash_canary sd =
+  Api.with_stack_frame sd 16 (fun buf ->
+      Space.store64 (Api.space sd) (buf + 16) 0x41414141)
+
+(* Inject inside a domain body: corrupts state appropriate to the decided
+   kind and lets the substrate raise whatever it raises. Network and
+   scheduler kinds are ignored here — they belong to the [arm_*]
+   adapters. Returns the kind fired, for callers that log. *)
+let fire_in_domain t ~site ~sd ~buf ~len =
+  match decide t ~site with
+  | None -> None
+  | Some k ->
+      (match k with
+      | Bit_flip -> ignore (flip_random_bit t (Api.space sd) ~addr:buf ~len)
+      | Wild_write -> wild_write (Api.space sd)
+      | Stack_smash -> smash_canary sd
+      | Alloc_fail | Net_drop | Net_truncate | Net_delay _ | Kill_thread -> ());
+      Some k
+
+(* {1 Substrate adapters} *)
+
+let arm_tlsf t heap ~site =
+  Tlsf.set_inject_failure heap
+    (Some
+       (fun _request ->
+         match decide t ~site with Some Alloc_fail -> true | _ -> false))
+
+let arm_netsim t net ~site =
+  Netsim.set_fault_hook net
+    (Some
+       (fun ~len ->
+         match decide t ~site with
+         | Some Net_drop -> Netsim.Drop
+         | Some Net_truncate -> Netsim.Truncate (Rng.int t.rng (max 1 len))
+         | Some (Net_delay d) -> Netsim.Delay d
+         | Some _ | None -> Netsim.Deliver))
+
+let maybe_kill t ~site ~sched ~tid =
+  match decide t ~site with
+  | Some Kill_thread ->
+      Sched.kill sched tid;
+      true
+  | _ -> false
+
+(* {1 Introspection} *)
+
+let events t = List.rev t.events
+let fires t = t.next_seq
+
+let log_to_string t =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "%04d %-16s %-14s @%.0f\n" e.e_seq e.e_site
+           (kind_to_string e.e_kind) e.e_at))
+    (events t);
+  Buffer.contents buf

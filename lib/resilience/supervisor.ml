@@ -1,0 +1,278 @@
+(* Domain supervisor (the layer §VI of the paper leaves open): consumes
+   the incident stream of an [Sdrad.Api.t] and enforces per-udi policy so
+   that unlimited rollback cannot be turned into a denial-of-service
+   amplifier by an attacker who faults the same domain in a loop.
+
+   Each supervised udi moves through a circuit breaker:
+
+     Closed --fault--> Backoff --budget exhausted--> Quarantined
+       ^                  |                               |
+       |   success        | fault (budget left)           | cooldown
+       +------------------+                               v
+       ^                                             Half_open (probe)
+       |        probe succeeds                            |
+       +--------------------------------------------------+
+                                     probe faults -> Quarantined again
+
+   In [Backoff] the next admission is delayed exponentially (the wait is
+   charged through the virtual clock, like a real supervisor sleeping
+   before a restart). In [Quarantined] admissions are rejected outright
+   with a distinguishable verdict so callers can degrade (serve busy /
+   503) instead of burning re-initialization time. After [cooldown] a
+   single half-open probe is admitted; its fate decides between closing
+   the breaker and a fresh quarantine. *)
+
+module Api = Sdrad.Api
+module Types = Sdrad.Types
+module Sched = Simkern.Sched
+
+let log_src = Logs.Src.create "sdrad.supervisor" ~doc:"domain supervisor"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type breaker = Closed | Backoff | Quarantined | Half_open
+
+let breaker_to_string = function
+  | Closed -> "closed"
+  | Backoff -> "backoff"
+  | Quarantined -> "quarantined"
+  | Half_open -> "half-open"
+
+type policy = {
+  budget_max : int;  (* rewinds within [budget_window] that trip the breaker *)
+  budget_window : float;  (* sliding window, virtual cycles *)
+  backoff_base : float;  (* first re-init delay *)
+  backoff_factor : float;  (* delay multiplier per consecutive fault *)
+  backoff_max : float;  (* delay ceiling *)
+  cooldown : float;  (* quarantine duration before a half-open probe *)
+}
+
+let default_policy =
+  {
+    budget_max = 3;
+    budget_window = 5.0e6;
+    backoff_base = 20_000.0;
+    backoff_factor = 2.0;
+    backoff_max = 1.0e6;
+    cooldown = 2.0e6;
+  }
+
+type dstate = {
+  d_udi : Types.udi;
+  mutable breaker : breaker;
+  mutable recent : float list;  (* rewind timestamps, newest first *)
+  mutable strikes : int;  (* consecutive faults since last success *)
+  mutable retry_at : float;  (* Backoff: earliest next admission *)
+  mutable quarantined_at : float;
+  mutable d_rewinds : int;
+  mutable d_quarantines : int;
+  mutable d_probes : int;
+  mutable d_rejections : int;
+}
+
+type t = {
+  sd : Api.t;
+  policy : policy;
+  domains : (Types.udi, dstate) Hashtbl.t;
+  mutable rewinds_seen : int;
+  mutable quarantines : int;
+  mutable rejections : int;
+  mutable backoff_waits : int;
+  mutable probes : int;
+  mutable probe_successes : int;
+}
+
+type verdict = Admitted | Probe | Busy of { until : float }
+
+let now () = if Sched.in_thread () then Sched.now () else 0.0
+
+let dstate t udi =
+  match Hashtbl.find_opt t.domains udi with
+  | Some d -> d
+  | None ->
+      let d =
+        {
+          d_udi = udi;
+          breaker = Closed;
+          recent = [];
+          strikes = 0;
+          retry_at = 0.0;
+          quarantined_at = 0.0;
+          d_rewinds = 0;
+          d_quarantines = 0;
+          d_probes = 0;
+          d_rejections = 0;
+        }
+      in
+      Hashtbl.replace t.domains udi d;
+      d
+
+let quarantine t d ~at =
+  d.breaker <- Quarantined;
+  d.quarantined_at <- at;
+  d.d_quarantines <- d.d_quarantines + 1;
+  t.quarantines <- t.quarantines + 1;
+  Log.warn (fun m ->
+      m "domain %d quarantined until %.0f (%d rewinds in window)" d.d_udi
+        (at +. t.policy.cooldown) (List.length d.recent))
+
+let on_incident t (f : Types.fault) =
+  let d = dstate t f.failed_udi in
+  let at = f.at in
+  t.rewinds_seen <- t.rewinds_seen + 1;
+  d.d_rewinds <- d.d_rewinds + 1;
+  d.recent <-
+    at :: List.filter (fun ts -> at -. ts <= t.policy.budget_window) d.recent;
+  d.strikes <- d.strikes + 1;
+  match d.breaker with
+  | Half_open ->
+      (* The probe itself faulted: straight back to quarantine. *)
+      quarantine t d ~at
+  | Closed | Backoff ->
+      if List.length d.recent >= t.policy.budget_max then quarantine t d ~at
+      else begin
+        d.breaker <- Backoff;
+        let delay =
+          Float.min t.policy.backoff_max
+            (t.policy.backoff_base
+            *. (t.policy.backoff_factor ** float_of_int (d.strikes - 1)))
+        in
+        d.retry_at <- at +. delay;
+        Log.info (fun m ->
+            m "domain %d backing off %.0f cycles (strike %d)" d.d_udi delay
+              d.strikes)
+      end
+  | Quarantined ->
+      (* A rewind while quarantined means the caller bypassed [admit];
+         restart the cooldown so repeat offenders stay fenced. *)
+      d.quarantined_at <- at
+
+let attach ?(policy = default_policy) sd =
+  let t =
+    {
+      sd;
+      policy;
+      domains = Hashtbl.create 16;
+      rewinds_seen = 0;
+      quarantines = 0;
+      rejections = 0;
+      backoff_waits = 0;
+      probes = 0;
+      probe_successes = 0;
+    }
+  in
+  Api.add_incident_handler sd (on_incident t);
+  t
+
+let admit t ~udi =
+  let d = dstate t udi in
+  match d.breaker with
+  | Closed -> Admitted
+  | Backoff ->
+      (* The exponential re-init delay is real virtual time: the caller
+         sleeps until the retry point, exactly like a supervisor pausing
+         before restarting a crashing child. *)
+      if Sched.in_thread () && Sched.now () < d.retry_at then begin
+        t.backoff_waits <- t.backoff_waits + 1;
+        Sched.wait_until d.retry_at
+      end;
+      Admitted
+  | Half_open ->
+      (* One probe in flight at a time. *)
+      d.d_rejections <- d.d_rejections + 1;
+      t.rejections <- t.rejections + 1;
+      Busy { until = d.quarantined_at +. t.policy.cooldown }
+  | Quarantined ->
+      let release = d.quarantined_at +. t.policy.cooldown in
+      if now () >= release then begin
+        d.breaker <- Half_open;
+        d.d_probes <- d.d_probes + 1;
+        t.probes <- t.probes + 1;
+        Log.info (fun m -> m "domain %d: half-open probe admitted" d.d_udi);
+        Probe
+      end
+      else begin
+        d.d_rejections <- d.d_rejections + 1;
+        t.rejections <- t.rejections + 1;
+        Busy { until = release }
+      end
+
+let succeed t ~udi =
+  let d = dstate t udi in
+  d.strikes <- 0;
+  match d.breaker with
+  | Half_open ->
+      d.breaker <- Closed;
+      d.recent <- [];
+      t.probe_successes <- t.probe_successes + 1;
+      Log.info (fun m -> m "domain %d: probe succeeded, breaker closed" d.d_udi)
+  | Backoff -> d.breaker <- Closed
+  | Closed | Quarantined -> ()
+
+(* {1 Wrappers} *)
+
+(* Supervised [Api.run]: quarantined udis are rejected with [on_busy]
+   before any domain state is touched, so the caller can degrade instead
+   of crash; a normally completing body counts as a success. The rewind
+   path needs no bookkeeping here — the incident handler already saw it. *)
+let run t ~udi ?opts ~on_rewind ~on_busy body =
+  match admit t ~udi with
+  | Busy { until } -> on_busy ~until
+  | Admitted | Probe ->
+      Api.run t.sd ~udi ?opts ~on_rewind (fun () ->
+          let v = body () in
+          succeed t ~udi;
+          v)
+
+type 'a outcome =
+  | Ok of 'a
+  | Faulted of Types.fault
+  | Rejected of { udi : Types.udi; until : float }
+
+(* Supervised [Api.protect_call] with a distinguishable rejection. *)
+let protect_call t ~udi ?opts ~arg f =
+  match admit t ~udi with
+  | Busy { until } ->
+      Rejected { udi; until }
+  | Admitted | Probe -> (
+      match Api.protect_call t.sd ~udi ?opts ~arg f with
+      | Result.Ok v ->
+          succeed t ~udi;
+          Ok v
+      | Result.Error fault -> Faulted fault)
+
+(* {1 Introspection} *)
+
+let breaker_state t ~udi =
+  match Hashtbl.find_opt t.domains udi with
+  | Some d -> d.breaker
+  | None -> Closed
+
+let forget t ~udi = Hashtbl.remove t.domains udi
+
+let states t =
+  Hashtbl.fold (fun udi d acc -> (udi, d.breaker) :: acc) t.domains []
+  |> List.sort compare
+
+let domain_counters t ~udi =
+  let d = dstate t udi in
+  [
+    ("rewinds", d.d_rewinds);
+    ("quarantines", d.d_quarantines);
+    ("probes", d.d_probes);
+    ("rejections", d.d_rejections);
+  ]
+
+let stats t =
+  [
+    ("supervised_domains", Hashtbl.length t.domains);
+    ("rewinds_seen", t.rewinds_seen);
+    ("quarantines", t.quarantines);
+    ("rejections", t.rejections);
+    ("backoff_waits", t.backoff_waits);
+    ("probes", t.probes);
+    ("probe_successes", t.probe_successes);
+  ]
+
+let sdrad t = t.sd
+let policy t = t.policy

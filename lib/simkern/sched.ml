@@ -7,6 +7,12 @@ type wake = at:float -> unit
 
 exception Deadlock of string
 
+(* Delivered into a thread killed with [kill]: it is raised at the
+   victim's next resumption point, so Fun.protect finalizers and
+   exception handlers run — the simulation analogue of a fatal signal
+   that the runtime turns into an unwind. *)
+exception Killed
+
 type status = Ready | Running | Blocked | Done of outcome
 
 type thread = {
@@ -19,6 +25,7 @@ type thread = {
   mutable cont : (unit, unit) continuation option;
   mutable susp_serial : int;
   mutable joiners : wake list;
+  mutable killed : bool;
 }
 
 (* Binary min-heap of (clock, tid) with lazy deletion: a popped entry is
@@ -146,6 +153,7 @@ let spawn t ?name f =
       cont = None;
       susp_serial = 0;
       joiners = [];
+      killed = false;
     }
   in
   Hashtbl.replace t.threads tid th;
@@ -193,16 +201,25 @@ let handler t th =
 let resume t th =
   th.status <- Running;
   t.current <- Some th;
-  (match th.entry with
-  | Some f ->
-      th.entry <- None;
-      match_with f () (handler t th)
-  | None -> (
-      match th.cont with
-      | Some k ->
-          th.cont <- None;
-          continue k ()
-      | None -> failwith "Sched: resuming thread without continuation"));
+  (if th.killed then begin
+     th.entry <- None;
+     match th.cont with
+     | Some k ->
+         th.cont <- None;
+         discontinue k Killed
+     | None -> finish t th (Failed Killed)
+   end
+   else
+     match th.entry with
+     | Some f ->
+         th.entry <- None;
+         match_with f () (handler t th)
+     | None -> (
+         match th.cont with
+         | Some k ->
+             th.cont <- None;
+             continue k ()
+         | None -> failwith "Sched: resuming thread without continuation"));
   t.current <- None
 
 let blocked_threads t =
@@ -287,6 +304,31 @@ let suspend register = perform (Suspend_eff register)
 let sleep c =
   charge c;
   yield ()
+
+(* Kill a thread: it unwinds with [Killed] at its next resumption. A
+   blocked victim is made runnable immediately (its pending wake-ups are
+   invalidated); a ready one dies when the scheduler picks it. Killing a
+   finished thread is a no-op. The victim's clock is advanced to the
+   killer's so the death is causally ordered. *)
+let kill t tid =
+  match Hashtbl.find_opt t.threads tid with
+  | None -> ()
+  | Some ({ status = Done _; _ }) -> ()
+  | Some th ->
+      th.killed <- true;
+      let at = match t.current with Some cur -> cur.clock | None -> th.clock in
+      if at > th.clock then begin
+        th.waited <- th.waited +. (at -. th.clock);
+        th.clock <- at
+      end;
+      if th.status = Blocked then begin
+        th.susp_serial <- th.susp_serial + 1;
+        make_ready t th
+      end
+      else if th.status = Ready then
+        (* Re-queue at the (possibly advanced) clock; the stale heap entry
+           is skipped by the clock check in [run]. *)
+        Heap.push t.ready { Heap.key = th.clock; id = th.tid }
 
 let join tid =
   let t = current () in

@@ -26,6 +26,9 @@ type outcome =
 exception Deadlock of string
 (** Raised by {!run} when every remaining thread is blocked. *)
 
+exception Killed
+(** Delivered into a thread terminated with {!kill}. *)
+
 val create : unit -> t
 
 val spawn : t -> ?name:string -> (unit -> unit) -> tid
@@ -87,6 +90,14 @@ val suspend : (wake -> unit) -> unit
 val join : tid -> unit
 (** Block until the given thread finishes. Does not re-raise its
     failure — inspect {!outcome}. *)
+
+val kill : t -> tid -> unit
+(** Terminate a thread: {!Killed} is raised inside it at its next
+    resumption point, so handlers and finalizers unwind as for any fatal
+    exception (the victim's outcome is [Failed Killed] unless it catches).
+    A blocked victim is made runnable immediately; killing a finished or
+    unknown thread is a no-op. Fault-injection uses this to model the
+    scheduler-level loss of a thread. *)
 
 val current : unit -> t
 (** The scheduler driving the calling thread. *)

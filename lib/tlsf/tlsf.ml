@@ -38,6 +38,9 @@ type t = {
   mutable used_bytes : int;
   mutable used_blocks : int;
   mutable total_bytes : int;
+  mutable inject_failure : (int -> bool) option;
+      (* fault injection: when set and it answers [true] for a request
+         size, the allocation fails as if the heap were exhausted *)
 }
 
 let create space ~name =
@@ -51,7 +54,10 @@ let create space ~name =
     used_bytes = 0;
     used_blocks = 0;
     total_bytes = 0;
+    inject_failure = None;
   }
+
+let set_inject_failure t h = t.inject_failure <- h
 
 let space t = t.space
 let name t = t.name
@@ -144,9 +150,12 @@ let find_suitable t fl sl =
       Some (fl', ffs t.sl_bitmap.(fl'))
 
 let malloc_opt t request =
+  let injected =
+    match t.inject_failure with Some f -> f request | None -> false
+  in
   let adjust = max min_payload (round_up (max request 1)) in
   let _, (fl, sl) = mapping_search adjust in
-  if fl >= fl_count then None
+  if injected || fl >= fl_count then None
   else
     match find_suitable t fl sl with
     | None -> None

@@ -42,6 +42,11 @@ val malloc : t -> int -> int
 
 val malloc_opt : t -> int -> int option
 
+val set_inject_failure : t -> (int -> bool) option -> unit
+(** Fault injection: when the hook answers [true] for a request size, that
+    allocation fails ([malloc_opt] returns [None], {!malloc} raises
+    [Out_of_memory]) as if the heap were exhausted. [None] disarms. *)
+
 val free : t -> int -> unit
 (** Release a payload address, coalescing with free physical neighbours.
     @raise Heap_corrupted on double free or foreign pointer. *)

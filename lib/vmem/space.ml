@@ -317,6 +317,22 @@ let store64 t addr v =
   check t addr 8 Write;
   Bytes.set_int64_le t.mem addr (Int64.of_int v)
 
+(* Single-event upset: flip one bit of a mapped byte, bypassing the
+   protection checks — a soft error is not a CPU access, so neither PKRU
+   nor page protections apply and no time is charged. A flip aimed at an
+   unmapped address lands in a hole and is lost. Returns whether the flip
+   landed. Used by the fault-injection engine. *)
+let flip_bit t ~addr ~bit =
+  if addr >= 0 && addr < t.size
+     && Char.code (Bytes.unsafe_get t.flags (addr lsr page_shift)) land fl_mapped
+        <> 0
+  then begin
+    let b = Char.code (Bytes.get t.mem addr) in
+    Bytes.set t.mem addr (Char.unsafe_chr (b lxor (1 lsl (bit land 7))));
+    true
+  end
+  else false
+
 let bulk_charge t len =
   charge t (t.cost.mem_access +. (t.cost.mem_byte *. float_of_int len))
 

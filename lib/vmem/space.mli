@@ -99,6 +99,13 @@ val read_string : t -> int -> int -> string
 val blit : t -> src:int -> dst:int -> len:int -> unit
 val fill : t -> addr:int -> len:int -> char -> unit
 
+val flip_bit : t -> addr:int -> bit:int -> bool
+(** Single-event upset: XOR one bit ([bit land 7]) of a mapped byte,
+    bypassing page and PKRU protections — a soft error is not a CPU
+    access, so no permission check applies, no fault is raised, and no
+    time is charged. Returns [false] when the address is unmapped (the
+    flip lands in a hole). For deterministic fault injection. *)
+
 val memchr : t -> addr:int -> len:int -> char -> int option
 (** First address of the given byte in [\[addr, addr+len)], scanning with
     per-byte checks and cost. *)

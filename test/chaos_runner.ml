@@ -1,0 +1,287 @@
+(* Chaos entry point (`dune build @chaos` / `make chaos`): the long
+   fault-injection and DoS suites, run across a fixed set of seeds so a
+   regression in any one schedule is caught and is replayable from the
+   printed seed. Exits non-zero on the first violated invariant. *)
+
+module Space = Vmem.Space
+module Sched = Simkern.Sched
+module Rng = Simkern.Rng
+module Api = Sdrad.Api
+module Supervisor = Resilience.Supervisor
+module Fault_inject = Resilience.Fault_inject
+module Server = Kvcache.Server
+module Proto = Kvcache.Proto
+
+let seeds = [ 11; 23; 37; 41; 53 ]
+let failures = ref 0
+
+let expect ~seed name ok =
+  if not ok then begin
+    incr failures;
+    Printf.printf "FAIL [seed %d] %s\n%!" seed name
+  end
+
+(* {1 Supervised DoS scenario} *)
+
+(* A looping attacker reconnects from one source address and fires the
+   CVE payload; per-client domains + supervisor must cap its rewinds at
+   the budget, keep benign failures at zero, and heal after cooldown. *)
+let run_dos ~seed ~supervised ~attacks =
+  let space = Space.create ~size_mib:192 () in
+  let sd = Api.create ~virtual_keys:true space in
+  let sched = Sched.create () in
+  let net = Netsim.create (Space.cost space) in
+  let cfg =
+    {
+      Server.default_config with
+      variant = Server.Sdrad;
+      vulnerable = true;
+      workers = 2;
+      per_client_domains = true;
+    }
+  in
+  let policy =
+    {
+      Supervisor.default_policy with
+      budget_max = 3;
+      budget_window = 1.0e9;
+      backoff_base = 5_000.0;
+      backoff_max = 50_000.0;
+      cooldown = 2.0e6;
+    }
+  in
+  let sup = if supervised then Some (Supervisor.attach ~policy sd) else None in
+  let benign_failures = ref 0 and busy = ref 0 and recovered = ref false in
+  let srv = ref None in
+  let _ =
+    Sched.spawn sched ~name:"dos" (fun () ->
+        let s = Server.start sched space ~sdrad:sd ?supervisor:sup net cfg in
+        srv := Some s;
+        let tids = ref [] in
+        for i = 0 to 2 do
+          tids :=
+            Sched.spawn sched
+              ~name:(Printf.sprintf "good%d" i)
+              (fun () ->
+                let rng = Rng.create (seed + (100 * i)) in
+                let c = Netsim.connect net ~src:(1 + i) ~port:11211 in
+                for _ = 1 to 25 do
+                  Sched.sleep (float_of_int (Rng.int rng 8_000));
+                  Netsim.send c
+                    (Proto.fmt_set
+                       ~key:(Printf.sprintf "k%d" (Rng.int rng 20))
+                       ~flags:0
+                       ~value:(Bytes.to_string (Rng.bytes rng 64)));
+                  match Netsim.recv c with
+                  | None -> incr benign_failures
+                  | Some r -> (
+                      match Proto.parse_reply r with
+                      | Proto.Failed _ -> incr benign_failures
+                      | _ -> ())
+                done;
+                Netsim.close c)
+            :: !tids
+        done;
+        tids :=
+          Sched.spawn sched ~name:"evil" (fun () ->
+              for _ = 1 to attacks do
+                Sched.sleep 20_000.0;
+                let c = Netsim.connect net ~src:777 ~port:11211 in
+                Netsim.send c
+                  (Proto.fmt_set_lying ~key:"pwn" ~flags:0 ~declared:(-1)
+                     ~value:(String.make 300 'X'));
+                (match Netsim.recv c with
+                | None -> ()
+                | Some r -> if r = Proto.server_error_busy then incr busy);
+                Netsim.close c
+              done;
+              if supervised then begin
+                Sched.sleep 2.5e6;
+                let c = Netsim.connect net ~src:777 ~port:11211 in
+                Netsim.send c (Proto.fmt_get "pwn");
+                (match Netsim.recv c with
+                | Some r -> (
+                    match Proto.parse_reply r with
+                    | Proto.Failed _ -> ()
+                    | _ -> recovered := true)
+                | None -> ());
+                Netsim.close c
+              end)
+          :: !tids;
+        List.iter Sched.join !tids;
+        Server.stop s)
+  in
+  Sched.run sched;
+  let s = Option.get !srv in
+  (Server.rewinds s, !busy, !benign_failures, !recovered, Server.crashed s)
+
+let dos_suite ~seed =
+  let attacks = 10 in
+  let un_rewinds, _, _, _, un_crashed =
+    run_dos ~seed ~supervised:false ~attacks
+  in
+  let rewinds, busy, benign_failures, recovered, crashed =
+    run_dos ~seed ~supervised:true ~attacks
+  in
+  expect ~seed "dos: servers stay up" (not (un_crashed || crashed));
+  expect ~seed "dos: unsupervised rewinds = attacks" (un_rewinds = attacks);
+  expect ~seed "dos: supervised rewinds capped" (rewinds = 3);
+  expect ~seed "dos: excess attacks turned away" (busy = attacks - 3);
+  expect ~seed "dos: zero benign failures" (benign_failures = 0);
+  expect ~seed "dos: recovery via half-open probe" recovered;
+  Printf.printf
+    "seed %2d  dos: unsup=%d rewinds, sup=%d rewinds %d busy, recovered=%b\n%!"
+    seed un_rewinds rewinds busy recovered
+
+(* {1 Injected kvcache chaos} *)
+
+let run_injected ~seed =
+  let space = Space.create ~size_mib:128 () in
+  let sd = Api.create space in
+  let sched = Sched.create () in
+  let net = Netsim.create (Space.cost space) in
+  let fi =
+    Fault_inject.create ~seed
+      [
+        Fault_inject.rule ~prob:0.15 ~site:"kv.domain" Fault_inject.Wild_write;
+        Fault_inject.rule ~prob:0.05 ~site:"kv.domain" Fault_inject.Stack_smash;
+      ]
+  in
+  let cfg = { Server.default_config with variant = Server.Sdrad; workers = 2 } in
+  let srv = ref None in
+  let _ =
+    Sched.spawn sched ~name:"chaos" (fun () ->
+        let s = Server.start sched space ~sdrad:sd ~faults:fi net cfg in
+        srv := Some s;
+        let tids = ref [] in
+        for i = 0 to 3 do
+          tids :=
+            Sched.spawn sched
+              ~name:(Printf.sprintf "cl%d" i)
+              (fun () ->
+                let rng = Rng.create (seed + i) in
+                for _ = 1 to 25 do
+                  Sched.sleep (float_of_int (Rng.int rng 10_000));
+                  let c = Netsim.connect net ~port:11211 in
+                  Netsim.send c
+                    (Proto.fmt_set
+                       ~key:(Printf.sprintf "k%d" (Rng.int rng 10))
+                       ~flags:0
+                       ~value:(Bytes.to_string (Rng.bytes rng 48)));
+                  ignore (Netsim.recv c);
+                  Netsim.close c
+                done)
+            :: !tids
+        done;
+        List.iter Sched.join !tids;
+        Server.stop s)
+  in
+  Sched.run sched;
+  let s = Option.get !srv in
+  (Fault_inject.log_to_string fi, Fault_inject.fires fi, Server.rewinds s,
+   Server.crashed s, List.length (Server.db_check s))
+
+let injected_suite ~seed =
+  let log1, fires, rewinds, crashed, db_errors = run_injected ~seed in
+  let log2, _, rewinds2, _, _ = run_injected ~seed in
+  expect ~seed "inject: server stays up" (not crashed);
+  expect ~seed "inject: every fire rewinds" (fires = rewinds);
+  expect ~seed "inject: database integrity" (db_errors = 0);
+  expect ~seed "inject: replayable rewinds" (rewinds = rewinds2);
+  expect ~seed "inject: byte-identical logs" (log1 = log2);
+  Printf.printf "seed %2d  inject: %d fires, %d rewinds, replayable\n%!" seed
+    fires rewinds
+
+(* {1 Injected httpd chaos} *)
+
+let run_httpd ~seed =
+  let space = Space.create ~size_mib:192 () in
+  let sd = Api.create ~virtual_keys:true space in
+  let sched = Sched.create () in
+  let net = Netsim.create (Space.cost space) in
+  let fs = Httpd.Fs.create space in
+  Httpd.Fs.add fs ~path:"/index.html" ~size:2048;
+  let fi =
+    Fault_inject.create ~seed
+      [
+        Fault_inject.rule ~prob:0.04 ~site:"httpd.parse" Fault_inject.Wild_write;
+        Fault_inject.rule ~max_fires:1 ~site:"httpd.worker"
+          Fault_inject.Kill_thread;
+      ]
+  in
+  (* Lenient policy: the parse faults here are injected noise, not an
+     attack, so the budget is set high enough that no worker gets
+     quarantined — the DoS suite covers the quarantine path. *)
+  let policy =
+    {
+      Supervisor.default_policy with
+      budget_max = 50;
+      backoff_base = 2_000.0;
+      backoff_max = 10_000.0;
+    }
+  in
+  let sup = Supervisor.attach ~policy sd in
+  let cfg =
+    {
+      Httpd.Server.default_config with
+      variant = Httpd.Server.Sdrad;
+      workers = 2;
+      parser_udi = 20;
+      per_worker_domains = true;
+    }
+  in
+  let ok = ref 0 in
+  let srv = ref None in
+  let _ =
+    Sched.spawn sched ~name:"chaos" (fun () ->
+        let s =
+          Httpd.Server.start sched space ~sdrad:sd ~supervisor:sup ~faults:fi
+            net ~fs cfg
+        in
+        srv := Some s;
+        let tids = ref [] in
+        for i = 0 to 3 do
+          tids :=
+            Sched.spawn sched
+              ~name:(Printf.sprintf "cl%d" i)
+              (fun () ->
+                let rng = Rng.create (seed + i) in
+                for _ = 1 to 30 do
+                  Sched.sleep (float_of_int (Rng.int rng 15_000));
+                  (* Reconnect per request: survives rewinds and kills. *)
+                  let c = Netsim.connect net ~port:8080 in
+                  Netsim.send c
+                    (Workload.Http_load.request ~path:"/index.html");
+                  (match Netsim.recv c with
+                  | Some r when Workload.Http_load.is_200 r -> incr ok
+                  | Some _ | None -> ());
+                  Netsim.close c
+                done)
+            :: !tids
+        done;
+        List.iter Sched.join !tids;
+        Httpd.Server.stop s)
+  in
+  Sched.run sched;
+  let s = Option.get !srv in
+  (!ok, Httpd.Server.rewinds s, Httpd.Server.worker_restarts s,
+   Fault_inject.fires fi)
+
+let httpd_suite ~seed =
+  let ok, rewinds, restarts, fires = run_httpd ~seed in
+  expect ~seed "httpd: faults were injected" (fires > 0);
+  expect ~seed "httpd: kill produced a worker restart" (restarts >= 1);
+  expect ~seed "httpd: most benign requests served" (ok >= 100);
+  Printf.printf
+    "seed %2d  httpd: %d fires, %d rewinds, %d restarts, %d/120 served\n%!"
+    seed fires rewinds restarts ok
+
+let () =
+  List.iter (fun seed -> dos_suite ~seed) seeds;
+  List.iter (fun seed -> injected_suite ~seed) seeds;
+  List.iter (fun seed -> httpd_suite ~seed) seeds;
+  if !failures > 0 then begin
+    Printf.printf "%d chaos invariant(s) violated\n%!" !failures;
+    exit 1
+  end;
+  print_endline "all chaos invariants held"

@@ -62,6 +62,51 @@ let test_incident_handler_can_count_and_react () =
       done;
       check int "all rewinds counted" 5 !strikes)
 
+let test_incident_handler_after_cleanups () =
+  with_sdrad (fun space sd ->
+      (* Ordering contract: abnormal-exit cleanups run while the domain is
+         being torn down (inside the monitor), and the incident handler
+         fires afterwards, back in the parent — so a handler that inspects
+         shared state sees the post-cleanup view. *)
+      let order = ref [] in
+      Api.set_incident_handler sd (fun _ -> order := `Handler :: !order);
+      Api.run sd ~udi:1
+        ~on_rewind:(fun _ -> order := `On_rewind :: !order)
+        (fun () ->
+          Api.enter sd 1;
+          let (_ : unit -> unit) =
+            Api.on_abnormal_cleanup sd (fun () -> order := `Cleanup :: !order)
+          in
+          ignore (Space.load8 space 0));
+      check bool "cleanup, then handler, then on_rewind" true
+        (List.rev !order = [ `Cleanup; `Handler; `On_rewind ]))
+
+let test_incidents_ordered_across_nested_grandparent () =
+  with_sdrad (fun space sd ->
+      (* Each Grandparent fault unwinds two levels but records exactly one
+         incident, attributed to the inner (faulting) domain; repeated
+         faults appear in the log oldest first. *)
+      let grandparent_fault ~outer ~inner =
+        Api.run sd ~udi:outer
+          ~on_rewind:(fun f ->
+            check int "outer handler attributes inner udi" inner
+              f.Types.failed_udi)
+          (fun () ->
+            Api.enter sd outer;
+            Api.run sd ~udi:inner
+              ~opts:{ Types.default_options with rewind = Types.Grandparent }
+              ~on_rewind:(fun _ -> Alcotest.fail "skipped by grandparent")
+              (fun () ->
+                Api.enter sd inner;
+                ignore (Space.load8 space 0)))
+      in
+      grandparent_fault ~outer:1 ~inner:2;
+      grandparent_fault ~outer:3 ~inner:4;
+      grandparent_fault ~outer:1 ~inner:2;
+      check (Alcotest.list int) "one incident per fault, oldest first"
+        [ 2; 4; 2 ]
+        (List.map (fun f -> f.Types.failed_udi) (Api.incidents sd)))
+
 (* {1 Cleanups} *)
 
 let test_cleanup_runs_on_abnormal_exit () =
@@ -87,6 +132,32 @@ let test_cleanup_cancelled_on_normal_exit () =
           Api.exit_domain sd;
           Api.destroy sd 1 ~heap:`Discard);
       check bool "cancelled cleanup did not run" false !ran)
+
+let test_cleanup_cancel_after_completion_is_noop () =
+  with_sdrad (fun _ sd ->
+      (* A cancel function that outlives its domain must stay safe: calling
+         it after the normal completion (or twice) is a no-op, never a
+         crash or a resurrection of the cleanup. *)
+      let ran = ref false in
+      let escaped = ref (fun () -> ()) in
+      Api.run sd ~udi:1
+        ~on_rewind:(fun _ -> Alcotest.fail "no rewind expected")
+        (fun () ->
+          Api.enter sd 1;
+          escaped := Api.on_abnormal_cleanup sd (fun () -> ran := true);
+          Api.exit_domain sd;
+          Api.destroy sd 1 ~heap:`Discard);
+      !escaped ();
+      !escaped ();
+      check bool "late cancel is inert" false !ran;
+      (* The slot is genuinely gone: a fresh lifecycle of the same udi must
+         not re-trigger the old cleanup on its own abnormal exit. *)
+      Api.run sd ~udi:1
+        ~on_rewind:(fun _ -> ())
+        (fun () ->
+          Api.enter sd 1;
+          Api.abort sd "drill");
+      check bool "old cleanup not resurrected" false !ran)
 
 let test_cleanup_rejected_in_root () =
   with_sdrad (fun _ sd ->
@@ -598,11 +669,14 @@ let () =
           Alcotest.test_case "log" `Quick test_incident_log;
           Alcotest.test_case "handler" `Quick test_incident_handler_called;
           Alcotest.test_case "handler counts" `Quick test_incident_handler_can_count_and_react;
+          Alcotest.test_case "handler after cleanups" `Quick test_incident_handler_after_cleanups;
+          Alcotest.test_case "nested grandparent ordering" `Quick test_incidents_ordered_across_nested_grandparent;
         ] );
       ( "cleanups",
         [
           Alcotest.test_case "runs on abnormal exit" `Quick test_cleanup_runs_on_abnormal_exit;
           Alcotest.test_case "cancelled on normal exit" `Quick test_cleanup_cancelled_on_normal_exit;
+          Alcotest.test_case "late cancel no-op" `Quick test_cleanup_cancel_after_completion_is_noop;
           Alcotest.test_case "rejected in root" `Quick test_cleanup_rejected_in_root;
           Alcotest.test_case "deep nesting order" `Quick test_cleanups_run_for_all_discarded_domains;
         ] );
