@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all check test chaos bench clean
+.PHONY: all check test chaos bench telemetry-report clean
 
 all: check
 
@@ -17,6 +17,11 @@ chaos:
 
 bench:
 	dune exec bench/main.exe -- quick
+
+# Switch-cost anatomy from span traces; fails if the PKRU-write share
+# of an enter+exit pair leaves the paper's 30-50% band.
+telemetry-report:
+	dune exec bench/main.exe -- r2
 
 clean:
 	dune clean

@@ -962,3 +962,74 @@ let r1 () =
     "unsupervised pays one rewind per attack; supervised pays at most the \
      budget (3) and answers the rest with SERVER_ERROR busy, with no benign \
      losses"
+
+(* {1 R2 — telemetry: switch-cost anatomy from span traces} *)
+
+let r2 () =
+  section
+    "R2 (telemetry) switch-cost anatomy — PKRU-write share of an enter+exit \
+     pair, measured from span traces";
+  let pairs = if !quick then 64 else 512 in
+  let tracer = Telemetry.Trace.create ~capacity:32768 () in
+  let space = Space.create ~size_mib:64 () in
+  let sched = Sched.create () in
+  let _ =
+    Sched.spawn sched ~name:"bench" (fun () ->
+        let sd = Api.create ~tracer space in
+        let udi = 0x7FFF_FE00 in
+        Api.run sd ~udi
+          ~on_rewind:(fun _ -> assert false)
+          (fun () ->
+            (* Warm-up pair first — and only then enable the tracer — so
+               first-touch page faults and init spans stay out of the
+               aggregate. *)
+            Api.enter sd udi;
+            Api.exit_domain sd;
+            Telemetry.Trace.set_enabled tracer true;
+            for _ = 1 to pairs do
+              Api.enter sd udi;
+              Api.exit_domain sd
+            done;
+            Telemetry.Trace.set_enabled tracer false;
+            Api.destroy sd udi ~heap:`Discard))
+  in
+  Sched.run sched;
+  let agg = Telemetry.Trace.aggregate tracer in
+  let total_of name =
+    match List.assoc_opt name agg with Some (_, c) -> c | None -> 0.0
+  in
+  let count_of name =
+    match List.assoc_opt name agg with Some (n, _) -> n | None -> 0
+  in
+  let pair_total = total_of "switch.enter" +. total_of "switch.exit" in
+  let pkru = total_of "switch.pkru_write" in
+  let share = pkru /. pair_total in
+  table
+    ~header:[ "span"; "count"; "total cycles"; "per pair"; "share of pair" ]
+    (List.map
+       (fun name ->
+         let n = count_of name and c = total_of name in
+         [
+           name;
+           string_of_int n;
+           Printf.sprintf "%.0f" c;
+           Printf.sprintf "%.1f" (c /. float_of_int pairs);
+           Printf.sprintf "%.1f%%" (100.0 *. c /. pair_total);
+         ])
+       [
+         "switch.pkru_write"; "switch.stack_swap"; "switch.bookkeeping";
+         "switch.enter"; "switch.exit";
+       ]);
+  Printf.printf
+    "%d enter+exit pairs: %.0f cycles each (%.2f us); PKRU writes account for \
+     %.1f%% of the pair — paper reports 30-50%%\n"
+    pairs
+    (pair_total /. float_of_int pairs)
+    (us_of (pair_total /. float_of_int pairs))
+    (100.0 *. share);
+  if share < 0.30 || share > 0.50 then begin
+    Printf.eprintf
+      "R2 FAIL: PKRU-write share %.1f%% is outside the paper's 30-50%% band\n"
+      (100.0 *. share);
+    exit 1
+  end

@@ -25,6 +25,7 @@ let all : (string * (unit -> unit)) list =
     ("a2", Experiments.a2);
     ("a3", Experiments.a3);
     ("r1", Experiments.r1);
+    ("r2", Experiments.r2);
     ("micro", Micro.run);
   ]
 

@@ -5,7 +5,9 @@
      sdrad_cli switch              print the domain-switch cost anatomy
      sdrad_cli kvbench [opts]      one Memcached YCSB configuration
      sdrad_cli webbench [opts]     one NGINX load configuration
-     sdrad_cli stats [opts]        supervised attack demo + monitor stats *)
+     sdrad_cli stats [opts]        supervised attack demo + monitor stats
+     sdrad_cli metrics [opts]      same scenario, Prometheus text exposition
+     sdrad_cli trace [opts]        Chrome trace JSON of a switch/rewind run *)
 
 open Cmdliner
 module Space = Vmem.Space
@@ -417,6 +419,118 @@ let stats_cmd =
   in
   Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ verbose_arg $ seed $ attacks)
 
+(* {1 metrics / trace} *)
+
+(* A fixed supervised attack scenario (no RNG-driven timing, unlike the
+   [stats] demo) so the exposition below is byte-stable for any seed:
+   [seed] only feeds the monitor's canary value, which no metric
+   exposes. *)
+let run_metrics_scenario ~seed =
+  let module Supervisor = Resilience.Supervisor in
+  let space = Space.create ~size_mib:192 () in
+  let sd = Api.create ~seed ~virtual_keys:true space in
+  let sched = Sched.create () in
+  let net = Netsim.create (Space.cost space) in
+  let sup = Supervisor.attach sd in
+  let cfg =
+    {
+      Kvcache.Server.default_config with
+      variant = Kvcache.Server.Sdrad;
+      vulnerable = true;
+      workers = 2;
+      per_client_domains = true;
+    }
+  in
+  let _ =
+    Sched.spawn sched ~name:"cli" (fun () ->
+        let s =
+          Kvcache.Server.start sched space ~sdrad:sd ~supervisor:sup net cfg
+        in
+        let good =
+          Sched.spawn sched ~name:"good" (fun () ->
+              let c = Netsim.connect net ~src:1 ~port:11211 in
+              for i = 1 to 20 do
+                Sched.sleep 4_000.0;
+                Netsim.send c
+                  (Kvcache.Proto.fmt_set
+                     ~key:(Printf.sprintf "k%d" i)
+                     ~flags:0 ~value:"v");
+                ignore (Netsim.recv c)
+              done;
+              Netsim.close c)
+        in
+        let evil =
+          Sched.spawn sched ~name:"evil" (fun () ->
+              for _ = 1 to 8 do
+                Sched.sleep 20_000.0;
+                let c = Netsim.connect net ~src:777 ~port:11211 in
+                Netsim.send c
+                  (Kvcache.Proto.fmt_set_lying ~key:"pwn" ~flags:0
+                     ~declared:(-1) ~value:(String.make 300 'X'));
+                ignore (Netsim.recv c);
+                Netsim.close c
+              done)
+        in
+        Sched.join good;
+        Sched.join evil;
+        Kvcache.Server.stop s)
+  in
+  Sched.run sched;
+  sd
+
+let metrics_cmd =
+  let doc =
+    "Run a deterministic supervised attack scenario against the key-value \
+     cache and print every registered metric in Prometheus text exposition \
+     format (monitor, allocator, memory, server and supervisor series share \
+     one registry)."
+  in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED") in
+  let run verbose seed =
+    setup_logging verbose;
+    let sd = run_metrics_scenario ~seed in
+    print_string (Telemetry.Metrics.expose (Api.metrics sd))
+  in
+  Cmd.v (Cmd.info "metrics" ~doc) Term.(const run $ verbose_arg $ seed)
+
+let trace_cmd =
+  let doc =
+    "Run a short switch + rewind scenario with span tracing enabled and \
+     print the spans as Chrome trace-event JSON (load the output in \
+     about://tracing or Perfetto to see the switch-cost anatomy)."
+  in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED") in
+  let pairs = Arg.(value & opt int 4 & info [ "pairs" ] ~docv:"N") in
+  let run seed pairs =
+    let space = Space.create ~size_mib:64 () in
+    let tracer = Telemetry.Trace.create ~capacity:8192 () in
+    let sched = Sched.create () in
+    let _ =
+      Sched.spawn sched ~name:"cli" (fun () ->
+          let sd = Api.create ~seed ~tracer space in
+          Telemetry.Trace.set_enabled tracer true;
+          Api.run sd ~udi:5
+            ~on_rewind:(fun _ -> ())
+            (fun () ->
+              for _ = 1 to pairs do
+                Api.enter sd 5;
+                Api.exit_domain sd
+              done;
+              Api.destroy sd 5 ~heap:`Discard);
+          Api.run sd ~udi:6
+            ~on_rewind:(fun _ -> ())
+            (fun () ->
+              Api.enter sd 6;
+              Api.abort sd "trace demo");
+          Telemetry.Trace.set_enabled tracer false)
+    in
+    Sched.run sched;
+    print_endline
+      (Telemetry.Trace.to_chrome_json
+         ~cycles_per_us:(cost.Cost.clock_ghz *. 1000.0) tracer)
+  in
+  Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ seed $ pairs)
+
 let () =
   let doc = "Secure Domain Rewind and Discard — simulation toolkit" in
   let info = Cmd.info "sdrad_cli" ~version:"1.0.0" ~doc in
@@ -424,4 +538,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
        [ costs_cmd; cve_cmd; switch_cmd; render_cmd; kvbench_cmd; webbench_cmd;
-         stats_cmd ]))
+         stats_cmd; metrics_cmd; trace_cmd ]))

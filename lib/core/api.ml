@@ -69,13 +69,24 @@ type t = {
   stack_reuse : bool;
   virtual_keys : bool;
   mutable key_clock : int;  (* LRU tick for key virtualization *)
-  mutable key_evictions : int;
   default_stack_size : int;
   default_heap_size : int;
-  mutable rewinds : int;
-  mutable incidents : Types.fault list;
+  incident_cap : int;
+  incident_q : Types.fault Queue.t;  (* bounded ring, oldest at front *)
   mutable incident_handler : (Types.fault -> unit) option;
   mutable in_monitor : bool;
+  metrics : Telemetry.Metrics.t;
+  tracer : Telemetry.Trace.t;
+  c_rewinds : Telemetry.Metrics.counter;
+  c_key_evictions : Telemetry.Metrics.counter;
+  c_incidents : Telemetry.Metrics.counter;
+  c_dropped_incidents : Telemetry.Metrics.counter;
+  c_enters : Telemetry.Metrics.counter;
+  c_exits : Telemetry.Metrics.counter;
+  c_inits : Telemetry.Metrics.counter;
+  c_destroys : Telemetry.Metrics.counter;
+  h_switch_cycles : Telemetry.Metrics.histogram;
+  h_rewind_cycles : Telemetry.Metrics.histogram;
 }
 
 let log_src = Logs.Src.create "sdrad.core" ~doc:"SDRaD reference monitor"
@@ -90,7 +101,14 @@ let charge c = if Sched.in_thread () then Sched.charge c
 let now () = if Sched.in_thread () then Sched.now () else 0.0
 
 let record_incident t fault =
-  t.incidents <- fault :: t.incidents;
+  Queue.push fault t.incident_q;
+  if Queue.length t.incident_q > t.incident_cap then begin
+    ignore (Queue.pop t.incident_q);
+    Telemetry.Metrics.inc t.c_dropped_incidents
+  end;
+  Telemetry.Metrics.inc t.c_incidents;
+  Telemetry.Trace.instant t.tracer "incident"
+    ~args:[ ("udi", string_of_int fault.failed_udi) ];
   Log.info (fun m ->
       m "incident: %a" (fun ppf f -> Types.pp_fault ppf f) fault);
   match t.incident_handler with Some h -> h fault | None -> ()
@@ -113,7 +131,7 @@ let install_syscall_oracle t =
 let create ?(seed = 1) ?(monitor_size = 256 * 1024)
     ?(root_heap_size = 4 * 1024 * 1024) ?(default_stack_size = 64 * 1024)
     ?(default_heap_size = 256 * 1024) ?(stack_reuse = true)
-    ?(virtual_keys = false) space =
+    ?(virtual_keys = false) ?metrics ?tracer ?(incident_log_cap = 1024) space =
   let alloc_key () =
     match Space.pkey_alloc space with Some k -> k | None -> err Out_of_pkeys
   in
@@ -126,6 +144,13 @@ let create ?(seed = 1) ?(monitor_size = 256 * 1024)
   let root_heap = Tlsf.create space ~name:"sdrad-root" in
   Tlsf.add_region root_heap ~addr:root_region ~len:root_heap_size;
   let rng = Simkern.Rng.create seed in
+  let metrics =
+    match metrics with Some m -> m | None -> Telemetry.Metrics.create ()
+  in
+  let tracer =
+    match tracer with Some tr -> tr | None -> Telemetry.Trace.create ()
+  in
+  let module M = Telemetry.Metrics in
   let t =
   {
     space;
@@ -144,15 +169,82 @@ let create ?(seed = 1) ?(monitor_size = 256 * 1024)
     stack_reuse;
     virtual_keys;
     key_clock = 0;
-    key_evictions = 0;
     default_stack_size;
     default_heap_size;
-    rewinds = 0;
-    incidents = [];
+    incident_cap = max 1 incident_log_cap;
+    incident_q = Queue.create ();
     incident_handler = None;
     in_monitor = false;
+    metrics;
+    tracer;
+    c_rewinds =
+      M.counter metrics "sdrad_rewinds_total"
+        ~help:"Abnormal domain exits (rewind-and-discard events)";
+    c_key_evictions =
+      M.counter metrics "sdrad_key_evictions_total"
+        ~help:"Dormant domains parked to recycle a protection key";
+    c_incidents =
+      M.counter metrics "sdrad_incidents_total"
+        ~help:"Faults reported to the incident log";
+    c_dropped_incidents =
+      M.counter metrics "sdrad_dropped_incidents_total"
+        ~help:"Incidents evicted from the bounded incident log";
+    c_enters =
+      M.counter metrics "sdrad_domain_enters_total"
+        ~help:"Switches into a nested domain";
+    c_exits =
+      M.counter metrics "sdrad_domain_exits_total"
+        ~help:"Normal switches back to a parent domain";
+    c_inits =
+      M.counter metrics "sdrad_domain_inits_total"
+        ~help:"Execution-domain initializations (rewind points established)";
+    c_destroys =
+      M.counter metrics "sdrad_domain_destroys_total"
+        ~help:"Explicit domain destroys (execution and data domains)";
+    h_switch_cycles =
+      M.histogram metrics "sdrad_switch_cycles"
+        ~help:"Virtual cycles per domain switch (one enter or one exit)";
+    h_rewind_cycles =
+      M.histogram metrics "sdrad_rewind_cycles"
+        ~help:"Virtual cycles per abnormal exit (context restore + discard)";
   }
   in
+  (* Structural gauges and hardware counters are sampled at exposition
+     time, so vmem/tlsf stay free of any telemetry dependency. *)
+  M.gauge_fn metrics "sdrad_execution_domains"
+    ~help:"Live execution-domain instances" (fun () ->
+      float_of_int (Hashtbl.length t.exec_insts));
+  M.gauge_fn metrics "sdrad_data_domains" ~help:"Live data domains" (fun () ->
+      float_of_int (Hashtbl.length t.data_insts));
+  M.gauge_fn metrics "sdrad_pkeys_in_use" ~help:"Allocated protection keys"
+    (fun () -> float_of_int (Space.pkeys_in_use t.space));
+  M.gauge_fn metrics "sdrad_pooled_stacks"
+    ~help:"Stack areas held for reuse" (fun () ->
+      float_of_int (List.length t.stack_pool));
+  M.gauge_fn metrics "sdrad_threads" ~help:"Registered simulated threads"
+    (fun () -> float_of_int (Hashtbl.length t.threads));
+  M.gauge_fn metrics "sdrad_monitor_bytes"
+    ~help:"Monitor control data currently allocated" (fun () ->
+      float_of_int (Tlsf.used_bytes t.monitor_heap));
+  M.counter_fn metrics "vmem_pkru_writes_total"
+    ~help:"WRPKRU instructions executed" (fun () -> Space.wrpkru_writes space);
+  M.counter_fn metrics "vmem_faults_total" ~help:"Memory faults raised"
+    (fun () -> Space.fault_count space);
+  M.gauge_fn metrics "vmem_rss_bytes" ~help:"Touched resident bytes"
+    (fun () -> float_of_int (Space.rss_bytes space));
+  M.gauge_fn metrics "vmem_mapped_bytes" ~help:"Mapped bytes" (fun () ->
+      float_of_int (Space.mapped_bytes space));
+  List.iter
+    (fun (label, heap) ->
+      M.counter_fn metrics "tlsf_malloc_calls_total"
+        ~help:"Successful TLSF allocations"
+        ~labels:[ ("heap", label) ]
+        (fun () -> Tlsf.malloc_calls heap);
+      M.counter_fn metrics "tlsf_free_calls_total"
+        ~help:"Successful TLSF frees"
+        ~labels:[ ("heap", label) ]
+        (fun () -> Tlsf.free_calls heap))
+    [ ("monitor", t.monitor_heap); ("root", t.root_heap) ];
   install_syscall_oracle t;
   t
 
@@ -252,13 +344,15 @@ let sanctioned t f =
   Fun.protect ~finally:(fun () -> t.in_monitor <- was) f
 
 let with_monitor t ts f =
-  Space.wrpkru t.space (Pkru.allow ts.cur_pkru ~key:t.monitor_pkey);
+  Telemetry.Trace.with_span t.tracer "switch.pkru_write" (fun () ->
+      Space.wrpkru t.space (Pkru.allow ts.cur_pkru ~key:t.monitor_pkey));
   let was = t.in_monitor in
   t.in_monitor <- true;
   Fun.protect
     ~finally:(fun () ->
       t.in_monitor <- was;
-      Space.wrpkru t.space ts.cur_pkru)
+      Telemetry.Trace.with_span t.tracer "switch.pkru_write" (fun () ->
+          Space.wrpkru t.space ts.cur_pkru))
     f
 
 (* {1 Monitor bookkeeping blocks}
@@ -340,7 +434,7 @@ let park_instance t inst =
     ~prot:Prot.none;
   Space.pkey_free t.space inst.pkey;
   inst.pkey <- -1;
-  t.key_evictions <- t.key_evictions + 1
+  Telemetry.Metrics.inc t.c_key_evictions
 
 let acquire_pkey t =
   match Space.pkey_alloc t.space with
@@ -446,6 +540,7 @@ let init_exec t ts udi opts =
           with_monitor t ts (fun () ->
               save_context t ts inst;
               ts.cur_pkru <- compute_pkru t ts);
+          Telemetry.Metrics.inc t.c_inits;
           inst
       | Ready | Entered -> err Already_initialized)
   | None ->
@@ -477,6 +572,7 @@ let init_exec t ts udi opts =
           write_meta t inst;
           save_context t ts inst;
           ts.cur_pkru <- compute_pkru t ts);
+      Telemetry.Metrics.inc t.c_inits;
       inst
 
 (* Fully remove an instance's memory and identity (used by destroy with
@@ -514,27 +610,46 @@ let enter t udi =
   if inst.parent <> current_udi_of ts then err Not_a_child;
   if inst.frame = 0 then err Not_initialized;
   touch_key t inst;
-  with_monitor t ts (fun () ->
-      inst.state <- Entered;
-      inst.sp <- inst.stack_base + inst.stack_len;
-      ts.entered <- inst :: ts.entered;
-      charge (t.cost.stack_switch +. t.cost.switch_work);
-      ts.cur_pkru <- compute_pkru t ts);
-  (* Push the return address of the call gate onto the new stack — done
-     after the policy switch, with the domain's own rights. *)
-  inst.sp <- inst.sp - 16;
-  Space.store64 t.space inst.sp inst.frame
+  let t0 = now () in
+  Telemetry.Trace.with_span t.tracer "switch.enter"
+    ~args:[ ("udi", string_of_int udi) ]
+    (fun () ->
+      with_monitor t ts (fun () ->
+          inst.state <- Entered;
+          inst.sp <- inst.stack_base + inst.stack_len;
+          ts.entered <- inst :: ts.entered;
+          Telemetry.Trace.with_span t.tracer "switch.stack_swap" (fun () ->
+              charge t.cost.stack_switch);
+          Telemetry.Trace.with_span t.tracer "switch.bookkeeping" (fun () ->
+              charge t.cost.switch_work;
+              ts.cur_pkru <- compute_pkru t ts));
+      (* Push the return address of the call gate onto the new stack — done
+         after the policy switch, with the domain's own rights. *)
+      inst.sp <- inst.sp - 16;
+      Space.store64 t.space inst.sp inst.frame);
+  Telemetry.Metrics.inc t.c_enters;
+  Telemetry.Metrics.observe t.h_switch_cycles (now () -. t0)
 
 let exit_domain t =
   let ts = thread_state t in
   match ts.entered with
   | [] -> err Not_entered
   | inst :: rest ->
-      with_monitor t ts (fun () ->
-          ts.entered <- rest;
-          inst.state <- Ready;
-          charge (t.cost.stack_switch +. t.cost.switch_work);
-          ts.cur_pkru <- compute_pkru t ts)
+      let t0 = now () in
+      Telemetry.Trace.with_span t.tracer "switch.exit"
+        ~args:[ ("udi", string_of_int inst.udi) ]
+        (fun () ->
+          with_monitor t ts (fun () ->
+              ts.entered <- rest;
+              inst.state <- Ready;
+              Telemetry.Trace.with_span t.tracer "switch.stack_swap"
+                (fun () -> charge t.cost.stack_switch);
+              Telemetry.Trace.with_span t.tracer "switch.bookkeeping"
+                (fun () ->
+                  charge t.cost.switch_work;
+                  ts.cur_pkru <- compute_pkru t ts)));
+      Telemetry.Metrics.inc t.c_exits;
+      Telemetry.Metrics.observe t.h_switch_cycles (now () -. t0)
 
 let current t =
   let ts = thread_state t in
@@ -587,7 +702,8 @@ let destroy t udi ~heap =
           Tlsf.free t.monitor_heap dd.d_meta_addr;
           Space.pkey_free t.space dd.d_pkey;
           Hashtbl.remove t.data_insts udi;
-          ts.cur_pkru <- compute_pkru t ts)
+          ts.cur_pkru <- compute_pkru t ts);
+      Telemetry.Metrics.inc t.c_destroys
   | None ->
       let inst = get_exec t ts udi in
       if inst.state = Entered then err Domain_entered;
@@ -627,6 +743,7 @@ let destroy t udi ~heap =
                   end));
           discard_instance t ts inst;
           ts.cur_pkru <- compute_pkru t ts);
+      Telemetry.Metrics.inc t.c_destroys;
       if !merge_refused then
         record_incident t
           {
@@ -801,25 +918,33 @@ let run_cleanups inst =
   List.iter (fun f -> f ()) fs
 
 let abnormal_exit ?(record = true) t ts inst fault =
-  if record then t.rewinds <- t.rewinds + 1;
-  charge t.cost.context_restore;
-  with_monitor t ts (fun () ->
-      let rec pop () =
-        match ts.entered with
-        | [] -> ()
-        | top :: rest ->
-            ts.entered <- rest;
-            if top == inst then ()
-            else begin
-              run_cleanups top;
-              discard_instance t ts top;
-              pop ()
-            end
-      in
-      pop ();
-      run_cleanups inst;
-      discard_instance t ts inst;
-      ts.cur_pkru <- compute_pkru t ts);
+  if record then Telemetry.Metrics.inc t.c_rewinds;
+  let t0 = now () in
+  Telemetry.Trace.with_span t.tracer "rewind"
+    ~args:[ ("udi", string_of_int inst.udi) ]
+    (fun () ->
+      Telemetry.Trace.with_span t.tracer "rewind.context_restore" (fun () ->
+          charge t.cost.context_restore);
+      with_monitor t ts (fun () ->
+          Telemetry.Trace.with_span t.tracer "rewind.heap_discard" (fun () ->
+              let rec pop () =
+                match ts.entered with
+                | [] -> ()
+                | top :: rest ->
+                    ts.entered <- rest;
+                    if top == inst then ()
+                    else begin
+                      run_cleanups top;
+                      discard_instance t ts top;
+                      pop ()
+                    end
+              in
+              pop ();
+              run_cleanups inst;
+              discard_instance t ts inst);
+          Telemetry.Trace.with_span t.tracer "rewind.policy_update" (fun () ->
+              ts.cur_pkru <- compute_pkru t ts)));
+  Telemetry.Metrics.observe t.h_rewind_cycles (now () -. t0);
   (* Report the incident (e.g. to a SIEM, §VI "Applicability") outside the
      monitor bracket, in the parent's context. *)
   if record then record_incident t fault
@@ -898,8 +1023,11 @@ let is_initialized t udi =
       | Some inst -> inst.state <> Dormant
       | None -> false)
 
-let rewind_count t = t.rewinds
-let incidents t = List.rev t.incidents
+let rewind_count t = Telemetry.Metrics.counter_value t.c_rewinds
+let incidents t = List.of_seq (Queue.to_seq t.incident_q)
+let dropped_incidents t = Telemetry.Metrics.counter_value t.c_dropped_incidents
+let metrics t = t.metrics
+let tracer t = t.tracer
 let set_incident_handler t h = t.incident_handler <- Some h
 
 (* Compose instead of clobber: the new handler runs first, then whatever
@@ -933,6 +1061,8 @@ let domain_pkey t udi =
 
 let monitor_bytes t = Tlsf.used_bytes t.monitor_heap
 
+(* Deprecated shim over the metrics registry: same keys and order as the
+   original assoc list, now derived from the registered instruments. *)
 let runtime_stats t =
   let exec = Hashtbl.length t.exec_insts in
   [
@@ -941,8 +1071,8 @@ let runtime_stats t =
     ("pkeys_in_use", Space.pkeys_in_use t.space);
     ("pooled_stacks", List.length t.stack_pool);
     ("threads", Hashtbl.length t.threads);
-    ("rewinds", t.rewinds);
-    ("key_evictions", t.key_evictions);
+    ("rewinds", Telemetry.Metrics.counter_value t.c_rewinds);
+    ("key_evictions", Telemetry.Metrics.counter_value t.c_key_evictions);
     ("monitor_bytes", Tlsf.used_bytes t.monitor_heap);
   ]
 

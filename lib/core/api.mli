@@ -47,6 +47,9 @@ val create :
   ?default_heap_size:int ->
   ?stack_reuse:bool ->
   ?virtual_keys:bool ->
+  ?metrics:Telemetry.Metrics.t ->
+  ?tracer:Telemetry.Trace.t ->
+  ?incident_log_cap:int ->
   Vmem.Space.t ->
   t
 (** Link SDRaD into a simulated process: allocates the monitor data domain
@@ -58,7 +61,13 @@ val create :
     run out, the least recently used {e dormant} domain is parked — its
     pages made inaccessible with mprotect, the slow fallback the paper
     notes — and its key recycled; the instance is transparently unparked
-    on its next initialization. *)
+    on its next initialization.
+
+    [metrics] and [tracer] supply a shared {!Telemetry} registry and span
+    tracer; fresh (private) ones are created when omitted. The tracer
+    starts disabled. [incident_log_cap] bounds the retained incident log
+    (default 1024, minimum 1); older incidents are evicted and counted in
+    {!dropped_incidents}. *)
 
 val space : t -> Vmem.Space.t
 
@@ -161,9 +170,23 @@ val is_initialized : t -> udi -> bool
 val rewind_count : t -> int
 
 val incidents : t -> fault list
-(** Every abnormal domain exit so far, oldest first — the raw material for
+(** Retained abnormal domain exits, oldest first — the raw material for
     the paper's §VI suggestion of reporting rewinds to a Security
-    Information and Event Management system. *)
+    Information and Event Management system. The log is a bounded ring
+    (see [incident_log_cap] of {!create}): once full, recording a new
+    incident evicts the oldest one. *)
+
+val dropped_incidents : t -> int
+(** Incidents evicted from the bounded log so far. *)
+
+val metrics : t -> Telemetry.Metrics.t
+(** The metrics registry every SDRaD counter, gauge and histogram of this
+    instance is registered in; expose with {!Telemetry.Metrics.expose}. *)
+
+val tracer : t -> Telemetry.Trace.t
+(** The span tracer instrumenting switches and rewinds; enable with
+    {!Telemetry.Trace.set_enabled} (disabled by default — spans then cost
+    one branch). *)
 
 val set_incident_handler : t -> (fault -> unit) -> unit
 (** Invoke a callback after every abnormal exit (once the parent's
@@ -191,7 +214,11 @@ val monitor_bytes : t -> int
 
 val runtime_stats : t -> (string * int) list
 (** Live counters for operators: initialized domains, data domains,
-    protection keys in use, pooled stacks, rewinds, registered threads. *)
+    protection keys in use, pooled stacks, rewinds, registered threads.
+
+    @deprecated This is now a compatibility shim over {!metrics} — same
+    keys as before, sourced from the registry. New code should read the
+    registry directly. *)
 
 (** {1 Convenience wrappers} *)
 

@@ -81,14 +81,16 @@ type t = {
   buf_alloc : int -> int;
   buf_free : int -> unit;
   pool_alloc : int -> int;
-  mutable served : int;
-  mutable rewinds : int;
+  metrics : Telemetry.Metrics.t;
+  c_served : Telemetry.Metrics.counter;
+  c_rewinds : Telemetry.Metrics.counter;
+  c_restarts : Telemetry.Metrics.counter;
+  c_dropped : Telemetry.Metrics.counter;
+  c_proactive : Telemetry.Metrics.counter;
+  c_busy_503 : Telemetry.Metrics.counter;
+  h_rewind_cycles : Telemetry.Metrics.histogram;
   mutable rewind_lat : float list;
-  mutable restarts : int;
   mutable restart_lat : float list;
-  mutable dropped : int;
-  mutable proactive : int;
-  mutable busy_503 : int;
 }
 
 let glibc_allocator space =
@@ -197,9 +199,11 @@ let respond t slot c ~meth ~version ~path ~headers ~body =
                  stack canary and triggers a rewind. *)
               Api.run sd ~udi:t.cfg.cert_udi
                 ~on_rewind:(fun f ->
-                  t.rewinds <- t.rewinds + 1;
+                  Telemetry.Metrics.inc t.c_rewinds;
                   slot.slot_rewinds <- slot.slot_rewinds + 1;
-                  t.rewind_lat <- (Sched.now () -. f.Types.at) :: t.rewind_lat;
+                  let lat = Sched.now () -. f.Types.at in
+                  t.rewind_lat <- lat :: t.rewind_lat;
+                  Telemetry.Metrics.observe t.h_rewind_cycles lat;
                   `Faulted)
                 (fun () ->
                   Api.enter sd t.cfg.cert_udi;
@@ -220,6 +224,10 @@ let respond t slot c ~meth ~version ~path ~headers ~body =
       `Keep
   | `Ok ->
       (match meth with
+      | "GET" when path = "/metrics" ->
+          (* Prometheus scrape endpoint: the registry's text exposition. *)
+          Netsim.send c
+            (http_200 ~keep_alive (Telemetry.Metrics.expose t.metrics))
       | "GET" -> (
           match Fs.lookup t.fs path with
           | Some _ -> Netsim.send c (http_200 ~keep_alive (Fs.read_body t.fs path))
@@ -297,9 +305,11 @@ let handle_sdrad t slot sd c ~cbuf ~len =
   let udi = slot_udi t slot in
   let opts = { Types.default_options with heap_size = 64 * 1024 } in
   let on_rewind f =
-    t.rewinds <- t.rewinds + 1;
+    Telemetry.Metrics.inc t.c_rewinds;
     slot.slot_rewinds <- slot.slot_rewinds + 1;
-    t.rewind_lat <- (Sched.now () -. f.Types.at) :: t.rewind_lat;
+    let lat = Sched.now () -. f.Types.at in
+    t.rewind_lat <- lat :: t.rewind_lat;
+    Telemetry.Metrics.observe t.h_rewind_cycles lat;
     `Close_faulted
   in
   let body () =
@@ -384,7 +394,7 @@ let handle_sdrad t slot sd c ~cbuf ~len =
   | `Busy ->
       (* Quarantined parser domain: degrade instead of serving — the
          client gets a retryable 503 and keeps its connection. *)
-      t.busy_503 <- t.busy_503 + 1;
+      Telemetry.Metrics.inc t.c_busy_503;
       Netsim.send c http_503;
       `Keep
   | `Close_faulted -> `Close
@@ -436,6 +446,14 @@ let rec start sched space ?sdrad ?supervisor ?faults net ~fs cfg =
         fun len -> Space.mmap space ~len ~prot:Prot.rw ~pkey:0
   in
   let listener = Netsim.listen net ~port:cfg.port in
+  (* Share the monitor's registry when there is one, so `GET /metrics`
+     scrapes core + supervisor + server series together. *)
+  let metrics =
+    match sd with
+    | Some sd -> Api.metrics sd
+    | None -> Telemetry.Metrics.create ()
+  in
+  let module M = Telemetry.Metrics in
   let t =
     {
       sched;
@@ -467,14 +485,29 @@ let rec start sched space ?sdrad ?supervisor ?faults net ~fs cfg =
       buf_alloc;
       buf_free;
       pool_alloc;
-      served = 0;
-      rewinds = 0;
+      metrics;
+      c_served =
+        M.counter metrics "httpd_requests_total" ~help:"Requests handled";
+      c_rewinds =
+        M.counter metrics "httpd_rewinds_total"
+          ~help:"Requests discarded by a domain rewind";
+      c_restarts =
+        M.counter metrics "httpd_worker_restarts_total"
+          ~help:"Worker processes respawned by the master";
+      c_dropped =
+        M.counter metrics "httpd_dropped_connections_total"
+          ~help:"Connections lost to faults or worker deaths";
+      c_proactive =
+        M.counter metrics "httpd_proactive_restarts_total"
+          ~help:"Voluntary re-execs after the rewind limit";
+      c_busy_503 =
+        M.counter metrics "httpd_busy_503_total"
+          ~help:"Requests answered 503 while quarantined";
+      h_rewind_cycles =
+        M.histogram metrics "httpd_rewind_cycles"
+          ~help:"Cycles from fault to request discarded";
       rewind_lat = [];
-      restarts = 0;
       restart_lat = [];
-      dropped = 0;
-      proactive = 0;
-      busy_503 = 0;
     }
   in
   Array.iter (fun slot -> spawn_worker t slot) t.slots;
@@ -538,7 +571,7 @@ and worker t slot =
         | Some msg ->
             Sched.charge (Space.cost t.space).Cost.syscall;
             Sched.charge t.cfg.proc_cycles;
-            t.served <- t.served + 1;
+            Telemetry.Metrics.inc t.c_served;
             let cbuf = Hashtbl.find t.conns (Netsim.id c) in
             let len = min (String.length msg) (t.cfg.conn_buf_size - 2) in
             Space.store_string t.space cbuf (String.sub msg 0 len);
@@ -552,7 +585,7 @@ and worker t slot =
             | (`Close | `Close_graceful) as v ->
                 Netsim.Waitset.remove slot.ws c;
                 Netsim.close c;
-                if v = `Close then t.dropped <- t.dropped + 1;
+                if v = `Close then Telemetry.Metrics.inc t.c_dropped;
                 slot.live_conns <-
                   List.filter (fun x -> not (x == c)) slot.live_conns);
             (* Scheduler-level chaos: lose this worker "process" between
@@ -569,7 +602,7 @@ and worker t slot =
         | Some limit when slot.slot_rewinds >= limit ->
             Log.info (fun m ->
                 m "worker %d reached its rewind limit (%d); re-exec" slot.idx limit);
-            t.proactive <- t.proactive + 1;
+            Telemetry.Metrics.inc t.c_proactive;
             raise Exit
         | Some _ | None -> loop ()
   in
@@ -579,7 +612,7 @@ and worker t slot =
        kernel and the master is notified via SIGCHLD. *)
     slot.alive <- false;
     let at = Sched.now () in
-    t.dropped <- t.dropped + List.length slot.live_conns;
+    Telemetry.Metrics.add t.c_dropped (List.length slot.live_conns);
     List.iter Netsim.close slot.live_conns;
     slot.live_conns <- [];
     Netsim.Waitset.close slot.ws;
@@ -598,9 +631,12 @@ and master t =
     in
     match event with
     | Some (idx, died_at) ->
-        if (not t.stopping) && t.restarts < t.cfg.max_restarts then begin
+        if
+          (not t.stopping)
+          && Telemetry.Metrics.counter_value t.c_restarts < t.cfg.max_restarts
+        then begin
           Log.warn (fun m -> m "worker %d died; respawning" idx);
-          t.restarts <- t.restarts + 1;
+          Telemetry.Metrics.inc t.c_restarts;
           Sched.charge worker_restart_cost;
           let slot = t.slots.(idx) in
           slot.ws <- Netsim.Waitset.create ();
@@ -620,15 +656,16 @@ let stop t =
   Sched.Mutex.with_lock t.death_lock (fun () -> Sched.Cond.signal t.death_cond)
 
 let join t = List.iter Sched.join t.all_tids
-let requests_served t = t.served
-let rewinds t = t.rewinds
+let requests_served t = Telemetry.Metrics.counter_value t.c_served
+let rewinds t = Telemetry.Metrics.counter_value t.c_rewinds
 let rewind_latencies t = t.rewind_lat
-let worker_restarts t = t.restarts
-let proactive_restarts t = t.proactive
+let worker_restarts t = Telemetry.Metrics.counter_value t.c_restarts
+let proactive_restarts t = Telemetry.Metrics.counter_value t.c_proactive
 let restart_latencies t = t.restart_lat
-let dropped_connections t = t.dropped
-let busy_rejections t = t.busy_503
+let dropped_connections t = Telemetry.Metrics.counter_value t.c_dropped
+let busy_rejections t = Telemetry.Metrics.counter_value t.c_busy_503
 let supervisor t = t.sup
+let metrics t = t.metrics
 
 let alive t =
   Array.exists

@@ -95,3 +95,8 @@ val busy_rejections : t -> int
 
 val supervisor : t -> Resilience.Supervisor.t option
 val alive : t -> bool
+
+val metrics : t -> Telemetry.Metrics.t
+(** The registry behind [GET /metrics]: the monitor's registry for the
+    {!Sdrad} variant (core + supervisor + server series in one scrape),
+    a private one otherwise. *)

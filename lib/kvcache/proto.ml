@@ -14,6 +14,7 @@ type cmd =
   | Delete of string
   | Arith of { key : string; delta : int; negate : bool }
   | Stats
+  | Stats_telemetry
   | Quit
   | Bad of string
 
@@ -41,6 +42,7 @@ let parse space ~addr ~len =
           | _ -> Bad "bad incr/decr delta")
       | [ "quit" ] -> Quit
       | [ "stats" ] -> Stats
+      | [ "stats"; "telemetry" ] -> Stats_telemetry
       | [ ("set" | "add" | "replace") as op; key; flags; _exptime; bytes ] -> (
           match (int_of_string_opt flags, int_of_string_opt bytes) with
           | Some flags, Some declared_len ->
@@ -92,6 +94,7 @@ let fmt_delete key = Printf.sprintf "delete %s\r\n" key
 let fmt_incr key d = Printf.sprintf "incr %s %d\r\n" key d
 let fmt_decr key d = Printf.sprintf "decr %s %d\r\n" key d
 let fmt_stats = "stats\r\n"
+let fmt_stats_telemetry = "stats telemetry\r\n"
 let quit = "quit\r\n"
 
 let fmt_stats_reply kvs =

@@ -25,6 +25,9 @@ type cmd =
       (** [incr]/[decr]: 64-bit unsigned arithmetic on a decimal value,
           clamped at zero on decrement as memcached does *)
   | Stats
+  | Stats_telemetry
+      (** [stats telemetry] — Prometheus text exposition of the server's
+          metrics registry, sent verbatim as the reply body *)
   | Quit
   | Bad of string
 
@@ -63,6 +66,7 @@ val fmt_delete : string -> string
 val fmt_incr : string -> int -> string
 val fmt_decr : string -> int -> string
 val fmt_stats : string
+val fmt_stats_telemetry : string
 val quit : string
 
 val fmt_stats_reply : (string * string) list -> string

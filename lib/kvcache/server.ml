@@ -71,11 +71,13 @@ type t = {
   (* allocator used for connection-lifetime and per-request buffers *)
   buf_alloc : int -> int;
   buf_free : int -> unit;
-  mutable served : int;
-  mutable rewinds : int;
+  metrics : Telemetry.Metrics.t;
+  c_served : Telemetry.Metrics.counter;
+  c_rewinds : Telemetry.Metrics.counter;
+  c_dropped : Telemetry.Metrics.counter;
+  c_busy : Telemetry.Metrics.counter;
+  h_rewind_cycles : Telemetry.Metrics.histogram;
   mutable rewind_lat : float list;
-  mutable dropped : int;
-  mutable busy_rejections : int;
   mutable crashed : bool;
 }
 
@@ -254,12 +256,20 @@ let stats_reply t =
       ("curr_items", string_of_int (Store.count t.db));
       ("bytes", string_of_int (Store.value_bytes t.db));
       ("evictions", string_of_int (Store.evictions t.db));
-      ("total_requests", string_of_int t.served);
-      ("rewinds", string_of_int t.rewinds);
-      ("dropped_connections", string_of_int t.dropped);
-      ("busy_rejections", string_of_int t.busy_rejections);
+      ("total_requests",
+       string_of_int (Telemetry.Metrics.counter_value t.c_served));
+      ("rewinds", string_of_int (Telemetry.Metrics.counter_value t.c_rewinds));
+      ("dropped_connections",
+       string_of_int (Telemetry.Metrics.counter_value t.c_dropped));
+      ("busy_rejections",
+       string_of_int (Telemetry.Metrics.counter_value t.c_busy));
       ("slab_pages", string_of_int (Slab.pages_allocated t.slab));
     ]
+
+(* [stats telemetry]: the registry's Prometheus exposition as the reply
+   body. Under SDRaD the registry is the monitor's, so core, supervisor
+   and server series all appear in one scrape. *)
+let telemetry_reply t = Telemetry.Metrics.expose t.metrics
 
 let parse_any space ~addr ~len =
   if Binproto.is_binary space ~addr ~len then
@@ -321,6 +331,14 @@ let rec start sched space ?sdrad ?supervisor ?faults net cfg =
   | Some fi, Some heap -> Fault_inject.arm_tlsf fi heap ~site:"kv.alloc"
   | _ -> ());
   let listener = Netsim.listen net ~port:cfg.port in
+  (* Share the monitor's registry when there is one, so `stats telemetry`
+     scrapes core + supervisor + server series together. *)
+  let metrics =
+    match sd with
+    | Some sd -> Api.metrics sd
+    | None -> Telemetry.Metrics.create ()
+  in
+  let module M = Telemetry.Metrics in
   let t =
     {
       sched;
@@ -342,14 +360,31 @@ let rec start sched space ?sdrad ?supervisor ?faults net cfg =
       lock_word;
       buf_alloc;
       buf_free;
-      served = 0;
-      rewinds = 0;
+      metrics;
+      c_served =
+        M.counter metrics "kvcache_requests_total" ~help:"Requests handled";
+      c_rewinds =
+        M.counter metrics "kvcache_rewinds_total"
+          ~help:"Events discarded by a domain rewind";
+      c_dropped =
+        M.counter metrics "kvcache_dropped_connections_total"
+          ~help:"Connections closed after a rewind";
+      c_busy =
+        M.counter metrics "kvcache_busy_rejections_total"
+          ~help:"Requests answered busy while quarantined";
+      h_rewind_cycles =
+        M.histogram metrics "kvcache_rewind_cycles"
+          ~help:"Cycles from fault to connection closed";
       rewind_lat = [];
-      dropped = 0;
-      busy_rejections = 0;
       crashed = false;
     }
   in
+  M.gauge_fn metrics "kvcache_items" ~help:"Items currently stored" (fun () ->
+      float_of_int (Store.count t.db));
+  M.gauge_fn metrics "kvcache_value_bytes" ~help:"Bytes of stored values"
+    (fun () -> float_of_int (Store.value_bytes t.db));
+  M.counter_fn metrics "kvcache_evictions_total" ~help:"LRU evictions"
+    (fun () -> Store.evictions t.db);
   let dispatcher_tid = Sched.spawn sched ~name:"mc-dispatch" (fun () -> dispatcher t) in
   let worker_tids =
     List.init cfg.workers (fun i ->
@@ -421,7 +456,7 @@ and handle_plain t ws c msg =
   let st = Hashtbl.find t.conns (Netsim.id c) in
   let len = min (String.length msg) (t.cfg.conn_buf_size - 2) in
   Space.store_string space st.cbuf (String.sub msg 0 len);
-  t.served <- t.served + 1;
+  Telemetry.Metrics.inc t.c_served;
   let w, cmd = parse_any space ~addr:st.cbuf ~len in
   match cmd with
   | Get key -> (
@@ -485,6 +520,7 @@ and handle_plain t ws c msg =
           | Some (Error msg) -> Netsim.send c msg
           | Some (Ok v) -> Netsim.send c (Printf.sprintf "%d\r\n" v))
   | Stats -> Netsim.send c (stats_reply t)
+  | Stats_telemetry -> Netsim.send c (telemetry_reply t)
   | Quit -> drop_conn t ws c
   | Bad _ -> Netsim.send c w.w_error
 
@@ -541,7 +577,7 @@ and handle_sdrad t ws c msg =
   let st = Hashtbl.find t.conns (Netsim.id c) in
   let len = min (String.length msg) (t.cfg.conn_buf_size - 2) in
   Space.store_string space st.cbuf (String.sub msg 0 len);
-  t.served <- t.served + 1;
+  Telemetry.Metrics.inc t.c_served;
   let w =
     if Binproto.is_binary space ~addr:st.cbuf ~len then binary_wire else text_wire
   in
@@ -550,10 +586,12 @@ and handle_sdrad t ws c msg =
     (* Abnormal exit: discard the event, close only this client. *)
     Log.info (fun m ->
         m "rewound event on conn %d: %a" (Netsim.id c) Types.pp_fault f);
-    t.rewinds <- t.rewinds + 1;
+    Telemetry.Metrics.inc t.c_rewinds;
     drop_conn t ws c;
-    t.dropped <- t.dropped + 1;
-    t.rewind_lat <- (Sched.now () -. f.Types.at) :: t.rewind_lat;
+    Telemetry.Metrics.inc t.c_dropped;
+    let lat = Sched.now () -. f.Types.at in
+    t.rewind_lat <- lat :: t.rewind_lat;
+    Telemetry.Metrics.observe t.h_rewind_cycles lat;
     `Rewound
   in
   let body () =
@@ -591,6 +629,7 @@ and handle_sdrad t ws c msg =
       | `Miss -> Some w.w_miss
       | `Bad_cmd -> Some w.w_error
       | `Stats_cmd -> Some (stats_reply t)
+      | `Telemetry_cmd -> Some (telemetry_reply t)
       | `Quit_cmd -> None
       | `Deferred (d, staged) ->
           let r = apply_deferred t w d in
@@ -615,7 +654,7 @@ and handle_sdrad t ws c msg =
   in
   match result with
   | `Busy ->
-      t.busy_rejections <- t.busy_rejections + 1;
+      Telemetry.Metrics.inc t.c_busy;
       Netsim.send c w.w_busy
   | `Rewound -> ()
   | `Reply (Some reply) -> Netsim.send c reply
@@ -671,6 +710,7 @@ and drive_machine_in_domain t sd ~udi ~dbuf ~len =
   | Delete key -> `Deferred (`Delete key, None)
   | Arith { key; delta; negate } -> `Deferred (`Arith (key, delta, negate), None)
   | Stats -> `Stats_cmd
+  | Stats_telemetry -> `Telemetry_cmd
   | Quit -> `Quit_cmd
   | Bad _ -> `Bad_cmd
 
@@ -695,13 +735,14 @@ let worker_utilization t =
 
 let store t = t.db
 let crashed t = t.crashed
-let requests_served t = t.served
-let rewinds t = t.rewinds
-let busy_rejections t = t.busy_rejections
+let requests_served t = Telemetry.Metrics.counter_value t.c_served
+let rewinds t = Telemetry.Metrics.counter_value t.c_rewinds
+let busy_rejections t = Telemetry.Metrics.counter_value t.c_busy
 let client_domains t = Hashtbl.length t.client_udis
 let supervisor t = t.sup
 let rewind_latencies t = t.rewind_lat
-let dropped_connections t = t.dropped
+let dropped_connections t = Telemetry.Metrics.counter_value t.c_dropped
+let metrics t = t.metrics
 let db_bytes t = Slab.pages_allocated t.slab * Slab.slab_page_size
 let db_check t = Store.check t.db
 let evictions t = Store.evictions t.db

@@ -113,3 +113,8 @@ val worker_utilization : t -> float list
 val db_bytes : t -> int
 val db_check : t -> string list
 val evictions : t -> int
+
+val metrics : t -> Telemetry.Metrics.t
+(** The registry behind the [stats telemetry] verb: the monitor's registry
+    for the {!Sdrad} variant (core + supervisor + server series in one
+    scrape), a private one otherwise. *)

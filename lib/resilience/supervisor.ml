@@ -70,16 +70,21 @@ type dstate = {
   mutable d_rejections : int;
 }
 
+module M = Telemetry.Metrics
+module Trace = Telemetry.Trace
+
 type t = {
   sd : Api.t;
   policy : policy;
   domains : (Types.udi, dstate) Hashtbl.t;
-  mutable rewinds_seen : int;
-  mutable quarantines : int;
-  mutable rejections : int;
-  mutable backoff_waits : int;
-  mutable probes : int;
-  mutable probe_successes : int;
+  metrics : M.t;
+  tracer : Trace.t;
+  c_rewinds_seen : M.counter;
+  c_quarantines : M.counter;
+  c_rejections : M.counter;
+  c_backoff_waits : M.counter;
+  c_probes : M.counter;
+  c_probe_successes : M.counter;
 }
 
 type verdict = Admitted | Probe | Busy of { until : float }
@@ -107,11 +112,35 @@ let dstate t udi =
       Hashtbl.replace t.domains udi d;
       d
 
+(* Move the breaker one edge, counting the edge under
+   [supervisor_transitions_total{from,to}] and dropping a trace marker —
+   the observable contract the breaker tests assert on. *)
+let transition t d target =
+  let from = d.breaker in
+  if from <> target then begin
+    M.inc
+      (M.counter t.metrics "supervisor_transitions_total"
+         ~help:"Breaker edges taken, by (from, to) state"
+         ~labels:
+           [
+             ("from", breaker_to_string from);
+             ("to", breaker_to_string target);
+           ]);
+    Trace.instant t.tracer "supervisor.transition"
+      ~args:
+        [
+          ("udi", string_of_int d.d_udi);
+          ("from", breaker_to_string from);
+          ("to", breaker_to_string target);
+        ];
+    d.breaker <- target
+  end
+
 let quarantine t d ~at =
-  d.breaker <- Quarantined;
+  transition t d Quarantined;
   d.quarantined_at <- at;
   d.d_quarantines <- d.d_quarantines + 1;
-  t.quarantines <- t.quarantines + 1;
+  M.inc t.c_quarantines;
   Log.warn (fun m ->
       m "domain %d quarantined until %.0f (%d rewinds in window)" d.d_udi
         (at +. t.policy.cooldown) (List.length d.recent))
@@ -119,7 +148,7 @@ let quarantine t d ~at =
 let on_incident t (f : Types.fault) =
   let d = dstate t f.failed_udi in
   let at = f.at in
-  t.rewinds_seen <- t.rewinds_seen + 1;
+  M.inc t.c_rewinds_seen;
   d.d_rewinds <- d.d_rewinds + 1;
   d.recent <-
     at :: List.filter (fun ts -> at -. ts <= t.policy.budget_window) d.recent;
@@ -131,7 +160,7 @@ let on_incident t (f : Types.fault) =
   | Closed | Backoff ->
       if List.length d.recent >= t.policy.budget_max then quarantine t d ~at
       else begin
-        d.breaker <- Backoff;
+        transition t d Backoff;
         let delay =
           Float.min t.policy.backoff_max
             (t.policy.backoff_base
@@ -148,19 +177,37 @@ let on_incident t (f : Types.fault) =
       d.quarantined_at <- at
 
 let attach ?(policy = default_policy) sd =
+  let metrics = Api.metrics sd in
   let t =
     {
       sd;
       policy;
       domains = Hashtbl.create 16;
-      rewinds_seen = 0;
-      quarantines = 0;
-      rejections = 0;
-      backoff_waits = 0;
-      probes = 0;
-      probe_successes = 0;
+      metrics;
+      tracer = Api.tracer sd;
+      c_rewinds_seen =
+        M.counter metrics "supervisor_rewinds_seen_total"
+          ~help:"Incidents consumed from the monitor's stream";
+      c_quarantines =
+        M.counter metrics "supervisor_quarantines_total"
+          ~help:"Breaker trips into quarantine";
+      c_rejections =
+        M.counter metrics "supervisor_rejections_total"
+          ~help:"Admissions rejected while quarantined or probing";
+      c_backoff_waits =
+        M.counter metrics "supervisor_backoff_waits_total"
+          ~help:"Admissions delayed by exponential backoff";
+      c_probes =
+        M.counter metrics "supervisor_probes_total"
+          ~help:"Half-open probes admitted after cooldown";
+      c_probe_successes =
+        M.counter metrics "supervisor_probe_successes_total"
+          ~help:"Probes that closed the breaker";
     }
   in
+  M.gauge_fn metrics "supervisor_supervised_domains"
+    ~help:"Domains with supervision state" (fun () ->
+      float_of_int (Hashtbl.length t.domains));
   Api.add_incident_handler sd (on_incident t);
   t
 
@@ -173,27 +220,31 @@ let admit t ~udi =
          sleeps until the retry point, exactly like a supervisor pausing
          before restarting a crashing child. *)
       if Sched.in_thread () && Sched.now () < d.retry_at then begin
-        t.backoff_waits <- t.backoff_waits + 1;
-        Sched.wait_until d.retry_at
+        M.inc t.c_backoff_waits;
+        Trace.with_span t.tracer "supervisor.backoff_wait"
+          ~args:[ ("udi", string_of_int d.d_udi) ]
+          (fun () -> Sched.wait_until d.retry_at)
       end;
       Admitted
   | Half_open ->
       (* One probe in flight at a time. *)
       d.d_rejections <- d.d_rejections + 1;
-      t.rejections <- t.rejections + 1;
+      M.inc t.c_rejections;
       Busy { until = d.quarantined_at +. t.policy.cooldown }
   | Quarantined ->
       let release = d.quarantined_at +. t.policy.cooldown in
       if now () >= release then begin
-        d.breaker <- Half_open;
+        transition t d Half_open;
         d.d_probes <- d.d_probes + 1;
-        t.probes <- t.probes + 1;
+        M.inc t.c_probes;
+        Trace.instant t.tracer "supervisor.probe"
+          ~args:[ ("udi", string_of_int d.d_udi) ];
         Log.info (fun m -> m "domain %d: half-open probe admitted" d.d_udi);
         Probe
       end
       else begin
         d.d_rejections <- d.d_rejections + 1;
-        t.rejections <- t.rejections + 1;
+        M.inc t.c_rejections;
         Busy { until = release }
       end
 
@@ -202,11 +253,11 @@ let succeed t ~udi =
   d.strikes <- 0;
   match d.breaker with
   | Half_open ->
-      d.breaker <- Closed;
+      transition t d Closed;
       d.recent <- [];
-      t.probe_successes <- t.probe_successes + 1;
+      M.inc t.c_probe_successes;
       Log.info (fun m -> m "domain %d: probe succeeded, breaker closed" d.d_udi)
-  | Backoff -> d.breaker <- Closed
+  | Backoff -> transition t d Closed
   | Closed | Quarantined -> ()
 
 (* {1 Wrappers} *)
@@ -266,13 +317,19 @@ let domain_counters t ~udi =
 let stats t =
   [
     ("supervised_domains", Hashtbl.length t.domains);
-    ("rewinds_seen", t.rewinds_seen);
-    ("quarantines", t.quarantines);
-    ("rejections", t.rejections);
-    ("backoff_waits", t.backoff_waits);
-    ("probes", t.probes);
-    ("probe_successes", t.probe_successes);
+    ("rewinds_seen", M.counter_value t.c_rewinds_seen);
+    ("quarantines", M.counter_value t.c_quarantines);
+    ("rejections", M.counter_value t.c_rejections);
+    ("backoff_waits", M.counter_value t.c_backoff_waits);
+    ("probes", M.counter_value t.c_probes);
+    ("probe_successes", M.counter_value t.c_probe_successes);
   ]
+
+let transition_count t ~from ~target =
+  M.counter_value
+    (M.counter t.metrics "supervisor_transitions_total"
+       ~labels:
+         [ ("from", breaker_to_string from); ("to", breaker_to_string target) ])
 
 let sdrad t = t.sd
 let policy t = t.policy

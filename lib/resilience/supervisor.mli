@@ -97,5 +97,10 @@ val stats : t -> (string * int) list
 val domain_counters : t -> udi:Sdrad.Types.udi -> (string * int) list
 (** Per-domain counters: rewinds, quarantines, probes, rejections. *)
 
+val transition_count : t -> from:breaker -> target:breaker -> int
+(** Edges taken over the breaker graph, read from the
+    [supervisor_transitions_total{from,to}] counter family in the
+    monitor's metrics registry. 0 for edges never taken. *)
+
 val sdrad : t -> Sdrad.Api.t
 val policy : t -> policy

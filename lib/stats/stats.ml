@@ -35,11 +35,16 @@ let percentile sorted q =
   end
 
 let summarize xs =
+  (* NaN policy: a NaN input is a measurement bug, not a data point —
+     dropping it silently would skew every quantile, and polymorphic
+     [compare] would leave the array only partially ordered. *)
+  if List.exists Float.is_nan xs then
+    invalid_arg "Stats.summarize: NaN in input";
   match xs with
   | [] -> invalid_arg "Stats.summarize: empty"
   | _ ->
       let a = Array.of_list xs in
-      Array.sort compare a;
+      Array.sort Float.compare a;
       {
         n = Array.length a;
         mean = mean xs;

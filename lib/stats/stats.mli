@@ -12,11 +12,18 @@ type summary = {
 }
 
 val summarize : float list -> summary
-(** @raise Invalid_argument on an empty list. *)
+(** Sorts with [Float.compare] (total order), so [-0.] and infinities
+    land where IEEE ordering puts them.
+
+    @raise Invalid_argument on an empty list, or if the input contains a
+    NaN — a NaN measurement is a harness bug and silently dropping or
+    misplacing it would corrupt every quantile. *)
 
 val percentile : float array -> float -> float
 (** [percentile sorted q] with [q] in [\[0,1\]]; linear interpolation. The
-    array must be sorted ascending. *)
+    array must be sorted ascending under [Float.compare] and NaN-free
+    (anything else gives unspecified results — {!summarize} enforces
+    both). *)
 
 val mean : float list -> float
 val stddev : float list -> float

@@ -1,0 +1,392 @@
+module Sched = Simkern.Sched
+
+let now () = if Sched.in_thread () then Sched.now () else 0.0
+let cur_tid () = if Sched.in_thread () then Sched.self () else -1
+
+(* {1 Metrics} *)
+
+module Metrics = struct
+  type counter = { mutable c : int }
+  type gauge = { mutable g : float }
+
+  type histogram = {
+    bounds : float array;  (* ascending upper bounds, +Inf implicit *)
+    buckets : int array;  (* cumulative at exposition, raw here *)
+    mutable sum : float;
+    mutable hcount : int;
+  }
+
+  type instrument =
+    | C of counter
+    | Cfn of (unit -> int)
+    | G of gauge
+    | Gfn of (unit -> float)
+    | H of histogram
+
+  type family = {
+    f_name : string;
+    f_help : string;
+    f_kind : [ `Counter | `Gauge | `Histogram ];
+    mutable f_series : ((string * string) list * instrument) list;
+        (* insertion order; sorted at exposition *)
+  }
+
+  type t = { families : (string, family) Hashtbl.t }
+
+  let create () = { families = Hashtbl.create 32 }
+
+  let kind_name = function
+    | `Counter -> "counter"
+    | `Gauge -> "gauge"
+    | `Histogram -> "histogram"
+
+  let family t ~kind ~help name =
+    match Hashtbl.find_opt t.families name with
+    | Some f ->
+        if f.f_kind <> kind then
+          invalid_arg
+            (Printf.sprintf "Telemetry.Metrics: %s registered as %s, asked as %s"
+               name (kind_name f.f_kind) (kind_name kind));
+        f
+    | None ->
+        let f = { f_name = name; f_help = help; f_kind = kind; f_series = [] } in
+        Hashtbl.replace t.families name f;
+        f
+
+  (* Get-or-create the series for a label set within a family. *)
+  let series f labels make =
+    match List.assoc_opt labels f.f_series with
+    | Some i -> i
+    | None ->
+        let i = make () in
+        f.f_series <- f.f_series @ [ (labels, i) ];
+        i
+
+  let counter t ?(help = "") ?(labels = []) name =
+    let f = family t ~kind:`Counter ~help name in
+    match series f labels (fun () -> C { c = 0 }) with
+    | C c -> c
+    | _ -> invalid_arg ("Telemetry.Metrics: " ^ name ^ " is callback-backed")
+
+  let inc c = c.c <- c.c + 1
+
+  let add c n =
+    if n < 0 then invalid_arg "Telemetry.Metrics.add: counters only go up";
+    c.c <- c.c + n
+
+  let counter_value c = c.c
+
+  let counter_fn t ?(help = "") ?(labels = []) name fn =
+    let f = family t ~kind:`Counter ~help name in
+    ignore (series f labels (fun () -> Cfn fn))
+
+  let gauge t ?(help = "") ?(labels = []) name =
+    let f = family t ~kind:`Gauge ~help name in
+    match series f labels (fun () -> G { g = 0.0 }) with
+    | G g -> g
+    | _ -> invalid_arg ("Telemetry.Metrics: " ^ name ^ " is callback-backed")
+
+  let set g v = g.g <- v
+  let gauge_value g = g.g
+
+  let gauge_fn t ?(help = "") ?(labels = []) name fn =
+    let f = family t ~kind:`Gauge ~help name in
+    ignore (series f labels (fun () -> Gfn fn))
+
+  let default_buckets = Array.init 14 (fun i -> 4.0 ** float_of_int i)
+
+  let histogram t ?(help = "") ?(labels = []) ?(buckets = default_buckets) name =
+    let f = family t ~kind:`Histogram ~help name in
+    match
+      series f labels (fun () ->
+          H
+            {
+              bounds = Array.copy buckets;
+              buckets = Array.make (Array.length buckets) 0;
+              sum = 0.0;
+              hcount = 0;
+            })
+    with
+    | H h -> h
+    | _ -> assert false
+
+  let observe h v =
+    let n = Array.length h.bounds in
+    let rec place i =
+      if i < n then
+        if v <= h.bounds.(i) then h.buckets.(i) <- h.buckets.(i) + 1
+        else place (i + 1)
+      (* above the last bound: lands only in the implicit +Inf bucket *)
+    in
+    place 0;
+    h.sum <- h.sum +. v;
+    h.hcount <- h.hcount + 1
+
+  let hist_count h = h.hcount
+  let hist_sum h = h.sum
+
+  let series_count t =
+    Hashtbl.fold (fun _ f acc -> acc + List.length f.f_series) t.families 0
+
+  (* {2 Exposition} *)
+
+  let escape_label v =
+    let b = Buffer.create (String.length v) in
+    String.iter
+      (fun ch ->
+        match ch with
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '"' -> Buffer.add_string b "\\\""
+        | '\n' -> Buffer.add_string b "\\n"
+        | c -> Buffer.add_char b c)
+      v;
+    Buffer.contents b
+
+  let fmt_labels = function
+    | [] -> ""
+    | labels ->
+        "{"
+        ^ String.concat ","
+            (List.map
+               (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label v))
+               labels)
+        ^ "}"
+
+  (* Integral values print without a decimal point so counters read as the
+     integers they are; everything else gets shortest-roundish %.6g. *)
+  let fmt_value v =
+    if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+    else Printf.sprintf "%.6g" v
+
+  let fmt_bound v =
+    if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+    else Printf.sprintf "%g" v
+
+  let expose t =
+    let b = Buffer.create 1024 in
+    let families =
+      Hashtbl.fold (fun _ f acc -> f :: acc) t.families []
+      |> List.sort (fun a b -> compare a.f_name b.f_name)
+    in
+    List.iter
+      (fun f ->
+        if f.f_help <> "" then
+          Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" f.f_name f.f_help);
+        Buffer.add_string b
+          (Printf.sprintf "# TYPE %s %s\n" f.f_name (kind_name f.f_kind));
+        let sorted =
+          List.sort (fun (la, _) (lb, _) -> compare la lb) f.f_series
+        in
+        List.iter
+          (fun (labels, i) ->
+            match i with
+            | C c ->
+                Buffer.add_string b
+                  (Printf.sprintf "%s%s %d\n" f.f_name (fmt_labels labels) c.c)
+            | Cfn fn ->
+                Buffer.add_string b
+                  (Printf.sprintf "%s%s %d\n" f.f_name (fmt_labels labels) (fn ()))
+            | G g ->
+                Buffer.add_string b
+                  (Printf.sprintf "%s%s %s\n" f.f_name (fmt_labels labels)
+                     (fmt_value g.g))
+            | Gfn fn ->
+                Buffer.add_string b
+                  (Printf.sprintf "%s%s %s\n" f.f_name (fmt_labels labels)
+                     (fmt_value (fn ())))
+            | H h ->
+                let cum = ref 0 in
+                Array.iteri
+                  (fun bi bound ->
+                    cum := !cum + h.buckets.(bi);
+                    Buffer.add_string b
+                      (Printf.sprintf "%s_bucket%s %d\n" f.f_name
+                         (fmt_labels (labels @ [ ("le", fmt_bound bound) ]))
+                         !cum))
+                  h.bounds;
+                Buffer.add_string b
+                  (Printf.sprintf "%s_bucket%s %d\n" f.f_name
+                     (fmt_labels (labels @ [ ("le", "+Inf") ]))
+                     h.hcount);
+                Buffer.add_string b
+                  (Printf.sprintf "%s_sum%s %s\n" f.f_name (fmt_labels labels)
+                     (fmt_value h.sum));
+                Buffer.add_string b
+                  (Printf.sprintf "%s_count%s %d\n" f.f_name (fmt_labels labels)
+                     h.hcount))
+          sorted)
+      families;
+    Buffer.contents b
+end
+
+(* {1 Trace} *)
+
+module Trace = struct
+  type span = {
+    s_name : string;
+    s_tid : int;
+    s_start : float;
+    s_dur : float;
+    s_depth : int;
+    s_args : (string * string) list;
+  }
+
+  type t = {
+    capacity : int;
+    mutable ring : span array;  (* allocated lazily on first record *)
+    mutable head : int;  (* next write slot *)
+    mutable total : int;  (* spans ever recorded *)
+    mutable on : bool;
+    depths : (int, int) Hashtbl.t;  (* tid -> current nesting depth *)
+  }
+
+  let create ?(capacity = 4096) () =
+    if capacity <= 0 then invalid_arg "Telemetry.Trace.create";
+    {
+      capacity;
+      ring = [||];
+      head = 0;
+      total = 0;
+      on = false;
+      depths = Hashtbl.create 8;
+    }
+
+  let set_enabled t v = t.on <- v
+  let enabled t = t.on
+
+  let dummy =
+    { s_name = ""; s_tid = 0; s_start = 0.0; s_dur = 0.0; s_depth = 0; s_args = [] }
+
+  let record t s =
+    if Array.length t.ring = 0 then t.ring <- Array.make t.capacity dummy;
+    t.ring.(t.head) <- s;
+    t.head <- (t.head + 1) mod t.capacity;
+    t.total <- t.total + 1
+
+  let with_span t ?(args = []) name f =
+    if not t.on then f ()
+    else begin
+      let tid = cur_tid () in
+      let depth =
+        match Hashtbl.find_opt t.depths tid with Some d -> d | None -> 0
+      in
+      Hashtbl.replace t.depths tid (depth + 1);
+      let t0 = now () in
+      let finish () =
+        Hashtbl.replace t.depths tid depth;
+        record t
+          {
+            s_name = name;
+            s_tid = tid;
+            s_start = t0;
+            s_dur = now () -. t0;
+            s_depth = depth;
+            s_args = args;
+          }
+      in
+      match f () with
+      | v ->
+          finish ();
+          v
+      | exception e ->
+          finish ();
+          raise e
+    end
+
+  let instant t ?(args = []) name =
+    if t.on then
+      let tid = cur_tid () in
+      let depth =
+        match Hashtbl.find_opt t.depths tid with Some d -> d | None -> 0
+      in
+      record t
+        {
+          s_name = name;
+          s_tid = tid;
+          s_start = now ();
+          s_dur = -1.0;  (* marker: rendered as an instant event *)
+          s_depth = depth;
+          s_args = args;
+        }
+
+  let recorded t = t.total
+  let dropped t = max 0 (t.total - t.capacity)
+
+  let spans t =
+    let n = min t.total t.capacity in
+    let first = (t.head - n + t.capacity) mod t.capacity in
+    List.init n (fun i -> t.ring.((first + i) mod t.capacity))
+
+  let clear t =
+    t.head <- 0;
+    t.total <- 0;
+    Hashtbl.reset t.depths
+
+  let aggregate t =
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun s ->
+        if s.s_dur >= 0.0 then
+          let n, d =
+            match Hashtbl.find_opt tbl s.s_name with
+            | Some (n, d) -> (n, d)
+            | None -> (0, 0.0)
+          in
+          Hashtbl.replace tbl s.s_name (n + 1, d +. s.s_dur))
+      (spans t);
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+  let json_escape s =
+    let b = Buffer.create (String.length s) in
+    String.iter
+      (fun ch ->
+        match ch with
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '"' -> Buffer.add_string b "\\\""
+        | '\n' -> Buffer.add_string b "\\n"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let to_chrome_json ?(cycles_per_us = 1.0) t =
+    let b = Buffer.create 4096 in
+    Buffer.add_string b "{\"traceEvents\":[";
+    let first = ref true in
+    List.iter
+      (fun s ->
+        if !first then first := false else Buffer.add_char b ',';
+        let args =
+          match s.s_args with
+          | [] -> ""
+          | kvs ->
+              ",\"args\":{"
+              ^ String.concat ","
+                  (List.map
+                     (fun (k, v) ->
+                       Printf.sprintf "\"%s\":\"%s\"" (json_escape k)
+                         (json_escape v))
+                     kvs)
+              ^ "}"
+        in
+        if s.s_dur < 0.0 then
+          Buffer.add_string b
+            (Printf.sprintf
+               "{\"name\":\"%s\",\"cat\":\"sdrad\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f,\"pid\":1,\"tid\":%d%s}"
+               (json_escape s.s_name)
+               (s.s_start /. cycles_per_us)
+               s.s_tid args)
+        else
+          Buffer.add_string b
+            (Printf.sprintf
+               "{\"name\":\"%s\",\"cat\":\"sdrad\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d%s}"
+               (json_escape s.s_name)
+               (s.s_start /. cycles_per_us)
+               (s.s_dur /. cycles_per_us)
+               s.s_tid args))
+      (spans t);
+    Buffer.add_string b "],\"displayTimeUnit\":\"ms\"}";
+    Buffer.contents b
+end

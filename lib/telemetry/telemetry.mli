@@ -1,0 +1,161 @@
+(** Observability over virtual time: a typed metrics registry with
+    Prometheus-style text exposition, and a span tracer whose timestamps
+    come from the {!Simkern.Sched} virtual clock.
+
+    Both halves are deliberately allocation-light and deterministic: two
+    runs of the same simulation produce byte-identical expositions and
+    trace dumps, so telemetry output is a valid golden-test surface.
+
+    {2 Metric naming scheme}
+
+    Series follow the Prometheus convention
+    [<subsystem>_<what>[_<unit>][_total]]: [sdrad_rewinds_total],
+    [vmem_pkru_writes_total], [kvcache_rewind_cycles_bucket{le="256"}].
+    Subsystem prefixes in this repo: [sdrad_] (reference monitor),
+    [vmem_] (simulated MPK hardware), [tlsf_] (allocators),
+    [supervisor_], [kvcache_], [httpd_]. *)
+
+(** Typed counters, gauges and log-bucketed histograms.
+
+    Instruments are registered in a {!Metrics.t} registry under a name
+    plus an optional label set; registration is get-or-create, so two
+    subsystems asking for the same series share one instrument.
+    Registering the same name with a different instrument kind raises
+    [Invalid_argument]. *)
+module Metrics : sig
+  type t
+  (** A registry: one scrape surface. *)
+
+  type counter
+  type gauge
+  type histogram
+
+  val create : unit -> t
+
+  (** {1 Counters — monotonically increasing integers} *)
+
+  val counter :
+    t -> ?help:string -> ?labels:(string * string) list -> string -> counter
+
+  val inc : counter -> unit
+  val add : counter -> int -> unit
+  (** [add c n] with negative [n] raises [Invalid_argument]: counters only
+      go up. *)
+
+  val counter_value : counter -> int
+
+  val counter_fn :
+    t ->
+    ?help:string ->
+    ?labels:(string * string) list ->
+    string ->
+    (unit -> int) ->
+    unit
+  (** Counter whose value is read from a callback at exposition time —
+      for sources that already keep their own monotonic count (e.g.
+      {!Vmem.Space.fault_count}). *)
+
+  (** {1 Gauges — floats that can go either way} *)
+
+  val gauge :
+    t -> ?help:string -> ?labels:(string * string) list -> string -> gauge
+
+  val set : gauge -> float -> unit
+  val gauge_value : gauge -> float
+
+  val gauge_fn :
+    t ->
+    ?help:string ->
+    ?labels:(string * string) list ->
+    string ->
+    (unit -> float) ->
+    unit
+  (** Gauge sampled from a callback at exposition time. *)
+
+  (** {1 Histograms — log-bucketed samples} *)
+
+  val default_buckets : float array
+  (** Powers of four from 1 to 4{^13} (≈6.7e7) — covers one memory access
+      up to tens of simulated milliseconds in cycles. *)
+
+  val histogram :
+    t ->
+    ?help:string ->
+    ?labels:(string * string) list ->
+    ?buckets:float array ->
+    string ->
+    histogram
+  (** [buckets] are ascending upper bounds; an implicit [+Inf] bucket is
+      always appended. *)
+
+  val observe : histogram -> float -> unit
+  val hist_count : histogram -> int
+  val hist_sum : histogram -> float
+
+  (** {1 Exposition} *)
+
+  val series_count : t -> int
+  (** Number of distinct (name, labels) series registered. A histogram
+      counts as one series. *)
+
+  val expose : t -> string
+  (** Prometheus text exposition format, version 0.0.4: [# HELP] /
+      [# TYPE] headers followed by one line per sample. Families are
+      sorted by name and series by label set, so the output is
+      deterministic. *)
+end
+
+(** Nested spans over virtual time, recorded into a bounded ring.
+
+    When disabled (the default) {!Trace.with_span} costs one branch and
+    runs the body directly — instrumentation can stay in hot paths.
+    When enabled, each span captures the virtual-clock interval of its
+    body, its thread, and its nesting depth. The ring keeps the most
+    recent [capacity] spans; older ones are dropped (counted). *)
+module Trace : sig
+  type t
+
+  type span = {
+    s_name : string;
+    s_tid : int;  (** simulated thread, -1 outside a thread *)
+    s_start : float;  (** virtual cycles *)
+    s_dur : float;  (** virtual cycles *)
+    s_depth : int;  (** nesting depth within the thread, 0 = top level *)
+    s_args : (string * string) list;
+  }
+
+  val create : ?capacity:int -> unit -> t
+  (** Ring capacity defaults to 4096 spans. *)
+
+  val set_enabled : t -> bool -> unit
+  val enabled : t -> bool
+
+  val with_span :
+    t -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+  (** Run the body inside a span. The span is recorded when the body
+      returns {e or raises} — a rewind unwinding through a span still
+      leaves its trace. No-op (identity) while disabled. *)
+
+  val instant : t -> ?args:(string * string) list -> string -> unit
+  (** Record a zero-duration marker event (e.g. a breaker transition). *)
+
+  val spans : t -> span list
+  (** Retained spans, in completion order (oldest first). *)
+
+  val recorded : t -> int
+  (** Total spans ever recorded, including dropped ones. *)
+
+  val dropped : t -> int
+  val clear : t -> unit
+
+  val aggregate : t -> (string * (int * float)) list
+  (** Per-label [(count, total cycles)] over the retained spans, sorted
+      by label — the input to the switch-cost anatomy report. *)
+
+  val to_chrome_json : ?cycles_per_us:float -> t -> string
+  (** Chrome trace-event JSON (one ["X"] complete event per span, one
+      ["i"] instant event per marker), loadable in [chrome://tracing] or
+      Perfetto. [cycles_per_us] converts the virtual clock to the
+      microsecond timestamps the format expects (default 1.0: timestamps
+      stay in cycles). *)
+end

@@ -41,6 +41,9 @@ type t = {
   mutable inject_failure : (int -> bool) option;
       (* fault injection: when set and it answers [true] for a request
          size, the allocation fails as if the heap were exhausted *)
+  mutable malloc_calls : int;
+  mutable free_calls : int;
+  mutable region_adds : int;
 }
 
 let create space ~name =
@@ -55,6 +58,9 @@ let create space ~name =
     used_blocks = 0;
     total_bytes = 0;
     inject_failure = None;
+    malloc_calls = 0;
+    free_calls = 0;
+    region_adds = 0;
   }
 
 let set_inject_failure t h = t.inject_failure <- h
@@ -65,6 +71,9 @@ let regions t = List.rev t.regions
 let used_bytes t = t.used_bytes
 let used_blocks t = t.used_blocks
 let total_bytes t = t.total_bytes
+let malloc_calls t = t.malloc_calls
+let free_calls t = t.free_calls
+let region_adds t = t.region_adds
 
 let fls n =
   let rec go n i = if n = 0 then i - 1 else go (n lsr 1) (i + 1) in
@@ -137,7 +146,8 @@ let add_region t ~addr ~len =
   set_hdr t addr (size lor fl_free lor fl_last);
   insert_free t addr size;
   t.regions <- (addr, len) :: t.regions;
-  t.total_bytes <- t.total_bytes + len
+  t.total_bytes <- t.total_bytes + len;
+  t.region_adds <- t.region_adds + 1
 
 let find_suitable t fl sl =
   let sl_map = t.sl_bitmap.(fl) land (-1 lsl sl) in
@@ -191,6 +201,7 @@ let malloc_opt t request =
           t.used_bytes <- t.used_bytes + block_size
         end;
         t.used_blocks <- t.used_blocks + 1;
+        t.malloc_calls <- t.malloc_calls + 1;
         Some (b + header)
 
 let malloc t request =
@@ -207,6 +218,7 @@ let free t ptr =
       (Heap_corrupted (Printf.sprintf "%s: bad block header at 0x%x" t.name ptr));
   t.used_bytes <- t.used_bytes - size;
   t.used_blocks <- t.used_blocks - 1;
+  t.free_calls <- t.free_calls + 1;
   let b = ref b and size = ref size and last = ref (is_last word) in
   let prev_free_flag = ref (word land fl_prev_free) in
   (* Coalesce with the next physical block. *)

@@ -53,6 +53,7 @@ type t = {
   mutable free_list : (int * int) list;  (* (first_page, npages), sorted *)
   allocs : (int, int * int) Hashtbl.t;  (* base addr -> (total_pages, usable_pages) *)
   mutable fault_count : int;
+  mutable wrpkru_count : int;
   mutable syscall_hook : (string -> unit) option;
 }
 
@@ -77,6 +78,7 @@ let create ?(size_mib = 64) ?(cost = Cost.default) () =
     free_list = [ (1, pages - 1) ];
     allocs = Hashtbl.create 64;
     fault_count = 0;
+    wrpkru_count = 0;
     syscall_hook = None;
   }
 
@@ -110,6 +112,7 @@ let rdpkru t =
 
 let wrpkru t v =
   charge t t.cost.wrpkru;
+  t.wrpkru_count <- t.wrpkru_count + 1;
   let tid = cur_tid () in
   Hashtbl.replace t.pkru_tbl tid v;
   t.cached_tid <- tid;
@@ -459,3 +462,4 @@ let mapped_bytes t =
 let rss_bytes t = t.rss_pages lsl page_shift
 let max_rss_bytes t = t.max_rss_pages lsl page_shift
 let fault_count t = t.fault_count
+let wrpkru_writes t = t.wrpkru_count

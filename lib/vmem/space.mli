@@ -146,3 +146,8 @@ val rss_bytes : t -> int
 
 val max_rss_bytes : t -> int
 val fault_count : t -> int
+
+val wrpkru_writes : t -> int
+(** Total WRPKRU instructions executed across all threads — the raw
+    material for the switch-cost anatomy (each domain switch performs
+    exactly two). *)
