@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all check test chaos bench telemetry-report clean
+.PHONY: all check test chaos bench bench-r3 telemetry-report clean
 
 all: check
 
@@ -22,6 +22,12 @@ bench:
 # of an enter+exit pair leaves the paper's 30-50% band.
 telemetry-report:
 	dune exec bench/main.exe -- r2
+
+# Access-grant cache (software TLB) host-time benchmark; emits
+# BENCH_r3.json and fails if the hit rate on the kvcache workload
+# drops below 90%.
+bench-r3:
+	dune exec bench/main.exe -- r3
 
 clean:
 	dune clean

@@ -26,6 +26,7 @@ let all : (string * (unit -> unit)) list =
     ("a3", Experiments.a3);
     ("r1", Experiments.r1);
     ("r2", Experiments.r2);
+    ("r3", Experiments.r3);
     ("micro", Micro.run);
   ]
 

@@ -230,6 +230,15 @@ let create ?(seed = 1) ?(monitor_size = 256 * 1024)
     ~help:"WRPKRU instructions executed" (fun () -> Space.wrpkru_writes space);
   M.counter_fn metrics "vmem_faults_total" ~help:"Memory faults raised"
     (fun () -> Space.fault_count space);
+  M.counter_fn metrics "vmem_tlb_hits_total"
+    ~help:"Access-grant cache (software TLB) hits" (fun () ->
+      Space.tlb_hits space);
+  M.counter_fn metrics "vmem_tlb_misses_total"
+    ~help:"Access-grant cache fills via the slow path" (fun () ->
+      Space.tlb_misses space);
+  M.counter_fn metrics "vmem_tlb_shootdowns_total"
+    ~help:"Page-range grant-cache invalidations broadcast to all threads"
+    (fun () -> Space.tlb_shootdowns space);
   M.gauge_fn metrics "vmem_rss_bytes" ~help:"Touched resident bytes"
     (fun () -> float_of_int (Space.rss_bytes space));
   M.gauge_fn metrics "vmem_mapped_bytes" ~help:"Mapped bytes" (fun () ->

@@ -36,6 +36,28 @@ let ps = 1 lsl page_shift
 (* flags byte per page *)
 let fl_mapped = 8
 
+(* Per-thread access-grant cache — the simulator's software TLB. Each
+   entry caches the access rights the slow path would derive for one page
+   under one PKRU value: a granted-{!Prot}-bits mask tagged with the
+   epoch current when the entry was filled (0 = invalid). A WRPKRU
+   switches [epoch] to the epoch associated with the new PKRU value —
+   previously seen values reuse their old epoch, so entries survive the
+   monitor's enter/exit PKRU brackets, exactly like a PCID-tagged
+   hardware TLB survives address-space switches. The cache is 2-way
+   set-associative per page (slots [2p] and [2p+1], MRU first): a page
+   touched alternately under two PKRU values — the monitor's and a
+   domain's, the common steady state — keeps both grants resident
+   instead of ping-ponging. *)
+let tlb_ways = 2
+
+type tlb = {
+  tags : int array;  (* slot -> epoch at fill time; 0 = invalid *)
+  masks : Bytes.t;  (* slot -> granted access bits ({!Prot} bits) *)
+  mutable epoch : int;  (* epoch of the thread's current PKRU value *)
+  mutable next_epoch : int;
+  epoch_of_pkru : (int, int) Hashtbl.t;
+}
+
 type t = {
   mem : Bytes.t;
   size : int;
@@ -55,7 +77,27 @@ type t = {
   mutable fault_count : int;
   mutable wrpkru_count : int;
   mutable syscall_hook : (string -> unit) option;
+  (* access-grant cache state *)
+  mutable tlb_enabled : bool;
+  tlbs : (int, tlb) Hashtbl.t;  (* tid -> its grant cache *)
+  mutable cached_tlb_tid : int;
+  mutable cached_tlb : tlb;
+  mutable tlb_hit_count : int;
+  mutable tlb_miss_count : int;
+  mutable tlb_shootdown_count : int;
+  mutable diff_period : int;  (* cross-check 1-in-N fast-path hits; 0 = off *)
+  mutable diff_tick : int;
+  mutable diff_check_count : int;
 }
+
+let fresh_tlb pages =
+  {
+    tags = Array.make (tlb_ways * pages) 0;
+    masks = Bytes.make (tlb_ways * pages) '\000';
+    epoch = 0;
+    next_epoch = 1;
+    epoch_of_pkru = Hashtbl.create 8;
+  }
 
 let create ?(size_mib = 64) ?(cost = Cost.default) () =
   let size = size_mib * 1024 * 1024 in
@@ -80,6 +122,16 @@ let create ?(size_mib = 64) ?(cost = Cost.default) () =
     fault_count = 0;
     wrpkru_count = 0;
     syscall_hook = None;
+    tlb_enabled = true;
+    tlbs = Hashtbl.create 16;
+    cached_tlb_tid = min_int;
+    cached_tlb = fresh_tlb 0;
+    tlb_hit_count = 0;
+    tlb_miss_count = 0;
+    tlb_shootdown_count = 0;
+    diff_period = 0;
+    diff_tick = 0;
+    diff_check_count = 0;
   }
 
 let cost t = t.cost
@@ -106,6 +158,86 @@ let cur_pkru t =
     v
   end
 
+(* Point the grant cache at the epoch for this PKRU value, minting a new
+   epoch on first sight. Entries tagged with other epochs stay in the
+   arrays but stop matching — and become live again when their PKRU value
+   returns, which is what keeps the hit rate high across the two WRPKRUs
+   bracketing every monitor call. The value table is bounded: past the
+   cap we forget the associations (monotonic [next_epoch] guarantees a
+   recycled table can never resurrect a stale tag). *)
+let tlb_set_epoch tlb pkru =
+  match Hashtbl.find_opt tlb.epoch_of_pkru pkru with
+  | Some e -> tlb.epoch <- e
+  | None ->
+      if Hashtbl.length tlb.epoch_of_pkru > 128 then
+        Hashtbl.reset tlb.epoch_of_pkru;
+      let e = tlb.next_epoch in
+      tlb.next_epoch <- e + 1;
+      Hashtbl.replace tlb.epoch_of_pkru pkru e;
+      tlb.epoch <- e
+
+let cur_tlb t =
+  let tid = cur_tid () in
+  if tid = t.cached_tlb_tid then t.cached_tlb
+  else begin
+    let tlb =
+      match Hashtbl.find_opt t.tlbs tid with
+      | Some x -> x
+      | None ->
+          let x = fresh_tlb t.pages in
+          tlb_set_epoch x (cur_pkru t);
+          Hashtbl.replace t.tlbs tid x;
+          x
+    in
+    t.cached_tlb_tid <- tid;
+    t.cached_tlb <- tlb;
+    tlb
+  end
+
+(* Invalidate a page range in every thread's grant cache — the moral
+   equivalent of a TLB-shootdown IPI broadcast. Counted per event, not
+   per page or per thread. *)
+let tlb_shootdown t p1 p2 =
+  if t.tlb_enabled then begin
+    t.tlb_shootdown_count <- t.tlb_shootdown_count + 1;
+    Hashtbl.iter
+      (fun _ tlb ->
+        Array.fill tlb.tags (tlb_ways * p1) (tlb_ways * (p2 - p1 + 1)) 0)
+      t.tlbs
+  end
+
+let access_bits = function
+  | Read -> Prot.read
+  | Write -> Prot.write
+  | Exec -> Prot.exec
+
+(* Rights the current flags/pkey/PKRU grant on one page, as Prot bits. *)
+let grant_mask t p pkru =
+  let f = Char.code (Bytes.unsafe_get t.flags p) in
+  if f land fl_mapped = 0 then 0
+  else begin
+    let key = Char.code (Bytes.unsafe_get t.pkey_of p) in
+    (if Pkru.can_read pkru ~key then f land (Prot.read lor Prot.exec) else 0)
+    lor (if Pkru.can_write pkru ~key then f land Prot.write else 0)
+  end
+
+(* Pure slow-path classification of one page access: the fault it would
+   raise, or [None] when allowed. No charging, no RSS side effects. *)
+let page_verdict t p access pkru =
+  let f = Char.code (Bytes.unsafe_get t.flags p) in
+  if f land fl_mapped = 0 then Some (MAPERR, -1)
+  else begin
+    let key = Char.code (Bytes.unsafe_get t.pkey_of p) in
+    if f land access_bits access = 0 then Some (ACCERR, key)
+    else
+      let ok =
+        match access with
+        | Read | Exec -> Pkru.can_read pkru ~key
+        | Write -> Pkru.can_write pkru ~key
+      in
+      if ok then None else Some (PKUERR, key)
+  end
+
 let rdpkru t =
   charge t t.cost.rdpkru;
   cur_pkru t
@@ -116,7 +248,8 @@ let wrpkru t v =
   let tid = cur_tid () in
   Hashtbl.replace t.pkru_tbl tid v;
   t.cached_tid <- tid;
-  t.cached_pkru <- v
+  t.cached_pkru <- v;
+  if t.tlb_enabled then tlb_set_epoch (cur_tlb t) v
 
 let pkey_alloc t =
   syscall_gate t "pkey_alloc";
@@ -174,13 +307,98 @@ let check_page t addr p access =
       if not (Pkru.can_write pkru ~key) then fault t addr access PKUERR key);
   touch t p
 
+(* First-touch accounting that defers the cycle charge into [pending] so
+   a page run costs one {!Sched.charge} call instead of one per page.
+   The deferred sum is flushed before any fault is raised, keeping the
+   virtual-time total identical to the per-page slow path. *)
+let touch_pending t p pending =
+  if Bytes.unsafe_get t.touched p = '\000' then begin
+    Bytes.unsafe_set t.touched p '\001';
+    t.rss_pages <- t.rss_pages + 1;
+    if t.rss_pages > t.max_rss_pages then t.max_rss_pages <- t.rss_pages;
+    pending := !pending +. t.cost.page_touch
+  end
+
+let diff_divergence p access pkru =
+  Format.asprintf
+    "Space: grant-cache divergence at page %d (%a granted by cache, slow \
+     path denies under pkru %#x)"
+    p pp_access access pkru
+
+(* A cache hit needs no [touch]: fills always touch, and every event
+   that can reset the touched bit (munmap, restore_image) also shoots
+   the page's tags down, so a live tag implies a resident page. *)
+let check_tlb t addr access p1 p2 =
+  let tlb = cur_tlb t in
+  let pkru = cur_pkru t in
+  let needed = access_bits access in
+  let epoch = tlb.epoch in
+  let pending = ref 0.0 in
+  for p = p1 to p2 do
+    let i = tlb_ways * p in
+    let hit =
+      if
+        Array.unsafe_get tlb.tags i = epoch
+        && Char.code (Bytes.unsafe_get tlb.masks i) land needed <> 0
+      then true
+      else if
+        Array.unsafe_get tlb.tags (i + 1) = epoch
+        && Char.code (Bytes.unsafe_get tlb.masks (i + 1)) land needed <> 0
+      then begin
+        (* promote the hit to the MRU slot *)
+        let tg = Array.unsafe_get tlb.tags i
+        and mk = Bytes.unsafe_get tlb.masks i in
+        Array.unsafe_set tlb.tags i (Array.unsafe_get tlb.tags (i + 1));
+        Bytes.unsafe_set tlb.masks i (Bytes.unsafe_get tlb.masks (i + 1));
+        Array.unsafe_set tlb.tags (i + 1) tg;
+        Bytes.unsafe_set tlb.masks (i + 1) mk;
+        true
+      end
+      else false
+    in
+    if hit then begin
+      t.tlb_hit_count <- t.tlb_hit_count + 1;
+      if t.diff_period > 0 then begin
+        t.diff_tick <- t.diff_tick + 1;
+        if t.diff_tick >= t.diff_period then begin
+          t.diff_tick <- 0;
+          t.diff_check_count <- t.diff_check_count + 1;
+          match page_verdict t p access pkru with
+          | None -> ()
+          | Some _ -> failwith (diff_divergence p access pkru)
+        end
+      end
+    end
+    else begin
+      t.tlb_miss_count <- t.tlb_miss_count + 1;
+      match page_verdict t p access pkru with
+      | Some (code, key) ->
+          if !pending > 0.0 then charge t !pending;
+          fault t (if p = p1 then addr else p lsl page_shift) access code key
+      | None ->
+          (* fill the MRU slot, demoting its previous occupant — unless
+             the MRU slot already belongs to this epoch (a grant widened
+             by a refill), in which case overwrite it in place *)
+          if Array.unsafe_get tlb.tags i <> epoch then begin
+            Array.unsafe_set tlb.tags (i + 1) (Array.unsafe_get tlb.tags i);
+            Bytes.unsafe_set tlb.masks (i + 1) (Bytes.unsafe_get tlb.masks i)
+          end;
+          Array.unsafe_set tlb.tags i epoch;
+          Bytes.unsafe_set tlb.masks i (Char.unsafe_chr (grant_mask t p pkru));
+          touch_pending t p pending
+    end
+  done;
+  if !pending > 0.0 then charge t !pending
+
 let check t addr len access =
   if len > 0 then begin
     if addr < 0 || addr + len > t.size then fault t addr access MAPERR (-1);
     let p1 = addr lsr page_shift and p2 = (addr + len - 1) lsr page_shift in
-    for p = p1 to p2 do
-      check_page t (if p = p1 then addr else p lsl page_shift) p access
-    done
+    if t.tlb_enabled then check_tlb t addr access p1 p2
+    else
+      for p = p1 to p2 do
+        check_page t (if p = p1 then addr else p lsl page_shift) p access
+      done
   end
 
 (* {1 Mappings} *)
@@ -220,6 +438,7 @@ let mmap t ~len ~prot ~pkey =
   Bytes.fill t.mem (base_page lsl page_shift) (npages lsl page_shift) '\000';
   let addr = base_page lsl page_shift in
   Hashtbl.replace t.allocs addr (total, npages);
+  tlb_shootdown t base_page (base_page + npages - 1);
   charge t (t.cost.syscall +. (t.cost.mmap_per_page *. float_of_int total));
   addr
 
@@ -239,30 +458,49 @@ let munmap t addr =
       done;
       Hashtbl.remove t.allocs addr;
       t.free_list <- insert_region t.free_list (base_page - 1, total);
+      tlb_shootdown t base_page (base_page + npages - 1);
       charge t t.cost.syscall
 
 let page_range addr len =
   (addr lsr page_shift, (addr + len - 1) lsr page_shift)
 
+(* Validate an mprotect-style range fully before mutating anything:
+   alignment, a positive length, page indices inside the [flags]/
+   [pkey_of] arrays (out-of-range indices would drive [unsafe_set] into
+   the OCaml heap), and every page mapped — so a rejected call leaves no
+   half-applied protections behind. *)
+let validate_prot_range t ~op ~addr ~len =
+  if addr land (ps - 1) <> 0 then invalid_arg (op ^ ": unaligned");
+  if len <= 0 then invalid_arg (op ^ ": bad length");
+  let p1, p2 = page_range addr len in
+  if addr < 0 || p2 >= t.pages then invalid_arg (op ^ ": out of range");
+  for p = p1 to p2 do
+    if Char.code (Bytes.unsafe_get t.flags p) land fl_mapped = 0 then
+      invalid_arg (op ^ ": unmapped page")
+  done;
+  (p1, p2)
+
 let mprotect t ~addr ~len ~prot =
   syscall_gate t "mprotect";
-  if addr land (ps - 1) <> 0 then invalid_arg "mprotect: unaligned";
-  let p1, p2 = page_range addr len in
+  let p1, p2 = validate_prot_range t ~op:"mprotect" ~addr ~len in
+  let fbyte = Char.chr (fl_mapped lor prot) in
   for p = p1 to p2 do
-    let f = Char.code (Bytes.unsafe_get t.flags p) in
-    if f land fl_mapped = 0 then invalid_arg "mprotect: unmapped page";
-    Bytes.unsafe_set t.flags p (Char.chr (fl_mapped lor prot))
+    Bytes.unsafe_set t.flags p fbyte
   done;
+  tlb_shootdown t p1 p2;
   charge t t.cost.syscall
 
 let pkey_mprotect t ~addr ~len ~prot ~pkey =
+  syscall_gate t "pkey_mprotect";
   if pkey < 0 || pkey > 15 then invalid_arg "pkey_mprotect: bad pkey";
-  mprotect t ~addr ~len ~prot;
-  let p1, p2 = page_range addr len in
-  let kbyte = Char.chr pkey in
+  let p1, p2 = validate_prot_range t ~op:"pkey_mprotect" ~addr ~len in
+  let fbyte = Char.chr (fl_mapped lor prot) and kbyte = Char.chr pkey in
   for p = p1 to p2 do
+    Bytes.unsafe_set t.flags p fbyte;
     Bytes.unsafe_set t.pkey_of p kbyte
-  done
+  done;
+  tlb_shootdown t p1 p2;
+  charge t t.cost.syscall
 
 let pkey_of_addr t addr = Char.code (Bytes.get t.pkey_of (addr lsr page_shift))
 
@@ -339,29 +577,47 @@ let flip_bit t ~addr ~bit =
 let bulk_charge t len =
   charge t (t.cost.mem_access +. (t.cost.mem_byte *. float_of_int len))
 
+(* Every bulk entry point validates its length before [bulk_charge]: a
+   negative length must raise, not charge negative virtual time to the
+   scheduler first, and a zero length is a free no-op. *)
+let check_len op len = if len < 0 then invalid_arg (op ^ ": bad length")
+
 let load_bytes t addr len =
-  bulk_charge t len;
-  check t addr len Read;
-  Bytes.sub t.mem addr len
+  check_len "load_bytes" len;
+  if len = 0 then Bytes.empty
+  else begin
+    bulk_charge t len;
+    check t addr len Read;
+    Bytes.sub t.mem addr len
+  end
 
 let store_bytes t addr b =
   let len = Bytes.length b in
-  bulk_charge t len;
-  check t addr len Write;
-  Bytes.blit b 0 t.mem addr len
+  if len > 0 then begin
+    bulk_charge t len;
+    check t addr len Write;
+    Bytes.blit b 0 t.mem addr len
+  end
 
 let store_string t addr s =
   let len = String.length s in
-  bulk_charge t len;
-  check t addr len Write;
-  Bytes.blit_string s 0 t.mem addr len
+  if len > 0 then begin
+    bulk_charge t len;
+    check t addr len Write;
+    Bytes.blit_string s 0 t.mem addr len
+  end
 
 let read_string t addr len =
-  bulk_charge t len;
-  check t addr len Read;
-  Bytes.sub_string t.mem addr len
+  check_len "read_string" len;
+  if len = 0 then ""
+  else begin
+    bulk_charge t len;
+    check t addr len Read;
+    Bytes.sub_string t.mem addr len
+  end
 
 let blit t ~src ~dst ~len =
+  check_len "blit" len;
   if len > 0 then begin
     bulk_charge t (2 * len);
     check t src len Read;
@@ -370,6 +626,7 @@ let blit t ~src ~dst ~len =
   end
 
 let fill t ~addr ~len c =
+  check_len "fill" len;
   if len > 0 then begin
     bulk_charge t len;
     check t addr len Write;
@@ -377,17 +634,36 @@ let fill t ~addr ~len c =
   end
 
 let memchr t ~addr ~len c =
-  check t addr len Read;
-  charge t (t.cost.mem_byte *. float_of_int len);
-  match Bytes.index_from_opt t.mem addr c with
-  | Some i when i < addr + len -> Some i
-  | Some _ | None -> None
+  check_len "memchr" len;
+  if len = 0 then None
+  else begin
+    check t addr len Read;
+    (* Bound the scan to the checked window — [Bytes.index_from_opt]
+       would walk the whole backing store, reading other domains' bytes
+       and turning a short line scan into O(space) — and charge only for
+       the bytes actually examined, with the same access base as
+       [bulk_charge]. *)
+    let limit = addr + len in
+    let rec scan i =
+      if i >= limit then None
+      else if Bytes.unsafe_get t.mem i = c then Some i
+      else scan (i + 1)
+    in
+    let r = scan addr in
+    let examined = match r with Some i -> i - addr + 1 | None -> len in
+    charge t (t.cost.mem_access +. (t.cost.mem_byte *. float_of_int examined));
+    r
+  end
 
 let memcmp t a b len =
-  bulk_charge t (2 * len);
-  check t a len Read;
-  check t b len Read;
-  compare (Bytes.sub t.mem a len) (Bytes.sub t.mem b len)
+  check_len "memcmp" len;
+  if len = 0 then 0
+  else begin
+    bulk_charge t (2 * len);
+    check t a len Read;
+    check t b len Read;
+    compare (Bytes.sub t.mem a len) (Bytes.sub t.mem b len)
+  end
 
 (* {1 Kernel-mode access} *)
 
@@ -440,7 +716,9 @@ let restore_image t im =
   List.iter (fun (k, v) -> Hashtbl.replace t.allocs k v) im.im_allocs;
   List.iter
     (fun (p, contents) -> Bytes.blit contents 0 t.mem (p lsl page_shift) ps)
-    im.im_pages
+    im.im_pages;
+  (* the image carries arbitrary flags/keys/touched state: full flush *)
+  if t.pages > 0 then tlb_shootdown t 0 (t.pages - 1)
 
 let image_bytes im = List.length im.im_pages * ps
 
@@ -463,3 +741,23 @@ let rss_bytes t = t.rss_pages lsl page_shift
 let max_rss_bytes t = t.max_rss_pages lsl page_shift
 let fault_count t = t.fault_count
 let wrpkru_writes t = t.wrpkru_count
+
+(* {1 Grant-cache control and counters} *)
+
+let set_grant_cache t on =
+  if on <> t.tlb_enabled then begin
+    t.tlb_enabled <- on;
+    Hashtbl.reset t.tlbs;
+    t.cached_tlb_tid <- min_int
+  end
+
+let grant_cache_enabled t = t.tlb_enabled
+
+let set_differential t period =
+  t.diff_period <- (if period < 0 then 0 else period);
+  t.diff_tick <- 0
+
+let differential_checks t = t.diff_check_count
+let tlb_hits t = t.tlb_hit_count
+let tlb_misses t = t.tlb_miss_count
+let tlb_shootdowns t = t.tlb_shootdown_count

@@ -58,8 +58,10 @@ val wrpkru : t -> int -> unit
 
 val set_syscall_hook : t -> (string -> unit) option -> unit
 (** Install a callback invoked at the entry of every "system call"
-    ([mmap]/[munmap]/[mprotect]/[pkey_alloc]/[pkey_free]). SDRaD uses it
-    as the syscall attack
+    ([mmap]/[munmap]/[mprotect]/[pkey_mprotect]/[pkey_alloc]/
+    [pkey_free] — [pkey_mprotect] reports under its own name so the
+    oracle can deny key re-assignment independently of plain
+    protection changes). SDRaD uses it as the syscall attack
     oracle of §VI: untrusted domains must not reach the kernel interface
     directly (Connor et al.'s PKU pitfalls; Jenny's syscall filtering).
     The hook may raise to deny the call. *)
@@ -107,10 +109,45 @@ val flip_bit : t -> addr:int -> bit:int -> bool
     flip lands in a hole). For deterministic fault injection. *)
 
 val memchr : t -> addr:int -> len:int -> char -> int option
-(** First address of the given byte in [\[addr, addr+len)], scanning with
-    per-byte checks and cost. *)
+(** First address of the given byte in [\[addr, addr+len)]. The scan
+    never reads past [addr + len], and the cost charged covers only the
+    bytes actually examined (plus the access base). *)
 
 val memcmp : t -> int -> int -> int -> int
+
+(** {1 Access-grant cache (software TLB)}
+
+    Every checked access consults a per-thread page → granted-rights
+    cache filled lazily from flags/pkey/PKRU, so a hit costs one array
+    read and one bitmask test instead of re-deriving rights. Invalidation
+    mirrors hardware: {!wrpkru} switches the cache to an epoch tagged by
+    the PKRU value (domain switches flush naturally, returning values
+    re-enable their old entries, as with PCID tags), and
+    [mmap]/[munmap]/[mprotect]/[pkey_mprotect] shoot down the affected
+    page range in every thread's cache. Enabled by default; the cache is
+    invisible in virtual time and fault behaviour — only host time
+    changes. *)
+
+val set_grant_cache : t -> bool -> unit
+(** Enable/disable the grant cache. Toggling drops all cached state. *)
+
+val grant_cache_enabled : t -> bool
+
+val set_differential : t -> int -> unit
+(** [set_differential t n] (with [n > 0]) cross-checks one in every [n]
+    fast-path hits against the slow-path rights derivation and raises
+    [Failure] on divergence; [0] disables (the default). Debug aid. *)
+
+val differential_checks : t -> int
+(** Cross-checks performed since creation. *)
+
+val tlb_hits : t -> int
+val tlb_misses : t -> int
+
+val tlb_shootdowns : t -> int
+(** Range invalidations broadcast to all thread caches (one per
+    [mmap]/[munmap]/[mprotect]/[pkey_mprotect]/[restore_image] event,
+    not per page). *)
 
 (** {1 Kernel-mode access}
 

@@ -1,0 +1,508 @@
+(* Tests for the access-grant cache (software TLB) and the checked-access
+   bug sweep that rode along with it: counters, PKRU-epoch invalidation,
+   page-range shootdowns, per-thread isolation, the differential debug
+   mode, and regression tests for the mprotect range validation, the
+   bounded memchr, the negative/zero-length handling of the bulk entry
+   points, and the pkey_mprotect syscall-gate name — plus a 5-seed
+   differential property test pitting the fast path against the slow
+   path over random access/mprotect/wrpkru/thread-switch interleavings. *)
+
+module Space = Vmem.Space
+module Prot = Vmem.Prot
+module Pkru = Vmem.Pkru
+module Sched = Simkern.Sched
+module Cost = Simkern.Cost
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let check_float msg = Alcotest.check (Alcotest.float 1e-9) msg
+let mk () = Space.create ~size_mib:8 ()
+let ps = 4096
+
+(* Run a function inside a single simulated thread and propagate failure. *)
+let in_thread f =
+  let t = Sched.create () in
+  let tid = Sched.spawn t ~name:"test" f in
+  Sched.run t;
+  match Sched.outcome t tid with
+  | Some Sched.Completed -> ()
+  | Some (Sched.Failed e) -> raise e
+  | None -> Alcotest.fail "thread did not finish"
+
+let expect_fault ?code ?access f =
+  match f () with
+  | _ -> Alcotest.fail "expected a memory fault"
+  | exception Space.Fault fa ->
+      Option.iter (fun c -> check bool "si_code" true (fa.code = c)) code;
+      Option.iter (fun a -> check bool "access" true (fa.access = a)) access
+
+let expect_invalid msg f =
+  match f () with
+  | _ -> Alcotest.fail ("expected Invalid_argument: " ^ msg)
+  | exception Invalid_argument m -> check Alcotest.string "message" msg m
+
+(* {1 Grant-cache basics} *)
+
+let test_tlb_hit_counts () =
+  let s = mk () in
+  check bool "enabled by default" true (Space.grant_cache_enabled s);
+  let a = Space.mmap s ~len:ps ~prot:Prot.rw ~pkey:0 in
+  in_thread (fun () ->
+      ignore (Space.load8 s a);
+      let m = Space.tlb_misses s and h = Space.tlb_hits s in
+      for _ = 1 to 10 do
+        ignore (Space.load8 s a)
+      done;
+      check int "no new misses" m (Space.tlb_misses s);
+      check int "ten hits" (h + 10) (Space.tlb_hits s))
+
+let test_tlb_survives_pkru_roundtrip () =
+  let s = mk () in
+  let key = Option.get (Space.pkey_alloc s) in
+  let a = Space.mmap s ~len:ps ~prot:Prot.rw ~pkey:key in
+  in_thread (fun () ->
+      ignore (Space.load8 s a);
+      (* cached rights must not leak across a PKRU change... *)
+      Space.wrpkru s (Pkru.deny Pkru.all_access ~key);
+      expect_fault ~code:Space.PKUERR (fun () -> ignore (Space.load8 s a));
+      (* ...but returning to a previously seen PKRU value re-enables its
+         entries (PCID-style tagging): no refill needed. *)
+      Space.wrpkru s Pkru.all_access;
+      let m = Space.tlb_misses s in
+      ignore (Space.load8 s a);
+      check int "hit after PKRU round trip" m (Space.tlb_misses s))
+
+let test_tlb_mprotect_shootdown () =
+  let s = mk () in
+  let a = Space.mmap s ~len:(2 * ps) ~prot:Prot.rw ~pkey:0 in
+  in_thread (fun () ->
+      Space.store8 s a 1;
+      let sd = Space.tlb_shootdowns s in
+      Space.mprotect s ~addr:a ~len:(2 * ps) ~prot:Prot.read;
+      check bool "shootdown counted" true (Space.tlb_shootdowns s > sd);
+      expect_fault ~code:Space.ACCERR ~access:Space.Write (fun () ->
+          Space.store8 s a 1);
+      ignore (Space.load8 s a))
+
+let test_tlb_pkey_mprotect_shootdown () =
+  let s = mk () in
+  let key = Option.get (Space.pkey_alloc s) in
+  let a = Space.mmap s ~len:ps ~prot:Prot.rw ~pkey:0 in
+  in_thread (fun () ->
+      Space.wrpkru s (Pkru.deny Pkru.all_access ~key);
+      ignore (Space.load8 s a);
+      Space.pkey_mprotect s ~addr:a ~len:ps ~prot:Prot.rw ~pkey:key;
+      expect_fault ~code:Space.PKUERR (fun () -> ignore (Space.load8 s a)))
+
+let test_tlb_munmap_shootdown () =
+  let s = mk () in
+  let a = Space.mmap s ~len:ps ~prot:Prot.rw ~pkey:0 in
+  in_thread (fun () ->
+      ignore (Space.load8 s a);
+      Space.munmap s a;
+      expect_fault ~code:Space.MAPERR (fun () -> ignore (Space.load8 s a));
+      let b = Space.mmap s ~len:ps ~prot:Prot.rw ~pkey:0 in
+      ignore (Space.load8 s b))
+
+let test_tlb_per_thread () =
+  let s = mk () in
+  let key = Option.get (Space.pkey_alloc s) in
+  let a = Space.mmap s ~len:ps ~prot:Prot.rw ~pkey:key in
+  let sched = Sched.create () in
+  let t1 =
+    Sched.spawn sched ~name:"t1" (fun () -> ignore (Space.load8 s a))
+  in
+  let t2 =
+    Sched.spawn sched ~name:"t2" (fun () ->
+        Space.wrpkru s (Pkru.deny Pkru.all_access ~key);
+        match Space.load8 s a with
+        | _ -> Alcotest.fail "t2 must not inherit t1's cached grants"
+        | exception Space.Fault { code = Space.PKUERR; _ } -> ())
+  in
+  Sched.run sched;
+  List.iter
+    (fun tid ->
+      match Sched.outcome sched tid with
+      | Some Sched.Completed -> ()
+      | Some (Sched.Failed e) -> raise e
+      | None -> Alcotest.fail "thread did not finish")
+    [ t1; t2 ]
+
+let test_tlb_restore_image_flush () =
+  let s = mk () in
+  let a = Space.mmap s ~len:ps ~prot:Prot.read ~pkey:0 in
+  let im = Space.checkpoint s in
+  in_thread (fun () ->
+      Space.mprotect s ~addr:a ~len:ps ~prot:Prot.rw;
+      Space.store8 s a 7;
+      (* the image carries the read-only flags: the cached write grant
+         must not survive the restore *)
+      Space.restore_image s im;
+      expect_fault ~code:Space.ACCERR ~access:Space.Write (fun () ->
+          Space.store8 s a 7))
+
+let test_grant_cache_toggle () =
+  let s = mk () in
+  let a = Space.mmap s ~len:ps ~prot:Prot.rw ~pkey:0 in
+  in_thread (fun () ->
+      ignore (Space.load8 s a);
+      Space.set_grant_cache s false;
+      check bool "disabled" false (Space.grant_cache_enabled s);
+      let h = Space.tlb_hits s and m = Space.tlb_misses s in
+      for _ = 1 to 5 do
+        ignore (Space.load8 s a)
+      done;
+      check int "hits frozen while disabled" h (Space.tlb_hits s);
+      check int "misses frozen while disabled" m (Space.tlb_misses s);
+      Space.set_grant_cache s true;
+      ignore (Space.load8 s a);
+      check int "re-enabling starts cold" (m + 1) (Space.tlb_misses s))
+
+let test_differential_mode () =
+  let s = mk () in
+  Space.set_differential s 1;
+  let a = Space.mmap s ~len:ps ~prot:Prot.rw ~pkey:0 in
+  in_thread (fun () ->
+      for _ = 0 to 8 do
+        ignore (Space.load8 s a)
+      done;
+      check bool "cross-checks ran" true (Space.differential_checks s >= 8))
+
+(* The cache must be invisible in virtual time and in every accounting
+   figure: run one mixed workload (stores, PKRU flips, mprotect, bulk
+   reads, faults) with the cache on and off and require identical clocks
+   and counters. *)
+let test_tlb_virtual_time_equivalence () =
+  let run cached =
+    let s = mk () in
+    if not cached then Space.set_grant_cache s false;
+    let key = Option.get (Space.pkey_alloc s) in
+    let a = Space.mmap s ~len:(16 * ps) ~prot:Prot.rw ~pkey:0 in
+    let b = Space.mmap s ~len:(4 * ps) ~prot:Prot.rw ~pkey:key in
+    let finish = ref 0.0 and faults = ref 0 in
+    in_thread (fun () ->
+        for i = 0 to 200 do
+          (try Space.store8 s (a + (i * 97 mod (16 * ps))) (i land 0xff)
+           with Space.Fault _ -> incr faults);
+          if i mod 13 = 0 then
+            Space.wrpkru s
+              (if i mod 26 = 0 then Pkru.all_access
+               else Pkru.deny Pkru.all_access ~key);
+          (try ignore (Space.load_bytes s b (2 * ps))
+           with Space.Fault _ -> incr faults);
+          if i mod 31 = 0 then
+            Space.mprotect s ~addr:a ~len:ps
+              ~prot:(if i mod 62 = 0 then Prot.read else Prot.rw);
+          try Space.blit s ~src:(a + ps) ~dst:(a + (8 * ps)) ~len:300
+          with Space.Fault _ -> incr faults
+        done;
+        finish := Sched.now ());
+    ( !finish,
+      !faults,
+      Space.fault_count s,
+      Space.rss_bytes s,
+      Space.max_rss_bytes s,
+      Space.wrpkru_writes s )
+  in
+  let f1, c1, fc1, r1, m1, w1 = run true in
+  let f2, c2, fc2, r2, m2, w2 = run false in
+  check_float "virtual time identical" f2 f1;
+  check int "caught faults identical" c2 c1;
+  check int "fault_count identical" fc2 fc1;
+  check int "rss identical" r2 r1;
+  check int "max rss identical" m2 m1;
+  check int "wrpkru identical" w2 w1
+
+(* {1 Regression: mprotect/pkey_mprotect range validation} *)
+
+let test_mprotect_range_validated () =
+  let s = mk () in
+  let size = Space.size s in
+  let a = Space.mmap s ~len:(2 * ps) ~prot:Prot.rw ~pkey:0 in
+  expect_invalid "mprotect: out of range" (fun () ->
+      Space.mprotect s ~addr:size ~len:ps ~prot:Prot.read);
+  expect_invalid "mprotect: out of range" (fun () ->
+      Space.mprotect s ~addr:(size - ps) ~len:(3 * ps) ~prot:Prot.read);
+  expect_invalid "mprotect: out of range" (fun () ->
+      Space.mprotect s ~addr:(-ps) ~len:ps ~prot:Prot.read);
+  expect_invalid "mprotect: bad length" (fun () ->
+      Space.mprotect s ~addr:a ~len:0 ~prot:Prot.read);
+  expect_invalid "mprotect: bad length" (fun () ->
+      Space.mprotect s ~addr:a ~len:(-ps) ~prot:Prot.read);
+  expect_invalid "pkey_mprotect: out of range" (fun () ->
+      Space.pkey_mprotect s ~addr:size ~len:ps ~prot:Prot.read ~pkey:0);
+  expect_invalid "pkey_mprotect: bad length" (fun () ->
+      Space.pkey_mprotect s ~addr:a ~len:0 ~prot:Prot.read ~pkey:0);
+  check int "prot untouched by rejected calls" Prot.rw (Space.prot_of_addr s a)
+
+let test_mprotect_no_partial_mutation () =
+  let s = mk () in
+  let a = Space.mmap s ~len:ps ~prot:Prot.rw ~pkey:0 in
+  (* the range runs off the end of the mapping into the next guard page:
+     the call must reject without having already downgraded the first
+     page *)
+  expect_invalid "mprotect: unmapped page" (fun () ->
+      Space.mprotect s ~addr:a ~len:(2 * ps) ~prot:Prot.read);
+  check int "no partial application" Prot.rw (Space.prot_of_addr s a)
+
+(* {1 Regression: memchr stays inside the checked window} *)
+
+let test_memchr_window_bounded () =
+  let s = mk () in
+  let a = Space.mmap s ~len:(2 * ps) ~prot:Prot.rw ~pkey:0 in
+  in_thread (fun () ->
+      Space.store8 s (a + 100) (Char.code 'Z');
+      check
+        (Alcotest.option int)
+        "found inside window"
+        (Some (a + 100))
+        (Space.memchr s ~addr:a ~len:128 'Z');
+      check
+        (Alcotest.option int)
+        "byte past the window is invisible" None
+        (Space.memchr s ~addr:a ~len:100 'Z');
+      (* a window leaking into the guard page still faults *)
+      expect_fault ~code:Space.MAPERR (fun () ->
+          Space.memchr s ~addr:a ~len:(3 * ps) 'Z'))
+
+let test_memchr_charges_examined_bytes () =
+  let s = mk () in
+  let c = Space.cost s in
+  let a = Space.mmap s ~len:(2 * ps) ~prot:Prot.rw ~pkey:0 in
+  in_thread (fun () ->
+      Space.store8 s (a + 2) (Char.code 'X');
+      let t0 = Sched.now () in
+      let r = Space.memchr s ~addr:a ~len:64 'X' in
+      let dt = Sched.now () -. t0 in
+      check (Alcotest.option int) "found" (Some (a + 2)) r;
+      (* the match is the third byte examined: the cost must reflect
+         that, with the same access base as the other bulk operations,
+         not a flat per-window-byte charge *)
+      check_float "charged for three examined bytes"
+        (c.Cost.mem_access +. (3.0 *. c.Cost.mem_byte))
+        dt;
+      let t1 = Sched.now () in
+      ignore (Space.memchr s ~addr:a ~len:64 '\255');
+      check_float "miss charges the whole window"
+        (c.Cost.mem_access +. (64.0 *. c.Cost.mem_byte))
+        (Sched.now () -. t1))
+
+(* {1 Regression: negative/zero lengths never reach Sched.charge} *)
+
+let test_negative_len_never_charges () =
+  let s = mk () in
+  let a = Space.mmap s ~len:(2 * ps) ~prot:Prot.rw ~pkey:0 in
+  in_thread (fun () ->
+      ignore (Space.load8 s a);
+      let t0 = Sched.now () in
+      let inv f =
+        match f () with
+        | _ -> Alcotest.fail "expected Invalid_argument"
+        | exception Invalid_argument _ -> ()
+      in
+      inv (fun () -> Space.load_bytes s a (-5));
+      inv (fun () -> Space.read_string s a (-3));
+      inv (fun () -> Space.memcmp s a (a + 64) (-1));
+      inv (fun () -> Space.blit s ~src:a ~dst:(a + 64) ~len:(-2));
+      inv (fun () -> Space.fill s ~addr:a ~len:(-4) 'x');
+      inv (fun () -> Space.memchr s ~addr:a ~len:(-1) 'x');
+      check_float "no virtual time charged" 0.0 (Sched.now () -. t0))
+
+let test_zero_len_ops_are_free () =
+  let s = mk () in
+  let a = Space.mmap s ~len:(2 * ps) ~prot:Prot.rw ~pkey:0 in
+  in_thread (fun () ->
+      ignore (Space.load8 s a);
+      let t0 = Sched.now () in
+      check int "load_bytes 0" 0 (Bytes.length (Space.load_bytes s a 0));
+      check Alcotest.string "read_string 0" "" (Space.read_string s a 0);
+      check int "memcmp 0" 0 (Space.memcmp s a (a + 1) 0);
+      Space.blit s ~src:a ~dst:(a + 64) ~len:0;
+      Space.fill s ~addr:a ~len:0 'x';
+      Space.store_bytes s a Bytes.empty;
+      Space.store_string s a "";
+      check (Alcotest.option int) "memchr 0" None
+        (Space.memchr s ~addr:a ~len:0 'x');
+      check_float "all free" 0.0 (Sched.now () -. t0))
+
+(* {1 Regression: the syscall oracle sees pkey_mprotect by name} *)
+
+let test_hook_sees_pkey_mprotect () =
+  let s = mk () in
+  let a = Space.mmap s ~len:ps ~prot:Prot.rw ~pkey:0 in
+  let ops = ref [] in
+  Space.set_syscall_hook s (Some (fun op -> ops := op :: !ops));
+  Space.pkey_mprotect s ~addr:a ~len:ps ~prot:Prot.rw ~pkey:0;
+  Space.set_syscall_hook s None;
+  check
+    (Alcotest.list Alcotest.string)
+    "gated under its own name" [ "pkey_mprotect" ] !ops
+
+(* {1 Differential property: fast path ≡ slow path over 5 seeds}
+
+   Two spaces run the same seeded two-thread workload — loads, stores,
+   bulk reads that overflow into guard pages, memchr, blit, mprotect,
+   pkey_mprotect, WRPKRU flips and explicit yields — one with the grant
+   cache (plus sampled differential cross-checking), one without. Every
+   operation's outcome (value, or fault address/access/si_code/pkey/tid)
+   and the thread clock after it are appended to a trace; the traces must
+   be bytewise identical, which also pins the scheduler interleaving. *)
+
+let run_random_scenario ~cached seed =
+  let s = mk () in
+  if cached then Space.set_differential s 7 else Space.set_grant_cache s false;
+  let key1 = Option.get (Space.pkey_alloc s) in
+  let key2 = Option.get (Space.pkey_alloc s) in
+  let npages = 16 in
+  let rlen = npages * ps in
+  let r1 = Space.mmap s ~len:rlen ~prot:Prot.rw ~pkey:key1 in
+  let r2 = Space.mmap s ~len:rlen ~prot:Prot.rw ~pkey:key2 in
+  let pkrus =
+    [|
+      Pkru.all_access;
+      Pkru.deny Pkru.all_access ~key:key1;
+      Pkru.deny Pkru.all_access ~key:key2;
+      Pkru.allow_read Pkru.all_access ~key:key1;
+    |]
+  in
+  let prots = [| Prot.read; Prot.rw; Prot.none |] in
+  let trace = Buffer.create 8192 in
+  let sched = Sched.create () in
+  let worker wid () =
+    let st = Random.State.make [| seed; wid |] in
+    for i = 0 to 199 do
+      let res =
+        try
+          match Random.State.int st 9 with
+          | 0 ->
+              let off = Random.State.int st rlen in
+              Printf.sprintf "ld %d" (Space.load8 s (r1 + off))
+          | 1 ->
+              let off = Random.State.int st rlen in
+              Space.store8 s (r2 + off) (Random.State.int st 256);
+              "st"
+          | 2 ->
+              Space.wrpkru s pkrus.(Random.State.int st (Array.length pkrus));
+              "wrpkru"
+          | 3 ->
+              let pg = Random.State.int st npages in
+              Space.mprotect s ~addr:(r1 + (pg * ps)) ~len:ps
+                ~prot:prots.(Random.State.int st 3);
+              "mp"
+          | 4 ->
+              let pg = Random.State.int st npages in
+              let k = if Random.State.bool st then key1 else key2 in
+              Space.pkey_mprotect s ~addr:(r2 + (pg * ps)) ~len:ps
+                ~prot:prots.(Random.State.int st 2)
+                ~pkey:k;
+              "pkmp"
+          | 5 ->
+              (* may overflow into the guard page: MAPERR expected *)
+              let off = Random.State.int st rlen in
+              let len = 1 + Random.State.int st 9000 in
+              Printf.sprintf "lb %d"
+                (Bytes.length (Space.load_bytes s (r1 + off) len))
+          | 6 ->
+              let off = Random.State.int st (rlen - 64) in
+              let c = Char.chr (Random.State.int st 256) in
+              (match Space.memchr s ~addr:(r2 + off) ~len:64 c with
+              | Some i -> Printf.sprintf "mc %d" (i - r2)
+              | None -> "mc none")
+          | 7 ->
+              Sched.yield ();
+              "yield"
+          | _ ->
+              let o1 = Random.State.int st (rlen - 512) in
+              let o2 = Random.State.int st (rlen - 512) in
+              Space.blit s ~src:(r1 + o1) ~dst:(r1 + o2) ~len:512;
+              "blit"
+        with
+        | Space.Fault { addr; access; code; pkey; tid } ->
+            Format.asprintf "FAULT 0x%x %a %a key=%d tid=%d" addr
+              Space.pp_access access Space.pp_si_code code pkey tid
+        | Invalid_argument m -> "INVAL " ^ m
+      in
+      Printf.bprintf trace "w%d.%d %s | now=%.3f\n" wid i res (Sched.now ())
+    done
+  in
+  let t1 = Sched.spawn sched ~name:"w1" (worker 1) in
+  let t2 = Sched.spawn sched ~name:"w2" (worker 2) in
+  Sched.run sched;
+  List.iter
+    (fun tid ->
+      match Sched.outcome sched tid with
+      | Some Sched.Completed -> ()
+      | Some (Sched.Failed e) -> raise e
+      | None -> Alcotest.fail "worker did not finish")
+    [ t1; t2 ];
+  Printf.bprintf trace "faults=%d rss=%d maxrss=%d wrpkru=%d\n"
+    (Space.fault_count s) (Space.rss_bytes s) (Space.max_rss_bytes s)
+    (Space.wrpkru_writes s);
+  Buffer.contents trace
+
+let test_differential_property () =
+  List.iter
+    (fun seed ->
+      let fast = run_random_scenario ~cached:true seed in
+      let slow = run_random_scenario ~cached:false seed in
+      if not (String.equal fast slow) then begin
+        let fl = String.split_on_char '\n' fast in
+        let sl = String.split_on_char '\n' slow in
+        let rec first a b =
+          match (a, b) with
+          | x :: xs, y :: ys -> if String.equal x y then first xs ys else (x, y)
+          | x :: _, [] -> (x, "<end>")
+          | [], y :: _ -> ("<end>", y)
+          | [], [] -> ("", "")
+        in
+        let fx, sx = first fl sl in
+        Alcotest.failf "seed %d: traces diverge — fast=%S slow=%S" seed fx sx
+      end)
+    [ 1; 2; 3; 4; 5 ]
+
+let () =
+  Alcotest.run "vmem-tlb"
+    [
+      ( "grant-cache",
+        [
+          Alcotest.test_case "hit/miss counters" `Quick test_tlb_hit_counts;
+          Alcotest.test_case "pkru epoch reuse" `Quick
+            test_tlb_survives_pkru_roundtrip;
+          Alcotest.test_case "mprotect shootdown" `Quick
+            test_tlb_mprotect_shootdown;
+          Alcotest.test_case "pkey_mprotect shootdown" `Quick
+            test_tlb_pkey_mprotect_shootdown;
+          Alcotest.test_case "munmap shootdown" `Quick
+            test_tlb_munmap_shootdown;
+          Alcotest.test_case "per-thread isolation" `Quick test_tlb_per_thread;
+          Alcotest.test_case "restore_image flush" `Quick
+            test_tlb_restore_image_flush;
+          Alcotest.test_case "toggle" `Quick test_grant_cache_toggle;
+          Alcotest.test_case "differential mode" `Quick test_differential_mode;
+          Alcotest.test_case "virtual-time equivalence" `Quick
+            test_tlb_virtual_time_equivalence;
+        ] );
+      ( "regressions",
+        [
+          Alcotest.test_case "mprotect range validated" `Quick
+            test_mprotect_range_validated;
+          Alcotest.test_case "mprotect no partial mutation" `Quick
+            test_mprotect_no_partial_mutation;
+          Alcotest.test_case "memchr window bounded" `Quick
+            test_memchr_window_bounded;
+          Alcotest.test_case "memchr examined-bytes cost" `Quick
+            test_memchr_charges_examined_bytes;
+          Alcotest.test_case "negative len never charges" `Quick
+            test_negative_len_never_charges;
+          Alcotest.test_case "zero len ops free" `Quick
+            test_zero_len_ops_are_free;
+          Alcotest.test_case "hook sees pkey_mprotect" `Quick
+            test_hook_sees_pkey_mprotect;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "fast path ≡ slow path (5 seeds)" `Quick
+            test_differential_property;
+        ] );
+    ]
