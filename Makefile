@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all check test chaos bench bench-r3 telemetry-report clean
+.PHONY: all check test chaos chaos-soak bench bench-r3 bench-r4 telemetry-report clean
 
 all: check
 
@@ -15,6 +15,13 @@ test: check
 chaos:
 	dune build @chaos
 
+# Recovery-correctness soak across five fixed seeds: retrying clients
+# with idempotency keys under mixed network faults, injected corruption
+# and overload; fails if an acknowledged write is lost or a
+# non-idempotent op is applied twice.
+chaos-soak:
+	dune build @chaos-soak
+
 bench:
 	dune exec bench/main.exe -- quick
 
@@ -28,6 +35,12 @@ telemetry-report:
 # drops below 90%.
 bench-r3:
 	dune exec bench/main.exe -- r3
+
+# End-to-end recovery benchmark: goodput and p99 latency with retrying
+# clients under a ~1% fault rate; emits BENCH_r4.json and fails if any
+# operation runs out of retries or faulted goodput drops below 0.6x.
+bench-r4:
+	dune exec bench/main.exe -- r4
 
 clean:
 	dune clean

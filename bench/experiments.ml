@@ -1120,3 +1120,181 @@ let r3 () =
       (100.0 *. hit_rate);
     exit 1
   end
+
+(* {1 R4 — end-to-end recovery: goodput and tail latency under faults} *)
+
+(* Retrying YCSB clients carrying idempotency keys run against the sdrad
+   kvcache server twice: fault-free, and under a ~1% mixed fault diet
+   (network drops plus injected domain corruption that forces rewinds).
+   Goodput is acknowledged operations per virtual second; the p99
+   client-observed RTT stands in for recovery latency — a faulted
+   operation's RTT includes every timeout, backoff, busy reply and
+   rewind it rode through. Emits BENCH_r4.json. Fails when any client
+   exhausts its options (failures > 0 breaks the acked-exactly-once
+   argument) or faulted goodput falls below 0.6x of fault-free. *)
+let r4 () =
+  section
+    "R4 (recovery) — goodput and p99 latency under ~1% faults, retrying \
+     clients with idempotency keys";
+  let records = mc_records () and operations = mc_operations () in
+  let workers = 4 and clients = 8 in
+  let retry_policy =
+    {
+      Resilience.Retry.default_policy with
+      attempt_timeout = 150_000.0;
+      overall_timeout = 8.0e6;
+      backoff_base = 5_000.0;
+      backoff_cap = 160_000.0;
+    }
+  in
+  let net_fault_prob = 0.01 and domain_fault_prob = 0.005 in
+  let run ~faulty =
+    let space = Space.create ~size_mib:192 () in
+    let sd = Api.create space in
+    let sched = Sched.create () in
+    let net = Netsim.create (Space.cost space) in
+    (* Lenient supervision, as in the chaos soak: the injected corruption
+       is random noise, so backoff verdicts (busy replies the clients
+       retry through) are wanted but outright quarantine is not. *)
+    let sup =
+      Resilience.Supervisor.attach
+        ~policy:
+          {
+            Resilience.Supervisor.default_policy with
+            budget_max = 100;
+            backoff_base = 2_000.0;
+            backoff_max = 20_000.0;
+          }
+        sd
+    in
+    let faults =
+      if faulty then
+        Some
+          (Resilience.Fault_inject.create ~seed:97
+             [
+               Resilience.Fault_inject.rule ~prob:domain_fault_prob
+                 ~site:"kv.domain" Resilience.Fault_inject.Wild_write;
+             ])
+      else None
+    in
+    if faulty then begin
+      let rng = Simkern.Rng.create 131 in
+      Netsim.set_fault_hook net
+        (Some
+           (fun ~len:_ ->
+             if Simkern.Rng.float rng < net_fault_prob then Netsim.Drop
+             else Netsim.Deliver))
+    end;
+    let cfg =
+      { Kvcache.Server.default_config with variant = Kvcache.Server.Sdrad; workers }
+    in
+    let ycfg =
+      {
+        Workload.Ycsb.default_config with
+        records;
+        operations;
+        clients;
+        retry = Some retry_policy;
+      }
+    in
+    let srv = ref None in
+    let results = ref (fun () -> failwith "unset") in
+    let _ =
+      Sched.spawn sched ~name:"harness" (fun () ->
+          let s =
+            Kvcache.Server.start sched space ~sdrad:sd ~supervisor:sup ?faults
+              net cfg
+          in
+          srv := Some s;
+          results :=
+            Workload.Ycsb.launch sched net ycfg
+              ~on_done:(fun () -> Kvcache.Server.stop s)
+              ())
+    in
+    Sched.run sched;
+    (!results (), Option.get !srv)
+  in
+  let r_ok, s_ok = run ~faulty:false in
+  let r_ft, s_ft = run ~faulty:true in
+  let goodput r =
+    Stats.ops_per_sec cost
+      ~ops:(r.Workload.Ycsb.run_ops - r.Workload.Ycsb.failures)
+      ~cycles:r.Workload.Ycsb.run_cycles
+  in
+  let lat r = Stats.summarize (List.map us_of r.Workload.Ycsb.run_latencies) in
+  let g_ok = goodput r_ok and g_ft = goodput r_ft in
+  let l_ok = lat r_ok and l_ft = lat r_ft in
+  let ratio = g_ft /. g_ok in
+  let row name r s g (l : Stats.summary) =
+    [
+      name;
+      Stats.Table.fmt_si g;
+      Printf.sprintf "%.1f" l.p50;
+      Printf.sprintf "%.1f" l.p99;
+      string_of_int r.Workload.Ycsb.retries;
+      string_of_int (Kvcache.Server.rewinds s);
+      string_of_int (Kvcache.Server.replay_hits s);
+      string_of_int (Kvcache.Server.shed_count s);
+      string_of_int r.Workload.Ycsb.failures;
+    ]
+  in
+  table
+    ~header:
+      [
+        "config"; "goodput ops/s"; "p50 us"; "p99 us"; "retries"; "rewinds";
+        "replays"; "shed"; "failures";
+      ]
+    [
+      row "fault-free" r_ok s_ok g_ok l_ok;
+      row "~1% faults" r_ft s_ft g_ft l_ft;
+    ];
+  Printf.printf
+    "faulted goodput %.2fx of fault-free; p99 %.1f us -> %.1f us; %d retries \
+     rode through %d rewinds with %d journal replays and 0 lost or duplicated \
+     acks\n"
+    ratio l_ok.p99 l_ft.p99 r_ft.Workload.Ycsb.retries
+    (Kvcache.Server.rewinds s_ft)
+    (Kvcache.Server.replay_hits s_ft);
+  let oc = open_out "BENCH_r4.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"experiment\": \"r4\",\n\
+    \  \"workload\": { \"server\": \"kvcache\", \"variant\": \"sdrad\", \
+     \"workers\": %d, \"clients\": %d, \"records\": %d, \"operations\": %d \
+     },\n\
+    \  \"net_fault_prob\": %.3f,\n\
+    \  \"domain_fault_prob\": %.3f,\n\
+    \  \"goodput_fault_free\": %.1f,\n\
+    \  \"goodput_faulted\": %.1f,\n\
+    \  \"goodput_ratio\": %.4f,\n\
+    \  \"p50_us_fault_free\": %.2f,\n\
+    \  \"p99_us_fault_free\": %.2f,\n\
+    \  \"p50_us_faulted\": %.2f,\n\
+    \  \"p99_us_faulted\": %.2f,\n\
+    \  \"retries_faulted\": %d,\n\
+    \  \"rewinds_faulted\": %d,\n\
+    \  \"replay_hits_faulted\": %d,\n\
+    \  \"shed_faulted\": %d,\n\
+    \  \"failures_fault_free\": %d,\n\
+    \  \"failures_faulted\": %d\n\
+     }\n"
+    workers clients records operations net_fault_prob domain_fault_prob g_ok
+    g_ft ratio l_ok.p50 l_ok.p99 l_ft.p50 l_ft.p99 r_ft.Workload.Ycsb.retries
+    (Kvcache.Server.rewinds s_ft)
+    (Kvcache.Server.replay_hits s_ft)
+    (Kvcache.Server.shed_count s_ft)
+    r_ok.Workload.Ycsb.failures r_ft.Workload.Ycsb.failures;
+  close_out oc;
+  print_endline "wrote BENCH_r4.json";
+  if r_ok.Workload.Ycsb.failures > 0 || r_ft.Workload.Ycsb.failures > 0 then begin
+    Printf.eprintf
+      "R4 FAIL: %d fault-free / %d faulted operations ran out of retries — \
+       the acked-exactly-once invariant needs every op acknowledged\n"
+      r_ok.Workload.Ycsb.failures r_ft.Workload.Ycsb.failures;
+    exit 1
+  end;
+  if ratio < 0.6 then begin
+    Printf.eprintf
+      "R4 FAIL: faulted goodput is %.2fx of fault-free (floor 0.6x)\n" ratio;
+    exit 1
+  end

@@ -27,6 +27,7 @@ let all : (string * (unit -> unit)) list =
     ("r1", Experiments.r1);
     ("r2", Experiments.r2);
     ("r3", Experiments.r3);
+    ("r4", Experiments.r4);
     ("micro", Micro.run);
   ]
 

@@ -473,6 +473,48 @@ let run_metrics_scenario ~seed =
         in
         Sched.join good;
         Sched.join evil;
+        (* One retried increment whose first reply is dropped by a
+           counting (deterministic, seed-independent) fault hook: the
+           client times out, retries under the same request id and is
+           answered from the replay journal — populating the
+           client_retries_total and kvcache_replay_hits_total series. *)
+        let retry =
+          Sched.spawn sched ~name:"retry" (fun () ->
+              let module Retry = Resilience.Retry in
+              let conn = ref (Netsim.connect net ~src:2 ~port:11211) in
+              Netsim.send !conn
+                (Kvcache.Proto.fmt_set ~key:"ctr" ~flags:0 ~value:"5");
+              ignore (Netsim.recv !conn);
+              let n = ref 0 in
+              Netsim.set_fault_hook net
+                (Some
+                   (fun ~len:_ ->
+                     incr n;
+                     if !n = 2 then Netsim.Drop else Netsim.Deliver));
+              let eng =
+                Retry.create
+                  { Retry.default_policy with attempt_timeout = 60_000.0 }
+                  ~rng:(Simkern.Rng.create 5)
+                  ~metrics:(Api.metrics sd) ~name:"cli"
+              in
+              (match
+                 Retry.execute eng (fun ~rid ~attempt:_ ~deadline ->
+                     (if (not (Netsim.is_open !conn))
+                         || Netsim.peer_closed !conn
+                      then conn := Netsim.connect net ~src:2 ~port:11211);
+                     Netsim.send !conn (Kvcache.Proto.fmt_incr ~rid "ctr" 1);
+                     match Netsim.recv_deadline !conn ~deadline with
+                     | Some r -> Ok r
+                     | None ->
+                         Netsim.close !conn;
+                         Error (`Retry "timeout"))
+               with
+              | Ok _ -> ()
+              | Error _ -> failwith "metrics scenario: retry did not land");
+              Netsim.set_fault_hook net None;
+              Netsim.close !conn)
+        in
+        Sched.join retry;
         Kvcache.Server.stop s)
   in
   Sched.run sched;

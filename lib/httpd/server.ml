@@ -6,6 +6,7 @@ module Api = Sdrad.Api
 module Types = Sdrad.Types
 module Supervisor = Resilience.Supervisor
 module Fault_inject = Resilience.Fault_inject
+module Journal = Resilience.Journal
 
 let log_src = Logs.Src.create "sdrad.httpd" ~doc:"web server"
 
@@ -28,6 +29,10 @@ type config = {
   image_bytes : int;
   rewind_limit : int option;
   per_worker_domains : bool;
+  journal_cap : int;
+  shed_queue_limit : int;
+  shed_wait_limit : float;
+  nonblocking_admit : bool;
 }
 
 let default_config =
@@ -46,6 +51,10 @@ let default_config =
     image_bytes = 2 * 1024 * 1024;
     rewind_limit = None;
     per_worker_domains = false;
+    journal_cap = 256;
+    shed_queue_limit = 0;
+    shed_wait_limit = 0.0;
+    nonblocking_admit = false;
   }
 
 let uri_dst_cap = 2048
@@ -82,12 +91,15 @@ type t = {
   buf_free : int -> unit;
   pool_alloc : int -> int;
   metrics : Telemetry.Metrics.t;
+  journal : Journal.t;  (* master-process state: survives domain discards *)
+  mutable post_count : int;  (* the mutable state behind POST /count *)
   c_served : Telemetry.Metrics.counter;
   c_rewinds : Telemetry.Metrics.counter;
   c_restarts : Telemetry.Metrics.counter;
   c_dropped : Telemetry.Metrics.counter;
   c_proactive : Telemetry.Metrics.counter;
   c_busy_503 : Telemetry.Metrics.counter;
+  c_shed : Telemetry.Metrics.counter;
   h_rewind_cycles : Telemetry.Metrics.histogram;
   mutable rewind_lat : float list;
   mutable restart_lat : float list;
@@ -249,14 +261,39 @@ let respond t slot c ~meth ~version ~path ~headers ~body =
           | Some size -> Netsim.send c (http_200_head ~keep_alive size)
           | None -> Netsim.send c http_404)
       | "POST" ->
-          if path = "/echo" then begin
-            (* The request body still sits in the connection buffer; only
-               its *parsing* was sandboxed. *)
-            let addr, len = body in
-            let payload = Space.read_string t.space addr len in
-            Netsim.send c (http_200 ~keep_alive payload)
-          end
-          else Netsim.send c http_405
+          (* POSTs are the server's mutations: an [X-Request-Id] header
+             keys the replay journal, which lives in the master process's
+             memory — the part of the address space a parser-domain
+             discard can never reclaim — so a client retrying after a
+             rewind gets the journaled response instead of re-applying. *)
+          let compute () =
+            if path = "/echo" then begin
+              (* The request body still sits in the connection buffer;
+                 only its *parsing* was sandboxed. *)
+              let addr, len = body in
+              let payload = Space.read_string t.space addr len in
+              http_200 ~keep_alive payload
+            end
+            else if path = "/count" then begin
+              (* The non-idempotent endpoint: applying a retry twice
+                 would be observable here. *)
+              t.post_count <- t.post_count + 1;
+              http_200 ~keep_alive (string_of_int t.post_count)
+            end
+            else http_405
+          in
+          let reply =
+            match Http_parse.find_header headers "x-request-id" with
+            | None -> compute ()
+            | Some rid -> (
+                match Journal.find t.journal rid with
+                | Some r -> r
+                | None ->
+                    let r = compute () in
+                    Journal.record t.journal rid r;
+                    r)
+          in
+          Netsim.send c reply
       | _ -> Netsim.send c http_405);
       if keep_alive then `Keep else `Close_graceful
 
@@ -385,9 +422,10 @@ let handle_sdrad t slot sd c ~cbuf ~len =
   let result =
     match t.sup with
     | Some sup ->
-        Supervisor.run sup ~udi ~opts ~on_rewind
-          ~on_busy:(fun ~until:_ -> `Busy)
-          body
+        let run =
+          if t.cfg.nonblocking_admit then Supervisor.run_nb else Supervisor.run
+        in
+        run sup ~udi ~opts ~on_rewind ~on_busy:(fun ~until:_ -> `Busy) body
     | None -> Api.run sd ~udi ~opts ~on_rewind body
   in
   match result with
@@ -486,6 +524,8 @@ let rec start sched space ?sdrad ?supervisor ?faults net ~fs cfg =
       buf_free;
       pool_alloc;
       metrics;
+      journal = Journal.create ~metrics ~name:"httpd" ~capacity:cfg.journal_cap ();
+      post_count = 0;
       c_served =
         M.counter metrics "httpd_requests_total" ~help:"Requests handled";
       c_rewinds =
@@ -503,6 +543,9 @@ let rec start sched space ?sdrad ?supervisor ?faults net ~fs cfg =
       c_busy_503 =
         M.counter metrics "httpd_busy_503_total"
           ~help:"Requests answered 503 while quarantined";
+      c_shed =
+        M.counter metrics "httpd_shed_total"
+          ~help:"Requests shed by overload admission control";
       h_rewind_cycles =
         M.histogram metrics "httpd_rewind_cycles"
           ~help:"Cycles from fault to request discarded";
@@ -558,17 +601,30 @@ and acceptor t =
   in
   loop ()
 
+and should_shed t slot ~arrival =
+  (t.cfg.shed_queue_limit > 0
+  && Netsim.Waitset.backlog slot.ws > t.cfg.shed_queue_limit)
+  || (t.cfg.shed_wait_limit > 0.0
+     && Sched.now () -. arrival > t.cfg.shed_wait_limit)
+
 and worker t slot =
   let rec loop () =
     match Netsim.Waitset.wait slot.ws with
     | None -> ()
     | Some c ->
-        (match Netsim.recv c with
+        (match Netsim.recv_with_arrival c with
         | None ->
             Netsim.Waitset.remove slot.ws c;
             Netsim.close c;
             slot.live_conns <- List.filter (fun x -> not (x == c)) slot.live_conns
-        | Some msg ->
+        | Some (msg, arrival) when should_shed t slot ~arrival ->
+            (* Overload: answer the retryable 503 before any parsing or
+               domain switch is spent on this request. *)
+            ignore msg;
+            Sched.charge (Space.cost t.space).Cost.syscall;
+            Telemetry.Metrics.inc t.c_shed;
+            Netsim.send c http_503
+        | Some (msg, _arrival) ->
             Sched.charge (Space.cost t.space).Cost.syscall;
             Sched.charge t.cfg.proc_cycles;
             Telemetry.Metrics.inc t.c_served;
@@ -664,6 +720,10 @@ let proactive_restarts t = Telemetry.Metrics.counter_value t.c_proactive
 let restart_latencies t = t.restart_lat
 let dropped_connections t = Telemetry.Metrics.counter_value t.c_dropped
 let busy_rejections t = Telemetry.Metrics.counter_value t.c_busy_503
+let shed_count t = Telemetry.Metrics.counter_value t.c_shed
+let replay_hits t = Journal.hits t.journal
+let journal t = t.journal
+let post_count t = t.post_count
 let supervisor t = t.sup
 let metrics t = t.metrics
 

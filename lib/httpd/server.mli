@@ -47,6 +47,19 @@ type config = {
           so the supervisor can quarantine one worker's parser without
           fencing the others. [parser_udi] must leave [workers]
           consecutive udis free of other uses. Off by default. *)
+  journal_cap : int;
+      (** capacity of the replay journal keyed by [X-Request-Id]; the
+          journal is master-process state, so it survives parser-domain
+          discards and worker deaths alike *)
+  shed_queue_limit : int;
+      (** shed (answer 503) when a worker's waitset backlog exceeds this
+          many queued messages; 0 disables queue-depth shedding *)
+  shed_wait_limit : float;
+      (** shed when a request waited longer than this many cycles in the
+          worker's queue; 0 disables deadline-based shedding *)
+  nonblocking_admit : bool;
+      (** use {!Resilience.Supervisor.admit_nb}: a supervisor backoff
+          delay becomes a 503 instead of parking the worker *)
 }
 
 val default_config : config
@@ -92,6 +105,20 @@ val dropped_connections : t -> int
 val busy_rejections : t -> int
 (** Requests answered with 503 because the supervisor had the parser
     domain quarantined. *)
+
+val shed_count : t -> int
+(** Requests answered 503 by overload admission control — before any
+    parsing or domain switch was spent on them. *)
+
+val replay_hits : t -> int
+(** Retried POSTs answered from the replay journal instead of being
+    applied a second time. *)
+
+val journal : t -> Resilience.Journal.t
+
+val post_count : t -> int
+(** Value of the [POST /count] counter — the observable non-idempotent
+    state the replay journal protects. *)
 
 val supervisor : t -> Resilience.Supervisor.t option
 val alive : t -> bool

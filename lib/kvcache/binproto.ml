@@ -43,9 +43,17 @@ let parse space ~addr ~len =
       match read_key space ~addr ~len ~extlen ~keylen with
       | None -> Proto.Bad "truncated key"
       | Some key -> (
+          (* The opaque field doubles as the idempotency key: non-zero
+             values key the server's replay journal (zero = "no id", what
+             legacy clients send). Namespaced so text [id=] keys and
+             binary opaques cannot collide. *)
+          let opaque = load_be32 space (addr + 12) in
+          let rid =
+            if opaque <> 0 then Some (Printf.sprintf "bin-%d" opaque) else None
+          in
           match opcode with
           | o when o = op_get -> Proto.Get key
-          | o when o = op_delete -> Proto.Delete key
+          | o when o = op_delete -> Proto.Delete { key; rid }
           | o when o = op_set ->
               if extlen <> 8 then Proto.Bad "set needs 8 extras bytes"
               else begin
@@ -62,6 +70,7 @@ let parse space ~addr ~len =
                     declared_len;
                     data_off;
                     data_len = max 0 (len - (header_size + extlen + keylen));
+                    rid;
                   }
               end
           | _ -> Proto.Bad "unsupported opcode")
@@ -100,10 +109,12 @@ let res_value ~flags ~value =
     ~extras:(be32_string flags) ~key:"" ~value
 
 let res_stored =
-  frame ~magic:magic_response ~opcode:op_set ~status:status_ok ~extras:"" ~key:"" ~value:""
+  frame ~magic:magic_response ~opcode:op_set ~status:status_ok ~extras:"" ~key:""
+    ~value:""
 
 let res_deleted =
-  frame ~magic:magic_response ~opcode:op_delete ~status:status_ok ~extras:"" ~key:"" ~value:""
+  frame ~magic:magic_response ~opcode:op_delete ~status:status_ok ~extras:""
+    ~key:"" ~value:""
 
 let res_not_found =
   frame ~magic:magic_response ~opcode:op_get ~status:status_not_found ~extras:""
@@ -111,6 +122,15 @@ let res_not_found =
 
 let res_error status =
   frame ~magic:magic_response ~opcode:0xFF ~status ~extras:"" ~key:"" ~value:""
+
+(* Patch the opaque field into an already-built frame. *)
+let with_opaque s opaque =
+  if opaque = 0 then s
+  else begin
+    let b = Bytes.of_string s in
+    put_be32 b 12 (opaque land 0xFFFFFFFF);
+    Bytes.to_string b
+  end
 
 let req_get key =
   frame ~magic:magic_request ~opcode:op_get ~status:0 ~extras:"" ~key ~value:""
@@ -120,18 +140,20 @@ let req_set ~key ~flags ~value =
     ~extras:(be32_string flags ^ "\000\000\000\000")
     ~key ~value
 
+let req_set_opaque ~opaque ~key ~flags ~value =
+  with_opaque (req_set ~key ~flags ~value) opaque
+
 let req_set_lying ~key ~flags ~body_len ~value =
-  let honest =
-    frame ~magic:magic_request ~opcode:op_set ~status:0
-      ~extras:(be32_string flags ^ "\000\000\000\000")
-      ~key ~value
-  in
+  let honest = req_set ~key ~flags ~value in
   let b = Bytes.of_string honest in
   put_be32 b 8 (body_len land 0xFFFFFFFF);
   Bytes.to_string b
 
-let req_delete key =
-  frame ~magic:magic_request ~opcode:op_delete ~status:0 ~extras:"" ~key ~value:""
+let req_delete ?(opaque = 0) key =
+  with_opaque
+    (frame ~magic:magic_request ~opcode:op_delete ~status:0 ~extras:"" ~key
+       ~value:"")
+    opaque
 
 let parse_reply s =
   if String.length s < header_size then Proto.Failed "short binary reply"

@@ -53,11 +53,18 @@ val res_error : int -> string
 val req_get : string -> string
 val req_set : key:string -> flags:int -> value:string -> string
 
+val req_set_opaque :
+  opaque:int -> key:string -> flags:int -> value:string -> string
+(** [opaque] (non-zero) is the request's idempotency key: the server
+    journals the response under [bin-<opaque>] and answers retries
+    carrying the same opaque from the journal. 0 means "no id", as legacy
+    clients send. *)
+
 val req_set_lying : key:string -> flags:int -> body_len:int -> value:string -> string
 (** A set whose total-body-length header field is attacker-chosen (e.g.
     [0xFFFFFFFF], which the vulnerable server reads as [-1]). *)
 
-val req_delete : string -> string
+val req_delete : ?opaque:int -> string -> string
 
 (** {1 Response parsing (client side)} *)
 

@@ -10,9 +10,10 @@ type cmd =
       declared_len : int;
       data_off : int;
       data_len : int;
+      rid : string option;
     }
-  | Delete of string
-  | Arith of { key : string; delta : int; negate : bool }
+  | Delete of { key : string; rid : string option }
+  | Arith of { key : string; delta : int; negate : bool; rid : string option }
   | Stats
   | Stats_telemetry
   | Quit
@@ -23,47 +24,66 @@ let max_key_len = 250
 let split_words s =
   String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
 
+(* An optional trailing [id=<rid>] token on mutating commands carries the
+   client's idempotency key. Reads never take one: a trailing token on
+   [get] is just another key, so the rid grammar cannot change what a
+   read means. *)
+let strip_rid words =
+  match List.rev words with
+  | last :: rest
+    when String.length last > 3 && String.sub last 0 3 = "id=" ->
+      (List.rev rest, Some (String.sub last 3 (String.length last - 3)))
+  | _ -> (words, None)
+
 let parse space ~addr ~len =
   match Space.memchr space ~addr ~len '\r' with
   | None -> Bad "no CRLF"
   | Some cr ->
       let line = Space.read_string space addr (cr - addr) in
       let data_off = cr - addr + 2 in
-      (match split_words line with
+      let words = split_words line in
+      (match words with
       | [ "get"; key ] when String.length key <= max_key_len -> Get key
       | "get" :: (_ :: _ :: _ as keys)
         when List.for_all (fun k -> String.length k <= max_key_len) keys ->
           Multi_get keys
-      | [ "delete"; key ] when String.length key <= max_key_len -> Delete key
-      | [ ("incr" | "decr") as op; key; delta ]
-        when String.length key <= max_key_len -> (
-          match int_of_string_opt delta with
-          | Some d when d >= 0 -> Arith { key; delta = d; negate = op = "decr" }
-          | _ -> Bad "bad incr/decr delta")
       | [ "quit" ] -> Quit
       | [ "stats" ] -> Stats
       | [ "stats"; "telemetry" ] -> Stats_telemetry
-      | [ ("set" | "add" | "replace") as op; key; flags; _exptime; bytes ] -> (
-          match (int_of_string_opt flags, int_of_string_opt bytes) with
-          | Some flags, Some declared_len ->
-              if String.length key > max_key_len then Bad "key too long"
-              else if data_off > len then Bad "missing data block"
-              else
-                Set
-                  {
-                    mode =
-                      (match op with
-                      | "add" -> `Add
-                      | "replace" -> `Replace
-                      | _ -> `Set);
-                    key;
-                    flags;
-                    declared_len;
-                    data_off = addr + data_off;
-                    data_len = max 0 (len - data_off - 2);
-                  }
-          | _ -> Bad "bad set arguments")
-      | _ -> Bad "unknown command")
+      | _ -> (
+          let mwords, rid = strip_rid words in
+          match mwords with
+          | [ "delete"; key ] when String.length key <= max_key_len ->
+              Delete { key; rid }
+          | [ ("incr" | "decr") as op; key; delta ]
+            when String.length key <= max_key_len -> (
+              match int_of_string_opt delta with
+              | Some d when d >= 0 ->
+                  Arith { key; delta = d; negate = op = "decr"; rid }
+              | _ -> Bad "bad incr/decr delta")
+          | [ ("set" | "add" | "replace") as op; key; flags; _exptime; bytes ]
+            -> (
+              match (int_of_string_opt flags, int_of_string_opt bytes) with
+              | Some flags, Some declared_len ->
+                  if String.length key > max_key_len then Bad "key too long"
+                  else if data_off > len then Bad "missing data block"
+                  else
+                    Set
+                      {
+                        mode =
+                          (match op with
+                          | "add" -> `Add
+                          | "replace" -> `Replace
+                          | _ -> `Set);
+                        key;
+                        flags;
+                        declared_len;
+                        data_off = addr + data_off;
+                        data_len = max 0 (len - data_off - 2);
+                        rid;
+                      }
+              | _ -> Bad "bad set arguments")
+          | _ -> Bad "unknown command"))
 
 let stored = "STORED\r\n"
 let not_stored = "NOT_STORED\r\n"
@@ -79,20 +99,39 @@ let value_header ~key ~flags ~len =
 
 let fmt_get key = Printf.sprintf "get %s\r\n" key
 let fmt_multi_get keys = Printf.sprintf "get %s\r\n" (String.concat " " keys)
+let rid_suffix = function None -> "" | Some r -> " id=" ^ r
 
-let fmt_storage op ~key ~flags ~value =
-  Printf.sprintf "%s %s %d 0 %d\r\n%s\r\n" op key flags (String.length value) value
+let fmt_storage op ?rid ~key ~flags ~value () =
+  Printf.sprintf "%s %s %d 0 %d%s\r\n%s\r\n" op key flags
+    (String.length value) (rid_suffix rid) value
 
-let fmt_set = fmt_storage "set"
-let fmt_add = fmt_storage "add"
-let fmt_replace = fmt_storage "replace"
+let fmt_set ~key ~flags ~value = fmt_storage "set" ~key ~flags ~value ()
+let fmt_add ~key ~flags ~value = fmt_storage "add" ~key ~flags ~value ()
+let fmt_replace ~key ~flags ~value = fmt_storage "replace" ~key ~flags ~value ()
+
+(* [_rid] variants carry the idempotency key ([rid] is required there:
+   with no positional argument in these signatures an optional label
+   could never be erased). *)
+let fmt_set_rid ~rid ~key ~flags ~value =
+  fmt_storage "set" ~rid ~key ~flags ~value ()
+
+let fmt_add_rid ~rid ~key ~flags ~value =
+  fmt_storage "add" ~rid ~key ~flags ~value ()
+
+let fmt_replace_rid ~rid ~key ~flags ~value =
+  fmt_storage "replace" ~rid ~key ~flags ~value ()
 
 let fmt_set_lying ~key ~flags ~declared ~value =
   Printf.sprintf "set %s %d 0 %d\r\n%s\r\n" key flags declared value
 
-let fmt_delete key = Printf.sprintf "delete %s\r\n" key
-let fmt_incr key d = Printf.sprintf "incr %s %d\r\n" key d
-let fmt_decr key d = Printf.sprintf "decr %s %d\r\n" key d
+let fmt_delete ?rid key =
+  Printf.sprintf "delete %s%s\r\n" key (rid_suffix rid)
+
+let fmt_incr ?rid key d =
+  Printf.sprintf "incr %s %d%s\r\n" key d (rid_suffix rid)
+
+let fmt_decr ?rid key d =
+  Printf.sprintf "decr %s %d%s\r\n" key d (rid_suffix rid)
 let fmt_stats = "stats\r\n"
 let fmt_stats_telemetry = "stats telemetry\r\n"
 let quit = "quit\r\n"

@@ -19,9 +19,12 @@ type cmd =
             CVE-2011-4971 analogue passes a negative value here *)
       data_off : int;  (** offset of the payload within the buffer *)
       data_len : int;  (** bytes of payload actually present *)
+      rid : string option;
+          (** idempotency key from a trailing [id=<rid>] token; keys the
+              server's replay journal for at-most-once retries *)
     }
-  | Delete of string
-  | Arith of { key : string; delta : int; negate : bool }
+  | Delete of { key : string; rid : string option }
+  | Arith of { key : string; delta : int; negate : bool; rid : string option }
       (** [incr]/[decr]: 64-bit unsigned arithmetic on a decimal value,
           clamped at zero on decrement as memcached does *)
   | Stats
@@ -55,16 +58,29 @@ val value_header : key:string -> flags:int -> len:int -> string
 
 val fmt_get : string -> string
 val fmt_multi_get : string list -> string
+
 val fmt_set : key:string -> flags:int -> value:string -> string
 val fmt_add : key:string -> flags:int -> value:string -> string
 val fmt_replace : key:string -> flags:int -> value:string -> string
+
+val fmt_set_rid :
+  rid:string -> key:string -> flags:int -> value:string -> string
+(** [_rid] variants emit the idempotency key as a trailing [id=<rid>]
+    token on the request line, keying the server's replay journal. *)
+
+val fmt_add_rid :
+  rid:string -> key:string -> flags:int -> value:string -> string
+
+val fmt_replace_rid :
+  rid:string -> key:string -> flags:int -> value:string -> string
+
 val fmt_set_lying : key:string -> flags:int -> declared:int -> value:string -> string
 (** A [set] whose length field disagrees with the payload — the attack
     vector. *)
 
-val fmt_delete : string -> string
-val fmt_incr : string -> int -> string
-val fmt_decr : string -> int -> string
+val fmt_delete : ?rid:string -> string -> string
+val fmt_incr : ?rid:string -> string -> int -> string
+val fmt_decr : ?rid:string -> string -> int -> string
 val fmt_stats : string
 val fmt_stats_telemetry : string
 val quit : string

@@ -6,6 +6,7 @@ module Api = Sdrad.Api
 module Types = Sdrad.Types
 module Supervisor = Resilience.Supervisor
 module Fault_inject = Resilience.Fault_inject
+module Journal = Resilience.Journal
 
 let log_src = Logs.Src.create "sdrad.kvcache" ~doc:"key-value cache server"
 
@@ -28,6 +29,10 @@ type config = {
   max_db_bytes : int;
   per_client_domains : bool;
   client_udi_base : int;
+  journal_cap : int;  (* replay-journal capacity (idempotency keys) *)
+  shed_queue_limit : int;  (* shed when waitset backlog exceeds this; 0 = off *)
+  shed_wait_limit : float;  (* shed when queueing delay exceeds this; 0 = off *)
+  nonblocking_admit : bool;  (* turn supervisor backoff waits into busy *)
 }
 
 let default_config =
@@ -46,6 +51,10 @@ let default_config =
     max_db_bytes = max_int;
     per_client_domains = false;
     client_udi_base = 100;
+    journal_cap = 512;
+    shed_queue_limit = 0;
+    shed_wait_limit = 0.0;
+    nonblocking_admit = false;
   }
 
 type conn_state = { cbuf : int; mutable outstanding : bool }
@@ -72,10 +81,12 @@ type t = {
   buf_alloc : int -> int;
   buf_free : int -> unit;
   metrics : Telemetry.Metrics.t;
+  journal : Journal.t;  (* root-domain state: survives nested discards *)
   c_served : Telemetry.Metrics.counter;
   c_rewinds : Telemetry.Metrics.counter;
   c_dropped : Telemetry.Metrics.counter;
   c_busy : Telemetry.Metrics.counter;
+  c_shed : Telemetry.Metrics.counter;
   h_rewind_cycles : Telemetry.Metrics.histogram;
   mutable rewind_lat : float list;
   mutable crashed : bool;
@@ -361,6 +372,7 @@ let rec start sched space ?sdrad ?supervisor ?faults net cfg =
       buf_alloc;
       buf_free;
       metrics;
+      journal = Journal.create ~metrics ~name:"kvcache" ~capacity:cfg.journal_cap ();
       c_served =
         M.counter metrics "kvcache_requests_total" ~help:"Requests handled";
       c_rewinds =
@@ -372,6 +384,9 @@ let rec start sched space ?sdrad ?supervisor ?faults net cfg =
       c_busy =
         M.counter metrics "kvcache_busy_rejections_total"
           ~help:"Requests answered busy while quarantined";
+      c_shed =
+        M.counter metrics "kvcache_shed_total"
+          ~help:"Requests shed by overload admission control";
       h_rewind_cycles =
         M.histogram metrics "kvcache_rewind_cycles"
           ~help:"Cycles from fault to connection closed";
@@ -425,16 +440,37 @@ and worker t i =
     match Netsim.Waitset.wait ws with
     | None -> ()
     | Some c ->
-        (match Netsim.recv c with
+        (match Netsim.recv_with_arrival c with
         | None ->
             drop_conn t ws c
-        | Some msg ->
+        | Some (msg, arrival) ->
             Sched.charge (Space.cost t.space).Cost.syscall;
             (* epoll_wait + read(2) *)
-            handle_event t ws c msg);
+            if should_shed t ws ~arrival then shed t c msg
+            else handle_event t ws c msg);
         loop ()
   in
   try loop () with e -> crash_cleanup t; raise e
+
+(* Overload admission control: a request is shed — answered with the
+   existing busy path — when the worker's queue depth or the request's
+   time-in-queue says the server is behind, *before* any parsing or
+   domain switch is spent on it. Composes with the supervisor: shedding
+   protects against load, quarantine against repeat faulters. *)
+and should_shed t ws ~arrival =
+  (t.cfg.shed_queue_limit > 0
+  && Netsim.Waitset.backlog ws > t.cfg.shed_queue_limit)
+  || (t.cfg.shed_wait_limit > 0.0
+     && Sched.now () -. arrival > t.cfg.shed_wait_limit)
+
+and shed t c msg =
+  Telemetry.Metrics.inc t.c_shed;
+  let busy =
+    if String.length msg > 0 && Char.code msg.[0] = Binproto.magic_request then
+      binary_wire.w_busy
+    else text_wire.w_busy
+  in
+  Netsim.send c busy
 
 and drop_conn t ws c =
   Netsim.Waitset.remove ws c;
@@ -470,7 +506,7 @@ and handle_plain t ws c msg =
           t.buf_free out;
           Netsim.send c (w.w_value ~key ~flags ~value)
       | None -> Netsim.send c w.w_miss)
-  | Set { mode; key; flags; declared_len; data_off; data_len } ->
+  | Set { mode; key; flags; declared_len; data_off; data_len; rid } ->
       if t.cfg.vulnerable && declared_len < 0 then begin
         (* item allocated from the (bogus, truncated) length... *)
         let item =
@@ -484,20 +520,30 @@ and handle_plain t ws c msg =
           ~declared:declared_len;
         Netsim.send c w.w_stored
       end
-      else if declared_len <> data_len then Netsim.send c w.w_error
-      else if storage_mode_blocked t mode key then Netsim.send c Proto.not_stored
-      else begin
-        (* Allocate and fill outside the lock; link under it. *)
-        match Store.prepare t.db ~key ~flags ~value_src:data_off ~value_len:data_len with
-        | None -> Netsim.send c w.w_oom
-        | Some item ->
-            global_lock t (fun () -> Store.commit t.db ~key item);
-            Netsim.send c w.w_stored
-      end
-  | Delete key ->
-      global_lock t (fun () ->
-          if Store.delete t.db key then Netsim.send c w.w_deleted
-          else Netsim.send c w.w_not_found)
+      else
+        let reply =
+          replay_or t rid (fun () ->
+              if declared_len <> data_len then w.w_error
+              else if storage_mode_blocked t mode key then Proto.not_stored
+              else
+                (* Allocate and fill outside the lock; link under it. *)
+                match
+                  Store.prepare t.db ~key ~flags ~value_src:data_off
+                    ~value_len:data_len
+                with
+                | None -> w.w_oom
+                | Some item ->
+                    global_lock t (fun () -> Store.commit t.db ~key item);
+                    w.w_stored)
+        in
+        Netsim.send c reply
+  | Delete { key; rid } ->
+      let reply =
+        replay_or t rid (fun () ->
+            global_lock t (fun () ->
+                if Store.delete t.db key then w.w_deleted else w.w_not_found))
+      in
+      Netsim.send c reply
   | Multi_get keys ->
       let hits =
         List.filter_map
@@ -513,42 +559,71 @@ and handle_plain t ws c msg =
           keys
       in
       Netsim.send c (w.w_values hits)
-  | Arith { key; delta; negate } ->
-      global_lock t (fun () ->
-          match apply_arith t ~key ~delta ~negate with
-          | None -> Netsim.send c w.w_not_found
-          | Some (Error msg) -> Netsim.send c msg
-          | Some (Ok v) -> Netsim.send c (Printf.sprintf "%d\r\n" v))
+  | Arith { key; delta; negate; rid } ->
+      let reply =
+        replay_or t rid (fun () ->
+            global_lock t (fun () ->
+                match apply_arith t ~key ~delta ~negate with
+                | None -> w.w_not_found
+                | Some (Error msg) -> msg
+                | Some (Ok v) -> Printf.sprintf "%d\r\n" v))
+      in
+      Netsim.send c reply
   | Stats -> Netsim.send c (stats_reply t)
   | Stats_telemetry -> Netsim.send c (telemetry_reply t)
   | Quit -> drop_conn t ws c
   | Bad _ -> Netsim.send c w.w_error
 
+(* At-most-once bracket around a mutation: a request id that is already
+   journaled is answered with the journaled response instead of being
+   re-applied; a fresh execution's response is journaled right after the
+   commit, before it can be lost on the wire. Both halves run in the
+   parent (root domain), so this is exactly the window a nested-domain
+   rewind cannot touch: no entry = the commit never happened and the
+   retry re-executes; entry = the commit happened and the retry replays. *)
+and replay_or t rid compute =
+  match rid with
+  | None -> compute ()
+  | Some r -> (
+      match Journal.find t.journal r with
+      | Some reply -> reply
+      | None ->
+          let reply = compute () in
+          Journal.record t.journal r reply;
+          reply)
+
 (* Deferred update computed inside the nested domain, applied in the
    parent after a normal exit (Figure 3 steps 8-9). *)
-and apply_deferred t w = function
+and apply_deferred t w rid d =
+  let compute d =
+    match d with
+    | `Set (mode, key, flags, src, len) ->
+        (* The presence check belongs inside the lock: the deferred commit
+           must be atomic with it. *)
+        global_lock t (fun () ->
+            if storage_mode_blocked t mode key then Proto.not_stored
+            else
+              match
+                Store.prepare t.db ~key ~flags ~value_src:src ~value_len:len
+              with
+              | None -> w.w_oom
+              | Some item ->
+                  Store.commit t.db ~key item;
+                  w.w_stored)
+    | `Delete key ->
+        global_lock t (fun () ->
+            if Store.delete t.db key then w.w_deleted else w.w_not_found)
+    | `Arith (key, delta, negate) ->
+        global_lock t (fun () ->
+            match apply_arith t ~key ~delta ~negate with
+            | None -> w.w_not_found
+            | Some (Error msg) -> msg
+            | Some (Ok v) -> Printf.sprintf "%d\r\n" v)
+  in
+  match d with
   | `None -> None
-  | `Set (mode, key, flags, src, len) -> (
-      (* The presence check belongs inside the lock: the deferred commit
-         must be atomic with it. *)
-      global_lock t (fun () ->
-          if storage_mode_blocked t mode key then Some Proto.not_stored
-          else
-            match Store.prepare t.db ~key ~flags ~value_src:src ~value_len:len with
-            | None -> Some w.w_oom
-            | Some item ->
-                Store.commit t.db ~key item;
-                Some w.w_stored))
-  | `Delete key ->
-      global_lock t (fun () ->
-          if Store.delete t.db key then Some w.w_deleted
-          else Some w.w_not_found)
-  | `Arith (key, delta, negate) ->
-      global_lock t (fun () ->
-          match apply_arith t ~key ~delta ~negate with
-          | None -> Some w.w_not_found
-          | Some (Error msg) -> Some msg
-          | Some (Ok v) -> Some (Printf.sprintf "%d\r\n" v))
+  | (`Set _ | `Delete _ | `Arith _) as d ->
+      Some (replay_or t rid (fun () -> compute d))
 
 (* With per-client domains, the udi is keyed by the connection's source
    address, so a client that reconnects (e.g. after its connection was
@@ -631,8 +706,8 @@ and handle_sdrad t ws c msg =
       | `Stats_cmd -> Some (stats_reply t)
       | `Telemetry_cmd -> Some (telemetry_reply t)
       | `Quit_cmd -> None
-      | `Deferred (d, staged) ->
-          let r = apply_deferred t w d in
+      | `Deferred (rid, d, staged) ->
+          let r = apply_deferred t w rid d in
           Option.iter (fun p -> Api.free sd ~udi p) staged;
           r
     in
@@ -646,10 +721,13 @@ and handle_sdrad t ws c msg =
     match t.sup with
     | Some sup ->
         (* Supervised: a quarantined client udi is turned away before any
-           domain state is touched. *)
-        Supervisor.run sup ~udi ~opts ~on_rewind
-          ~on_busy:(fun ~until:_ -> `Busy)
-          body
+           domain state is touched. With [nonblocking_admit] a backoff
+           wait is also turned into a busy reply instead of parking the
+           worker — overloaded servers shed rather than sleep. *)
+        let run =
+          if t.cfg.nonblocking_admit then Supervisor.run_nb else Supervisor.run
+        in
+        run sup ~udi ~opts ~on_rewind ~on_busy:(fun ~until:_ -> `Busy) body
     | None -> Api.run sd ~udi ~opts ~on_rewind body
   in
   match result with
@@ -678,7 +756,7 @@ and drive_machine_in_domain t sd ~udi ~dbuf ~len =
           Space.blit space ~src:vaddr ~dst:out ~len:vlen;
           `Value (out, vlen, flags, key)
       | None -> `Miss)
-  | Set { mode; key; flags; declared_len; data_off; data_len } ->
+  | Set { mode; key; flags; declared_len; data_off; data_len; rid } ->
       if t.cfg.vulnerable && declared_len < 0 then begin
         (* Wrapped slabs_alloc: the copy item lives in the nested domain,
            so the rampaging copy hits the domain boundary, not the DB. *)
@@ -686,13 +764,13 @@ and drive_machine_in_domain t sd ~udi ~dbuf ~len =
         vulnerable_copy t ~src:data_off
           ~dst:(icopy + Store.header_size + String.length key)
           ~declared:declared_len;
-        `Deferred (`None, Some icopy)
+        `Deferred (None, `None, Some icopy)
       end
       else if declared_len <> data_len then `Bad_cmd
       else begin
         let vcopy = Api.malloc sd ~udi (max 8 data_len) in
         Space.blit space ~src:data_off ~dst:vcopy ~len:data_len;
-        `Deferred (`Set (mode, key, flags, vcopy, data_len), Some vcopy)
+        `Deferred (rid, `Set (mode, key, flags, vcopy, data_len), Some vcopy)
       end
   | Multi_get keys ->
       let hits =
@@ -707,8 +785,9 @@ and drive_machine_in_domain t sd ~udi ~dbuf ~len =
           keys
       in
       `Multi_value hits
-  | Delete key -> `Deferred (`Delete key, None)
-  | Arith { key; delta; negate } -> `Deferred (`Arith (key, delta, negate), None)
+  | Delete { key; rid } -> `Deferred (rid, `Delete key, None)
+  | Arith { key; delta; negate; rid } ->
+      `Deferred (rid, `Arith (key, delta, negate), None)
   | Stats -> `Stats_cmd
   | Stats_telemetry -> `Telemetry_cmd
   | Quit -> `Quit_cmd
@@ -738,6 +817,9 @@ let crashed t = t.crashed
 let requests_served t = Telemetry.Metrics.counter_value t.c_served
 let rewinds t = Telemetry.Metrics.counter_value t.c_rewinds
 let busy_rejections t = Telemetry.Metrics.counter_value t.c_busy
+let shed_count t = Telemetry.Metrics.counter_value t.c_shed
+let replay_hits t = Journal.hits t.journal
+let journal t = t.journal
 let client_domains t = Hashtbl.length t.client_udis
 let supervisor t = t.sup
 let rewind_latencies t = t.rewind_lat

@@ -51,6 +51,19 @@ type config = {
   client_udi_base : int;
       (** first udi handed out for per-client domains (must not collide
           with [db_udi]/[lock_udi]) *)
+  journal_cap : int;
+      (** capacity of the replay journal (idempotency keys) backing
+          at-most-once retries; lives in root-domain memory, so it
+          survives nested-domain discards *)
+  shed_queue_limit : int;
+      (** shed (answer busy) when a worker's waitset backlog exceeds this
+          many queued messages; 0 disables queue-depth shedding *)
+  shed_wait_limit : float;
+      (** shed when a request waited longer than this many cycles in the
+          worker's queue; 0 disables deadline-based shedding *)
+  nonblocking_admit : bool;
+      (** use {!Resilience.Supervisor.admit_nb}: a supervisor backoff
+          delay becomes a busy reply instead of parking the worker *)
 }
 
 val default_config : config
@@ -96,6 +109,17 @@ val dropped_connections : t -> int
 val busy_rejections : t -> int
 (** Requests answered with [SERVER_ERROR busy] because the supervisor had
     the target domain quarantined. *)
+
+val shed_count : t -> int
+(** Requests answered busy by overload admission control — before any
+    parsing or domain switch was spent on them. *)
+
+val replay_hits : t -> int
+(** Retried mutations answered from the replay journal instead of being
+    applied a second time. *)
+
+val journal : t -> Resilience.Journal.t
+(** The server's replay journal (root-domain state). *)
 
 val client_domains : t -> int
 (** Per-client domains allocated so far (0 unless [per_client_domains]). *)

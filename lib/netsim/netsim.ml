@@ -187,6 +187,57 @@ let rec recv c =
         recv c
       end
 
+let rec recv_with_arrival c =
+  match Queue.peek_opt c.inbox with
+  | Some (arrival, _) ->
+      Sched.wait_until arrival;
+      let _, msg = Queue.pop c.inbox in
+      Some (msg, arrival)
+  | None ->
+      if c.peer.closed || c.closed then None
+      else begin
+        Sched.suspend (fun wake -> c.waiter <- Some wake);
+        recv_with_arrival c
+      end
+
+(* Timed [recv]: when nothing is queued, a helper timer thread wakes the
+   blocked receiver at [deadline]. Wake callbacks are idempotent, so
+   whichever of the two wake paths (message arrival, timer) loses the
+   race is a no-op; a stale waiter left behind by a timeout is likewise
+   harmless — the next wake clears it without effect. *)
+let recv_deadline c ~deadline =
+  let rec loop () =
+    match Queue.peek_opt c.inbox with
+    | Some (arrival, _) when arrival <= deadline ->
+        Sched.wait_until arrival;
+        let _, msg = Queue.pop c.inbox in
+        Some msg
+    | Some _ ->
+        (* Head-of-line message arrives after the deadline: in-order
+           delivery means nothing else can overtake it. *)
+        Sched.wait_until deadline;
+        None
+    | None ->
+        if c.peer.closed || c.closed then None
+        else if Sched.now () >= deadline then None
+        else begin
+          let wake_ref = ref None in
+          let sched = Sched.current () in
+          let _timer =
+            Sched.spawn sched ~name:"net-timeout" (fun () ->
+                Sched.wait_until deadline;
+                match !wake_ref with Some w -> w ~at:deadline | None -> ())
+          in
+          Sched.suspend (fun wake ->
+              wake_ref := Some wake;
+              c.waiter <- Some wake);
+          loop ()
+        end
+  in
+  loop ()
+
+let queued c = Queue.length c.inbox
+
 let close c =
   if not c.closed then begin
     c.closed <- true;
@@ -264,4 +315,58 @@ module Waitset = struct
         | None ->
             Sched.suspend (fun wake -> ws.ws_waiter <- Some wake);
             wait ws)
+
+  let backlog ws =
+    List.fold_left (fun acc c -> acc + Queue.length c.inbox) 0 ws.watched
+
+  (* Timed [wait], built like [recv_deadline]: a timer thread provides
+     the deadline wake; readiness picks the same round-robin winner as
+     [wait], but a winner whose head-of-line message arrives after the
+     deadline counts as a timeout. *)
+  let rec wait_deadline ws ~deadline =
+    if ws.ws_closed then None
+    else
+      let pick () =
+        match ws.watched with
+        | [] -> None
+        | watched ->
+            let n = List.length watched in
+            let arr = Array.of_list watched in
+            let found = ref None in
+            let i = ref 0 in
+            while !found = None && !i < n do
+              let c = arr.((ws.cursor + !i) mod n) in
+              if ready c then begin
+                found := Some c;
+                ws.cursor <- (ws.cursor + !i + 1) mod n
+              end;
+              incr i
+            done;
+            !found
+      in
+      match pick () with
+      | Some c -> (
+          match deliverable c with
+          | Some arrival when arrival <= deadline ->
+              Sched.wait_until arrival;
+              Some c
+          | Some _ ->
+              Sched.wait_until deadline;
+              None
+          | None -> Some c (* closed peer: reportable immediately *))
+      | None ->
+          if Sched.now () >= deadline then None
+          else begin
+            let wake_ref = ref None in
+            let sched = Sched.current () in
+            let _timer =
+              Sched.spawn sched ~name:"ws-timeout" (fun () ->
+                  Sched.wait_until deadline;
+                  match !wake_ref with Some w -> w ~at:deadline | None -> ())
+            in
+            Sched.suspend (fun wake ->
+                wake_ref := Some wake;
+                ws.ws_waiter <- Some wake);
+            wait_deadline ws ~deadline
+          end
 end

@@ -45,6 +45,22 @@ val recv : conn -> string option
 val try_recv : conn -> string option
 (** Non-blocking: [None] when nothing is deliverable right now. *)
 
+val recv_deadline : conn -> deadline:float -> string option
+(** Like {!recv}, but give up at virtual time [deadline]: the caller's
+    clock advances to the deadline and [None] is returned when no message
+    became deliverable by then (or the peer closed). This is what lets a
+    client time out instead of blocking forever on a message the fault
+    hook dropped. Timeout and peer-close both map to [None]; check
+    {!peer_closed} to tell them apart. *)
+
+val recv_with_arrival : conn -> (string * float) option
+(** {!recv}, also reporting the message's delivery timestamp — the gap
+    [Sched.now () -. arrival] is how long the message sat queued behind a
+    busy receiver, the signal deadline-based load shedding keys on. *)
+
+val queued : conn -> int
+(** Messages sitting in this endpoint's inbox (deliverable or not). *)
+
 val close : conn -> unit
 (** Close both directions; pending messages to the peer remain readable
     (TCP-like half-close is not modelled). Idempotent. *)
@@ -85,6 +101,14 @@ module Waitset : sig
   (** Block until some watched connection has input or a closed peer to
       report. An empty set blocks until a connection is added ({!add} from
       another thread) or the set is closed. [None] after {!close}. *)
+
+  val wait_deadline : ws -> deadline:float -> conn option
+  (** {!wait} with a timeout: [None] once [deadline] passes with nothing
+      reportable (and after {!close}). *)
+
+  val backlog : ws -> int
+  (** Total messages queued across all watched connections — the queue
+      depth an overloaded server sheds on. *)
 
   val close : ws -> unit
   (** Make every pending and future {!wait} return [None]. *)

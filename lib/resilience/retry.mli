@@ -1,0 +1,76 @@
+(** Deadline-driven client retry policies over virtual time.
+
+    An engine owns a retry {!policy}, an optional token-bucket {!budget}
+    shared across its calls, and a deterministic jitter stream
+    ([Simkern.Rng] — no wall clock). {!execute} runs one logical request:
+    it generates a fresh idempotency key, computes a per-attempt deadline
+    (min of [now + attempt_timeout] and the overall call deadline), and
+    hands both to the caller's attempt function. Retryable failures back
+    off with decorrelated jitter (uniform in
+    [[base, min (cap, 3 * previous)]]) before the next attempt. *)
+
+type policy = {
+  max_attempts : int;  (** total attempts, including the first *)
+  attempt_timeout : float;  (** per-attempt deadline, cycles *)
+  overall_timeout : float;  (** whole-call deadline, cycles *)
+  backoff_base : float;  (** minimum backoff sleep, cycles *)
+  backoff_cap : float;  (** maximum backoff sleep, cycles *)
+}
+
+val default_policy : policy
+
+type budget
+(** Token bucket limiting the steady-state retry rate: each logical call
+    deposits, each retry withdraws. Share one budget across an
+    application's engines to bound aggregate retry amplification. *)
+
+val budget : ?cap:float -> ?deposit:float -> ?withdraw:float -> unit -> budget
+(** Defaults [cap = 100., deposit = 1., withdraw = 10.]: at most ~10% of
+    traffic may be retries in steady state, with a burst allowance of
+    [cap / withdraw] retries. Starts full. *)
+
+val budget_tokens : budget -> float
+
+type error =
+  | Attempts_exhausted of string
+      (** [max_attempts] attempts all failed; payload is the last
+          failure's reason *)
+  | Deadline_exceeded  (** the overall call deadline passed *)
+  | Budget_exhausted
+      (** the retry budget ran dry — distinct so callers can tell
+          load-induced fast-failure from a genuinely dead server *)
+
+val error_to_string : error -> string
+
+type t
+
+val create :
+  ?metrics:Telemetry.Metrics.t ->
+  ?budget:budget ->
+  ?name:string ->
+  policy ->
+  rng:Simkern.Rng.t ->
+  t
+(** [name] (default ["client"]) prefixes generated request ids. With
+    [metrics], [client_retries_total] and
+    [client_retry_budget_exhausted_total] are registered (get-or-create,
+    so engines sharing a registry share the counters). *)
+
+val execute :
+  t ->
+  (rid:string ->
+  attempt:int ->
+  deadline:float ->
+  ('a, [ `Retry of string ]) result) ->
+  ('a, error) result
+(** Run one logical request. The attempt function receives the call's
+    idempotency key [rid] (stable across retries — thread it into the
+    wire request so the server's replay journal can deduplicate), the
+    0-based [attempt] number, and the virtual-time [deadline] this
+    attempt must finish by (pass it to {!Netsim.recv_deadline}).
+    Returning [Error (`Retry reason)] triggers backoff and a retry,
+    subject to attempts, deadline and budget. *)
+
+val calls : t -> int
+val retries : t -> int
+val budget_exhaustions : t -> int

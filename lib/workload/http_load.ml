@@ -1,4 +1,6 @@
 module Sched = Simkern.Sched
+module Rng = Simkern.Rng
+module Retry = Resilience.Retry
 
 type config = {
   connections : int;
@@ -6,6 +8,8 @@ type config = {
   path : string;
   port : int;
   client_cycles : float;
+  retry : Retry.policy option;
+  seed : int;
 }
 
 let default_config =
@@ -15,9 +19,11 @@ let default_config =
     path = "/index.html";
     port = 8080;
     client_cycles = 1_500.0;
+    retry = None;
+    seed = 7;
   }
 
-type results = { ok : int; failures : int; cycles : float }
+type results = { ok : int; failures : int; retries : int; cycles : float }
 
 let request ~path =
   Printf.sprintf "GET %s HTTP/1.1\r\nHost: bench.local\r\nUser-Agent: simbench/1.0\r\n\r\n" path
@@ -34,23 +40,72 @@ let is_200 reply =
 
 let launch sched net cfg ~on_done () =
   let results = ref None in
-  let ok = ref 0 and failures = ref 0 in
+  let ok = ref 0 and failures = ref 0 and retry_total = ref 0 in
   let lock = Sched.Mutex.create () in
-  let client _i () =
+  let client i () =
     let conn = ref (Netsim.connect net ~port:cfg.port) in
-    let req = request ~path:cfg.path in
+    let retry_eng =
+      Option.map
+        (fun policy ->
+          Retry.create policy
+            ~rng:(Rng.create (cfg.seed + (900 * i) + 3))
+            ~name:(Printf.sprintf "ab%d" i))
+        cfg.retry
+    in
+    let live () =
+      let c = !conn in
+      if Netsim.is_open c && not (Netsim.peer_closed c) then c
+      else begin
+        Netsim.close c;
+        conn := Netsim.connect net ~port:cfg.port;
+        !conn
+      end
+    in
+    let plain_req = request ~path:cfg.path in
+    let issue () =
+      match retry_eng with
+      | None -> (
+          Netsim.send !conn plain_req;
+          match Netsim.recv !conn with
+          | Some _ as r -> r
+          | None ->
+              (* Dropped (e.g. worker crash): reconnect for next request. *)
+              conn := Netsim.connect net ~port:cfg.port;
+              None)
+      | Some eng -> (
+          match
+            Retry.execute eng (fun ~rid ~attempt:_ ~deadline ->
+                let c = live () in
+                Netsim.send c
+                  (request_with_headers ~path:cfg.path
+                     [ ("X-Request-Id", rid) ]);
+                match Netsim.recv_deadline c ~deadline with
+                | Some reply
+                  when String.length reply >= 12
+                       && String.sub reply 9 3 = "503" ->
+                    Error (`Retry "503")
+                | Some reply -> Ok reply
+                | None ->
+                    (* Timed out: close so a late reply cannot be
+                       mistaken for a later request's answer. *)
+                    Netsim.close c;
+                    Error (`Retry "timeout"))
+          with
+          | Ok r -> Some r
+          | Error _ -> None)
+    in
     for _ = 1 to cfg.requests_per_conn do
       Sched.charge cfg.client_cycles;
-      Netsim.send !conn req;
-      match Netsim.recv !conn with
+      match issue () with
       | Some reply when is_200 reply ->
           Sched.Mutex.with_lock lock (fun () -> incr ok)
-      | Some _ -> Sched.Mutex.with_lock lock (fun () -> incr failures)
-      | None ->
-          (* Dropped (e.g. worker crash): reconnect, count the failure. *)
-          Sched.Mutex.with_lock lock (fun () -> incr failures);
-          conn := Netsim.connect net ~port:cfg.port
+      | Some _ | None -> Sched.Mutex.with_lock lock (fun () -> incr failures)
     done;
+    (match retry_eng with
+    | Some eng ->
+        Sched.Mutex.with_lock lock (fun () ->
+            retry_total := !retry_total + Retry.retries eng)
+    | None -> ());
     Netsim.close !conn
   in
   let orchestrator () =
@@ -61,7 +116,8 @@ let launch sched net cfg ~on_done () =
     List.iter Sched.join tids;
     let cycles = Sched.now () in
     on_done ();
-    results := Some { ok = !ok; failures = !failures; cycles }
+    results :=
+      Some { ok = !ok; failures = !failures; retries = !retry_total; cycles }
   in
   let _ = Sched.spawn sched ~name:"ab-orchestrator" orchestrator in
   fun () ->

@@ -10,11 +10,23 @@ type config = {
   path : string;
   port : int;
   client_cycles : float;  (** per-request client-side work *)
+  retry : Resilience.Retry.policy option;
+      (** when set, each request goes through a {!Resilience.Retry}
+          engine: per-attempt deadlines, decorrelated-jitter backoff, a
+          retry budget, and an [X-Request-Id] header naming the logical
+          request so server-side replay journaling applies. 503 replies
+          (quarantine backoff or load shedding) are retried. *)
+  seed : int;  (** jitter seed for the retry engines *)
 }
 
 val default_config : config
 
-type results = { ok : int; failures : int; cycles : float }
+type results = {
+  ok : int;
+  failures : int;
+  retries : int;  (** retry attempts across all connections *)
+  cycles : float;
+}
 
 val launch :
   Simkern.Sched.t ->

@@ -1,5 +1,6 @@
 module Sched = Simkern.Sched
 module Rng = Simkern.Rng
+module Retry = Resilience.Retry
 
 type distribution = Zipfian | Uniform | Latest
 
@@ -15,6 +16,7 @@ type config = {
   port : int;
   seed : int;
   client_cycles : float;
+  retry : Retry.policy option;
 }
 
 let default_config =
@@ -30,6 +32,7 @@ let default_config =
     port = 11211;
     seed = 42;
     client_cycles = 2_000.0;
+    retry = None;
   }
 
 let workload_a = { default_config with read_fraction = 0.5 }
@@ -45,6 +48,7 @@ type results = {
   run_ops : int;
   run_cycles : float;
   failures : int;
+  retries : int;
   run_latencies : float list;
 }
 
@@ -70,23 +74,87 @@ let launch sched net cfg ~on_done () =
   in
   let base_rng = Rng.create cfg.seed in
   let base_value = Bytes.to_string (Rng.bytes base_rng (max 16 cfg.value_size)) in
+  let retry_total = ref 0 in
+  (* Per-client I/O helpers: a reconnecting connection and, when a retry
+     policy is configured, a request path with per-attempt deadlines —
+     without one, a reply the fault hook dropped would block the client
+     forever. [mk_req] builds the wire request from the attempt's
+     idempotency key so every retry of one logical op reuses the same
+     rid. *)
+  let client_io ~name ~salt i =
+    let conn = ref (Netsim.connect net ~port:cfg.port) in
+    let eng =
+      Option.map
+        (fun policy ->
+          Retry.create policy
+            ~rng:(Rng.create (cfg.seed + (salt * i) + 13))
+            ~name:(Printf.sprintf "%s%d" name i))
+        cfg.retry
+    in
+    let live () =
+      let c = !conn in
+      if Netsim.is_open c && not (Netsim.peer_closed c) then c
+      else begin
+        Netsim.close c;
+        conn := Netsim.connect net ~port:cfg.port;
+        !conn
+      end
+    in
+    let issue mk_req =
+      match eng with
+      | None -> request !conn (mk_req None)
+      | Some eng -> (
+          match
+            Retry.execute eng (fun ~rid ~attempt:_ ~deadline ->
+                let c = live () in
+                Netsim.send c (mk_req (Some rid));
+                match Netsim.recv_deadline c ~deadline with
+                | Some r when r = Kvcache.Proto.server_error_busy ->
+                    Error (`Retry "busy")
+                | Some r -> Ok r
+                | None ->
+                    (* Timed out: the reply may still be in flight, and a
+                       request/response stream cannot resynchronize once a
+                       response is unaccounted for — abandon the
+                       connection so a stale reply can never be taken for
+                       a later operation's answer. *)
+                    Netsim.close c;
+                    Error (`Retry "timeout"))
+          with
+          | Ok r -> Some r
+          | Error _ -> None)
+    in
+    let finish () =
+      (match eng with
+      | Some e ->
+          Sched.Mutex.with_lock fail_lock (fun () ->
+              retry_total := !retry_total + Retry.retries e)
+      | None -> ());
+      Netsim.close !conn
+    in
+    (issue, finish, eng <> None)
+  in
   let load_client i () =
     let per = cfg.records / cfg.clients in
     let lo = i * per in
     let hi = if i = cfg.clients - 1 then cfg.records else lo + per in
-    let c = Netsim.connect net ~port:cfg.port in
+    let issue, finish, retrying = client_io ~name:"yl" ~salt:9000 i in
     let rec go k =
       if k < hi then begin
         Sched.charge cfg.client_cycles;
         let value = value_for ~base:base_value ~value_size:cfg.value_size k in
-        match request c (Kvcache.Proto.fmt_set ~key:(key_of k) ~flags:0 ~value) with
+        (* Loads are idempotent (same key, same value), so no rid. *)
+        let req _rid = Kvcache.Proto.fmt_set ~key:(key_of k) ~flags:0 ~value in
+        match issue req with
         | Some r when Kvcache.Proto.parse_reply r = Kvcache.Proto.Stored ->
             go (k + 1)
-        | Some _ | None -> bump_failures ()
+        | Some _ | None ->
+            bump_failures ();
+            if retrying then go (k + 1)
       end
     in
     go lo;
-    Netsim.close c
+    finish ()
   in
   let latencies : float list ref array = Array.init cfg.clients (fun _ -> ref []) in
   (* Highest key inserted so far, shared between clients (workload D). *)
@@ -111,7 +179,7 @@ let launch sched net cfg ~on_done () =
           k)
     in
     let per = cfg.operations / cfg.clients in
-    let c = Netsim.connect net ~port:cfg.port in
+    let issue, finish, retrying = client_io ~name:"y" ~salt:5000 i in
     let samples = latencies.(i) in
     let rec go k =
       if k < per then begin
@@ -119,13 +187,17 @@ let launch sched net cfg ~on_done () =
         let t0 = Sched.now () in
         let reply =
           if Rng.float rng < cfg.read_fraction then
-            request c (Kvcache.Proto.fmt_get (key_of (pick ())))
+            let key = key_of (pick ()) in
+            issue (fun _rid -> Kvcache.Proto.fmt_get key)
           else
             let target = if cfg.insert_new then fresh_key () else pick () in
+            let key = key_of target in
             let value =
               value_for ~base:base_value ~value_size:cfg.value_size target
             in
-            request c (Kvcache.Proto.fmt_set ~key:(key_of target) ~flags:0 ~value)
+            issue (function
+              | Some rid -> Kvcache.Proto.fmt_set_rid ~rid ~key ~flags:0 ~value
+              | None -> Kvcache.Proto.fmt_set ~key ~flags:0 ~value)
         in
         samples := (Sched.now () -. t0) :: !samples;
         match reply with
@@ -135,11 +207,13 @@ let launch sched net cfg ~on_done () =
                 bump_failures ();
                 go (k + 1)
             | _ -> go (k + 1))
-        | None -> bump_failures ()
+        | None ->
+            bump_failures ();
+            if retrying then go (k + 1)
       end
     in
     go 0;
-    Netsim.close c
+    finish ()
   in
   let orchestrator () =
     let t_start = Sched.now () in
@@ -163,6 +237,7 @@ let launch sched net cfg ~on_done () =
           run_ops = cfg.operations;
           run_cycles = t_all -. t_load;
           failures = !failures;
+          retries = !retry_total;
           run_latencies =
             Array.fold_left (fun acc r -> List.rev_append !r acc) [] latencies;
         }

@@ -31,6 +31,13 @@ type config = {
   seed : int;
   client_cycles : float;
       (** per-operation client-side work (YCSB bookkeeping, formatting) *)
+  retry : Resilience.Retry.policy option;
+      (** when set, run-phase clients issue requests through a
+          {!Resilience.Retry} engine: per-attempt deadlines over virtual
+          time, decorrelated-jitter backoff, and a retry budget. Writes
+          carry an idempotency key ([id=...]) so a retried update that
+          already committed is answered from the server's replay journal
+          instead of applying twice. *)
 }
 
 val default_config : config
@@ -56,6 +63,9 @@ type results = {
   run_ops : int;
   run_cycles : float;
   failures : int;  (** requests with no or error replies (dropped conns) *)
+  retries : int;
+      (** run-phase retry attempts across all clients (0 without a retry
+          policy) *)
   run_latencies : float list;
       (** client-observed round-trip time of every run-phase operation, in
           cycles — for the p50/p95/p99 tail reporting YCSB does *)

@@ -53,6 +53,77 @@ let fuzz_input =
           mutated_frame "GET /a/b/../c%41?q=1 HTTP/1.1\r\nHost: x\r\nAccept: */*\r\n\r\n";
         ])
 
+(* Every strict prefix of a valid frame — the truncations a lossy link
+   can produce. Unlike random mutation this deterministically covers each
+   boundary (mid-token, mid-header, mid-length-field, mid-payload). Each
+   frame is paired with the idempotency key it carries (if any), because
+   the property under test is about rid integrity. *)
+let truncation_corpus =
+  let frames =
+    [
+      (Proto.fmt_set ~key:"somekey" ~flags:3 ~value:"value body", None);
+      ( Proto.fmt_set_rid ~rid:"abc-7" ~key:"somekey" ~flags:3 ~value:"vv",
+        Some "abc-7" );
+      (Proto.fmt_incr ~rid:"abc-8" "counter" 2, Some "abc-8");
+      (Proto.fmt_delete ~rid:"abc-9" "somekey", Some "abc-9");
+      (Bin.req_set ~key:"somekey" ~flags:3 ~value:"value body", None);
+      ( Bin.req_set_opaque ~opaque:77 ~key:"somekey" ~flags:3 ~value:"vv",
+        Some "bin-77" );
+      (Bin.req_delete ~opaque:78 "somekey", Some "bin-78");
+    ]
+  in
+  List.concat_map
+    (fun (frame, rid) ->
+      List.init (String.length frame) (fun len -> (String.sub frame 0 len, rid)))
+    frames
+
+let truncated_input =
+  QCheck.make
+    ~print:(fun (data, _) -> Printf.sprintf "%S" data)
+    QCheck.Gen.(oneofl truncation_corpus)
+
+(* Idempotency keys are all-or-nothing under truncation: a cut frame must
+   parse totally (no exception) and, if it still parses as a mutation,
+   carry either no rid or exactly the original one — never a prefix.
+   A partial rid would be catastrophic for at-most-once: it could collide
+   with a different operation's journal entry and replay its response. *)
+let truncation_never_invents_a_rid =
+  let corpus_ok (data, orig_rid) =
+    with_buffer data (fun space buf ->
+        let len = String.length data in
+        let rid_ok = function
+          | Proto.Set { rid; _ } | Proto.Delete { rid; _ }
+          | Proto.Arith { rid; _ } ->
+              rid = None || rid = orig_rid
+          | _ -> true
+        in
+        rid_ok (Proto.parse space ~addr:buf ~len)
+        && rid_ok (Bin.parse space ~addr:buf ~len))
+  in
+  QCheck.Test.make
+    ~name:"truncated frames never carry a partial rid"
+    ~count:(List.length truncation_corpus)
+    truncated_input corpus_ok
+
+(* A truncated [set] must never be stored: either the frame no longer
+   parses, or the payload is shorter than declared and the server-side
+   length check rejects it before it reaches the store. *)
+let truncation_never_stores_short_data =
+  let corpus_ok (data, _) =
+    with_buffer data (fun space buf ->
+        let len = String.length data in
+        let short_detectable = function
+          | Proto.Set { declared_len; data_len; _ } -> declared_len <> data_len
+          | _ -> true
+        in
+        short_detectable (Proto.parse space ~addr:buf ~len)
+        && short_detectable (Bin.parse space ~addr:buf ~len))
+  in
+  QCheck.Test.make
+    ~name:"truncated sets are detectably short"
+    ~count:(List.length truncation_corpus)
+    truncated_input corpus_ok
+
 let text_proto_total =
   QCheck.Test.make ~name:"memcached text parser never throws" ~count:300 fuzz_input
     (fun data ->
@@ -206,6 +277,11 @@ let () =
           QCheck_alcotest.to_alcotest bin_proto_total;
           QCheck_alcotest.to_alcotest reply_parsers_total;
           QCheck_alcotest.to_alcotest http_parser_total;
+        ] );
+      ( "truncation",
+        [
+          QCheck_alcotest.to_alcotest truncation_never_invents_a_rid;
+          QCheck_alcotest.to_alcotest truncation_never_stores_short_data;
         ] );
       ( "containment",
         [

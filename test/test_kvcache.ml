@@ -185,7 +185,7 @@ let test_proto_parse () =
       | Proto.Set { declared_len; _ } -> check int "negative len kept" (-1) declared_len
       | _ -> Alcotest.fail "expected Set");
       (match feed "delete k\r\n" with
-      | Proto.Delete k -> check string "delete key" "k" k
+      | Proto.Delete { key = k; _ } -> check string "delete key" "k" k
       | _ -> Alcotest.fail "expected Delete");
       (match feed "munge k\r\n" with
       | Proto.Bad _ -> ()
@@ -380,7 +380,7 @@ let test_binproto_roundtrip () =
           check int "present" 5 data_len
       | _ -> Alcotest.fail "expected Set");
       (match feed (Bin.req_delete "gone") with
-      | Proto.Delete k -> check string "delete key" "gone" k
+      | Proto.Delete { key = k; _ } -> check string "delete key" "gone" k
       | _ -> Alcotest.fail "expected Delete");
       (match feed "garbage" with
       | Proto.Bad _ -> ()
