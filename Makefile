@@ -1,15 +1,23 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all check test chaos chaos-soak bench bench-r3 bench-r4 telemetry-report clean
+.PHONY: all check test lint chaos chaos-soak bench bench-r3 bench-r4 telemetry-report clean
 
 all: check
 
-# Tier-1 gate: full build plus the default test suites.
+# Tier-1 gate: full build plus the default test suites. The runtest
+# alias depends on @lint (see the root dune file), so this is build +
+# tests + lint in one command.
 check:
 	dune build
 	dune runtest
 
 test: check
+
+# Repo lint only: banned patterns in lib/ (Obj.magic, wall-clock time,
+# raw simulated-memory access, .ml without .mli), allowlisted in
+# ./lint.allow.
+lint:
+	dune build @lint
 
 # Long fault-injection / DoS suites across five fixed seeds.
 chaos:

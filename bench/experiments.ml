@@ -733,7 +733,15 @@ let a6 () =
             done
           done;
           let per_event = (Sched.now () -. t0) /. float_of_int (rounds * ndomains) in
-          out := (per_event, List.assoc "key_evictions" (Api.runtime_stats sd)))
+          let evictions =
+            match
+              Telemetry.Metrics.sample (Api.metrics sd)
+                "sdrad_key_evictions_total"
+            with
+            | Some v -> int_of_float v
+            | None -> 0
+          in
+          out := (per_event, evictions))
     in
     Sched.run sched;
     !out

@@ -387,11 +387,21 @@ let stats_cmd =
     Sched.run sched;
     let s = Option.get !srv in
     print_endline "== monitor runtime stats ==";
+    let sample name =
+      match Telemetry.Metrics.sample (Api.metrics sd) name with
+      | Some v -> string_of_int (int_of_float v)
+      | None -> "-"
+    in
     print_endline
-      (Stats.Table.render ~header:[ "counter"; "value" ]
+      (Stats.Table.render ~header:[ "metric"; "value" ]
          (List.map
-            (fun (k, v) -> [ k; string_of_int v ])
-            (Api.runtime_stats sd)));
+            (fun name -> [ name; sample name ])
+            [
+              "sdrad_execution_domains"; "sdrad_data_domains";
+              "sdrad_pkeys_in_use"; "sdrad_pooled_stacks"; "sdrad_threads";
+              "sdrad_rewinds_total"; "sdrad_key_evictions_total";
+              "sdrad_monitor_bytes"; "sanitizer_poison_faults_total";
+            ]));
     Printf.printf "rewind count: %d\n" (Api.rewind_count sd);
     Printf.printf "busy rejections: %d\n\n"
       (Kvcache.Server.busy_rejections s);
@@ -573,6 +583,144 @@ let trace_cmd =
   in
   Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ seed $ pairs)
 
+(* {1 analyze} *)
+
+(* A hand-built misconfigured model that exercises every verifier rule,
+   so the report format is demonstrated (and golden-tested) alongside
+   the two clean real-world snapshots. *)
+let demo_misconfigured_model () =
+  let module P = Analysis.Policy in
+  let r base len rkey = { P.base; len; rkey } in
+  {
+    P.monitor_pkey = 1;
+    root_pkey = 2;
+    domains =
+      [
+        (* Two siblings sharing key 3: key-overlap, and each can reach
+           the other's stack and sub-heap (cross-visibility). *)
+        P.exec_domain ~udi:10 ~pkey:3 ~has_cleanup:true
+          ~stack:(r 0x10000 0x4000 3)
+          ~heap:[ r 0x20000 0x8000 3 ]
+          ();
+        P.exec_domain ~udi:11 ~pkey:3 ~has_cleanup:true
+          ~stack:(r 0x30000 0x4000 3)
+          ~heap:[ r 0x40000 0x8000 3 ]
+          ();
+        (* A sealed domain whose stack pages were left on the root key:
+           every domain can read it despite the policy saying sealed. *)
+        P.exec_domain ~udi:12 ~pkey:4 ~accessible:false ~has_cleanup:true
+          ~stack:(r 0x50000 0x4000 2)
+          ~heap:[ r 0x60000 0x8000 4 ]
+          ();
+        (* Orphan: parent 99 does not exist, and nobody observes its
+           rewinds. *)
+        P.exec_domain ~udi:13 ~parent:99 ~pkey:5
+          ~stack:(r 0x70000 0x4000 5)
+          ();
+      ];
+    gates =
+      [
+        (* The gate hands callee 12 a buffer inside domain 10's sub-heap,
+           which the sealed callee cannot read. *)
+        {
+          P.g_name = "parse";
+          g_caller = 0;
+          g_callee = 12;
+          g_buffers = [ ("request", 0x20100) ];
+        };
+      ];
+    global_handler = false;
+  }
+
+let analyze_cmd =
+  let doc =
+    "Statically verify compartment policies: snapshot the key-value cache \
+     and web-server monitors as configured by their real setup code, check \
+     them with the policy verifier (key disjointness, cross-domain \
+     stack/heap visibility, gate buffers, abort hooks, reachability), and \
+     print the findings next to a deliberately misconfigured demo model \
+     that trips every rule."
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the machine-readable JSON report.")
+  in
+  let run verbose json =
+    setup_logging verbose;
+    let module P = Analysis.Policy in
+    let kv_model =
+      let space = Space.create ~size_mib:192 () in
+      let sd = Api.create space in
+      let sched = Sched.create () in
+      let net = Netsim.create (Space.cost space) in
+      let sup = Resilience.Supervisor.attach sd in
+      let out = ref None in
+      let _ =
+        Sched.spawn sched ~name:"cli" (fun () ->
+            let s =
+              Kvcache.Server.start sched space ~sdrad:sd ~supervisor:sup net
+                {
+                  Kvcache.Server.default_config with
+                  variant = Kvcache.Server.Sdrad;
+                  workers = 2;
+                  per_client_domains = true;
+                }
+            in
+            out := Some (P.of_api sd);
+            Kvcache.Server.stop s)
+      in
+      Sched.run sched;
+      Option.get !out
+    in
+    let httpd_model =
+      let space = Space.create ~size_mib:192 () in
+      let sd = Api.create space in
+      let sched = Sched.create () in
+      let net = Netsim.create (Space.cost space) in
+      let sup = Resilience.Supervisor.attach sd in
+      let fs = Httpd.Fs.create space in
+      Httpd.Fs.add fs ~path:"/index.html" ~size:1024;
+      let out = ref None in
+      let _ =
+        Sched.spawn sched ~name:"cli" (fun () ->
+            let s =
+              Httpd.Server.start sched space ~sdrad:sd ~supervisor:sup net ~fs
+                {
+                  Httpd.Server.default_config with
+                  variant = Httpd.Server.Sdrad;
+                  workers = 2;
+                  verify_certs = true;
+                }
+            in
+            out := Some (P.of_api sd);
+            Httpd.Server.stop s)
+      in
+      Sched.run sched;
+      Option.get !out
+    in
+    let reports =
+      [
+        ("kvcache", P.check kv_model);
+        ("httpd", P.check httpd_model);
+        ("demo-misconfigured", P.check (demo_misconfigured_model ()));
+      ]
+    in
+    if json then
+      Printf.printf "{\"reports\":[%s]}\n"
+        (String.concat ","
+           (List.map
+              (fun (name, fs) ->
+                Printf.sprintf "{\"name\":\"%s\",\"report\":%s}" name
+                  (P.to_json fs))
+              reports))
+    else
+      List.iter
+        (fun (name, fs) -> Printf.printf "== %s ==\n%s\n" name (P.to_text fs))
+        reports
+  in
+  Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ verbose_arg $ json)
+
 let () =
   let doc = "Secure Domain Rewind and Discard — simulation toolkit" in
   let info = Cmd.info "sdrad_cli" ~version:"1.0.0" ~doc in
@@ -580,4 +728,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
        [ costs_cmd; cve_cmd; switch_cmd; render_cmd; kvbench_cmd; webbench_cmd;
-         stats_cmd; metrics_cmd; trace_cmd ]))
+         stats_cmd; metrics_cmd; trace_cmd; analyze_cmd ]))

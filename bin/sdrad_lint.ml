@@ -1,0 +1,36 @@
+(* Repo lint driver: [sdrad_lint [--allowlist FILE] DIR...].
+
+   Exit 0 when every scanned tree is clean (modulo the allowlist), 1 with
+   one [file:line: [rule] text] diagnostic per violation otherwise. Wired
+   into the dune [@lint] alias (and thus [make lint] / [make check]). *)
+
+let () =
+  let allowlist = ref None in
+  let dirs = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--allowlist" :: path :: rest ->
+        allowlist := Some path;
+        parse rest
+    | "--allowlist" :: [] ->
+        prerr_endline "sdrad_lint: --allowlist needs a file argument";
+        exit 2
+    | dir :: rest ->
+        dirs := dir :: !dirs;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !dirs = [] then begin
+    prerr_endline "usage: sdrad_lint [--allowlist FILE] DIR...";
+    exit 2
+  end;
+  let allow =
+    match !allowlist with
+    | Some path -> Analysis.Lint.load_allowlist path
+    | None -> fun ~rule:_ ~file:_ -> false
+  in
+  let violations =
+    List.concat_map (Analysis.Lint.scan_tree ~allow) (List.rev !dirs)
+  in
+  print_string (Analysis.Lint.to_text violations);
+  exit (if violations = [] then 0 else 1)

@@ -1,0 +1,258 @@
+(* Repo lint: banned patterns that break the simulation's determinism and
+   isolation story.
+
+   The scanner works on a comment- and string-stripped view of each
+   source, so a banned name mentioned in a docstring or an error message
+   does not trip the rule. The banned patterns below are assembled by
+   concatenation so this file does not flag itself. *)
+
+type violation = {
+  v_file : string;
+  v_line : int;
+  v_rule : string;
+  v_text : string;  (* the offending source line, trimmed *)
+}
+
+type rule = {
+  r_name : string;
+  r_patterns : string list;
+  r_exempt_dirs : string list;  (* directory components where allowed *)
+  r_help : string;
+}
+
+let rules =
+  [
+    {
+      r_name = "obj-magic";
+      r_patterns = [ "Obj" ^ ".magic" ];
+      r_exempt_dirs = [];
+      r_help = "unsafe casts undermine every invariant the simulation checks";
+    };
+    {
+      r_name = "wall-clock";
+      r_patterns = [ "Unix" ^ "."; "Sys" ^ ".time" ];
+      r_exempt_dirs = [];
+      r_help =
+        "wall-clock time breaks determinism; use Simkern.Sched virtual time";
+    };
+    {
+      r_name = "raw-bytes";
+      r_patterns = [ "unsafe_load" ^ "_bytes"; "unsafe_store" ^ "_bytes" ];
+      r_exempt_dirs = [ "vmem"; "checkpoint" ];
+      r_help =
+        "simulated memory must go through checked Vmem.Space accesses \
+         (kernel-mode access is for vmem/checkpoint only)";
+    };
+  ]
+
+let rule_names = List.map (fun r -> r.r_name) rules @ [ "missing-mli" ]
+
+(* Replace comment bodies, string literals and char literals with spaces
+   (newlines preserved, so line numbers survive). *)
+let strip src =
+  let n = String.length src in
+  let out = Bytes.of_string src in
+  let blank i = if Bytes.get out i <> '\n' then Bytes.set out i ' ' in
+  let i = ref 0 in
+  let depth = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if !depth > 0 then
+      if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
+        blank !i;
+        blank (!i + 1);
+        incr depth;
+        i := !i + 2
+      end
+      else if c = '*' && !i + 1 < n && src.[!i + 1] = ')' then begin
+        blank !i;
+        blank (!i + 1);
+        decr depth;
+        i := !i + 2
+      end
+      else begin
+        blank !i;
+        incr i
+      end
+    else if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      blank !i;
+      blank (!i + 1);
+      depth := 1;
+      i := !i + 2
+    end
+    else if c = '"' then begin
+      blank !i;
+      incr i;
+      let fin = ref false in
+      while (not !fin) && !i < n do
+        match src.[!i] with
+        | '\\' when !i + 1 < n ->
+            blank !i;
+            blank (!i + 1);
+            i := !i + 2
+        | '"' ->
+            blank !i;
+            incr i;
+            fin := true
+        | _ ->
+            blank !i;
+            incr i
+      done
+    end
+    else if
+      (* char literals ('x', '\n'); type variables ('a) are left alone *)
+      c = '\''
+      && !i + 2 < n
+      && (src.[!i + 1] = '\\' || src.[!i + 2] = '\'')
+    then
+      if src.[!i + 1] = '\\' then begin
+        blank !i;
+        incr i;
+        while !i < n && src.[!i] <> '\'' do
+          blank !i;
+          incr i
+        done;
+        if !i < n then begin
+          blank !i;
+          incr i
+        end
+      end
+      else begin
+        blank !i;
+        blank (!i + 1);
+        blank (!i + 2);
+        i := !i + 3
+      end
+    else incr i
+  done;
+  Bytes.to_string out
+
+let contains ~sub s =
+  let ls = String.length s and lb = String.length sub in
+  let rec go i = i + lb <= ls && (String.sub s i lb = sub || go (i + 1)) in
+  lb > 0 && go 0
+
+(* Does [file]'s path contain [dir] as a component? *)
+let in_dir file dir =
+  let parts = String.split_on_char '/' file in
+  List.mem dir parts
+
+let split_lines s = String.split_on_char '\n' s
+
+let scan_source ~file src =
+  let stripped = strip src in
+  let raw_lines = Array.of_list (split_lines src) in
+  let out = ref [] in
+  List.iter
+    (fun r ->
+      if not (List.exists (in_dir file) r.r_exempt_dirs) then
+        List.iteri
+          (fun idx line ->
+            if List.exists (fun p -> contains ~sub:p line) r.r_patterns then
+              out :=
+                {
+                  v_file = file;
+                  v_line = idx + 1;
+                  v_rule = r.r_name;
+                  v_text =
+                    (if idx < Array.length raw_lines then
+                       String.trim raw_lines.(idx)
+                     else "");
+                }
+                :: !out)
+          (split_lines stripped))
+    rules;
+  List.rev !out
+
+(* {1 Tree walking} *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let rec collect_sources dir =
+  let entries = Sys.readdir dir in
+  Array.sort compare entries;
+  Array.fold_left
+    (fun acc e ->
+      let path = Filename.concat dir e in
+      if Sys.is_directory path then acc @ collect_sources path
+      else if Filename.check_suffix e ".ml" || Filename.check_suffix e ".mli"
+      then acc @ [ path ]
+      else acc)
+    [] entries
+
+let scan_tree ?(allow = fun ~rule:_ ~file:_ -> false) root =
+  let sources = collect_sources root in
+  let pattern_violations =
+    List.concat_map
+      (fun file ->
+        let vs = scan_source ~file (read_file file) in
+        List.filter (fun v -> not (allow ~rule:v.v_rule ~file:v.v_file)) vs)
+      sources
+  in
+  (* Interface discipline: every .ml under the tree needs a sibling .mli,
+     so the linkable surface of each module is deliberate. *)
+  let missing_mli =
+    List.filter_map
+      (fun file ->
+        if
+          Filename.check_suffix file ".ml"
+          && (not (List.mem (file ^ "i") sources))
+          && not (allow ~rule:"missing-mli" ~file)
+        then
+          Some
+            { v_file = file; v_line = 1; v_rule = "missing-mli"; v_text = "" }
+        else None)
+      sources
+  in
+  List.sort compare (pattern_violations @ missing_mli)
+
+(* {1 Allowlist}
+
+   Format: one entry per line, [<rule> <path>]; blank lines and [#]
+   comments ignored. A [*] rule allows every rule for that path. *)
+
+let parse_allowlist src =
+  let entries =
+    List.filter_map
+      (fun line ->
+        let line =
+          match String.index_opt line '#' with
+          | Some i -> String.sub line 0 i
+          | None -> line
+        in
+        match
+          String.split_on_char ' ' (String.trim line)
+          |> List.filter (fun s -> s <> "")
+        with
+        | [] -> None
+        | [ rule; path ] -> Some (rule, path)
+        | _ -> failwith ("lint allowlist: malformed line: " ^ line))
+      (split_lines src)
+  in
+  List.iter
+    (fun (rule, _) ->
+      if rule <> "*" && not (List.mem rule rule_names) then
+        failwith ("lint allowlist: unknown rule: " ^ rule))
+    entries;
+  fun ~rule ~file ->
+    List.exists (fun (r, p) -> (r = "*" || r = rule) && p = file) entries
+
+let load_allowlist path = parse_allowlist (read_file path)
+
+let to_text vs =
+  if vs = [] then "lint OK: no violations\n"
+  else begin
+    let b = Buffer.create 256 in
+    List.iter
+      (fun v ->
+        Buffer.add_string b
+          (Printf.sprintf "%s:%d: [%s] %s\n" v.v_file v.v_line v.v_rule
+             v.v_text))
+      vs;
+    Buffer.add_string b (Printf.sprintf "%d violation(s)\n" (List.length vs));
+    Buffer.contents b
+  end

@@ -1,0 +1,43 @@
+(** Repo lint: banned patterns that would break the simulation's
+    determinism and isolation story.
+
+    Rules:
+    - [obj-magic]: [Obj.magic] (unsafe casts).
+    - [wall-clock]: any [Unix.*] or [Sys.time] use — virtual time only.
+    - [raw-bytes]: kernel-mode simulated-memory access
+      ([unsafe_load_bytes]/[unsafe_store_bytes]) outside [vmem] and
+      [checkpoint].
+    - [missing-mli]: a [.ml] under the scanned tree without a sibling
+      [.mli].
+
+    Matching runs on a comment- and string-stripped view of each source,
+    so banned names in docstrings or error messages do not trip rules. *)
+
+type violation = {
+  v_file : string;
+  v_line : int;  (** 1-based *)
+  v_rule : string;
+  v_text : string;  (** offending source line, trimmed; empty for
+                        tree-level rules *)
+}
+
+val rule_names : string list
+
+val scan_source : file:string -> string -> violation list
+(** Pattern rules only (no [missing-mli]) over one source text. *)
+
+val scan_tree :
+  ?allow:(rule:string -> file:string -> bool) -> string -> violation list
+(** Recursively scan every [.ml]/[.mli] under a directory, apply all
+    rules including [missing-mli], drop violations the [allow] predicate
+    accepts, and return the rest sorted by (file, line, rule). *)
+
+val parse_allowlist : string -> rule:string -> file:string -> bool
+(** Parse allowlist text — one [<rule> <path>] entry per line, [#]
+    comments, [*] as a wildcard rule — into an [allow] predicate.
+    @raise Failure on malformed lines or unknown rule names. *)
+
+val load_allowlist : string -> rule:string -> file:string -> bool
+
+val to_text : violation list -> string
+(** [file:line: [rule] text] lines plus a count, or ["lint OK"]. *)

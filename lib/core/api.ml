@@ -68,6 +68,8 @@ type t = {
   mutable stack_pool : (int * int) list;
   stack_reuse : bool;
   virtual_keys : bool;
+  sanitizer : bool;
+  verify_policy : bool;
   mutable key_clock : int;  (* LRU tick for key virtualization *)
   default_stack_size : int;
   default_heap_size : int;
@@ -131,7 +133,8 @@ let install_syscall_oracle t =
 let create ?(seed = 1) ?(monitor_size = 256 * 1024)
     ?(root_heap_size = 4 * 1024 * 1024) ?(default_stack_size = 64 * 1024)
     ?(default_heap_size = 256 * 1024) ?(stack_reuse = true)
-    ?(virtual_keys = false) ?metrics ?tracer ?(incident_log_cap = 1024) space =
+    ?(virtual_keys = false) ?(sanitizer = false) ?(verify_policy = false)
+    ?metrics ?tracer ?(incident_log_cap = 1024) space =
   let alloc_key () =
     match Space.pkey_alloc space with Some k -> k | None -> err Out_of_pkeys
   in
@@ -139,9 +142,11 @@ let create ?(seed = 1) ?(monitor_size = 256 * 1024)
   let root_pkey = alloc_key () in
   let monitor_region = Space.mmap space ~len:monitor_size ~prot:Prot.rw ~pkey:monitor_pkey in
   let monitor_heap = Tlsf.create space ~name:"sdrad-monitor" in
+  if sanitizer then Tlsf.set_sanitize monitor_heap true;
   Tlsf.add_region monitor_heap ~addr:monitor_region ~len:monitor_size;
   let root_region = Space.mmap space ~len:root_heap_size ~prot:Prot.rw ~pkey:root_pkey in
   let root_heap = Tlsf.create space ~name:"sdrad-root" in
+  if sanitizer then Tlsf.set_sanitize root_heap true;
   Tlsf.add_region root_heap ~addr:root_region ~len:root_heap_size;
   let rng = Simkern.Rng.create seed in
   let metrics =
@@ -168,6 +173,8 @@ let create ?(seed = 1) ?(monitor_size = 256 * 1024)
     stack_pool = [];
     stack_reuse;
     virtual_keys;
+    sanitizer;
+    verify_policy;
     key_clock = 0;
     default_stack_size;
     default_heap_size;
@@ -239,6 +246,15 @@ let create ?(seed = 1) ?(monitor_size = 256 * 1024)
   M.counter_fn metrics "vmem_tlb_shootdowns_total"
     ~help:"Page-range grant-cache invalidations broadcast to all threads"
     (fun () -> Space.tlb_shootdowns space);
+  M.counter_fn metrics "sanitizer_poison_faults_total"
+    ~help:"Checked accesses refused because they touched poisoned bytes"
+    (fun () -> Space.poison_faults space);
+  M.counter_fn metrics "sanitizer_poisoned_ranges_total"
+    ~help:"Ranges marked poisoned (redzones, frees, discards)" (fun () ->
+      Space.poisoned_ranges space);
+  M.counter_fn metrics "sanitizer_unpoisoned_ranges_total"
+    ~help:"Ranges marked live again (allocations, stack reuse)" (fun () ->
+      Space.unpoisoned_ranges space);
   M.gauge_fn metrics "vmem_rss_bytes" ~help:"Touched resident bytes"
     (fun () -> float_of_int (Space.rss_bytes space));
   M.gauge_fn metrics "vmem_mapped_bytes" ~help:"Mapped bytes" (fun () ->
@@ -409,6 +425,8 @@ let take_stack t ~len ~pkey =
   match if t.stack_reuse then pick [] t.stack_pool else None with
   | Some (base, l) ->
       Space.pkey_mprotect t.space ~addr:base ~len:l ~prot:Prot.rw ~pkey;
+      if Space.sanitizer_enabled t.space then
+        Space.unpoison t.space ~addr:base ~len:l;
       (base, l)
   | None ->
       let base = Space.mmap t.space ~len ~prot:Prot.rw ~pkey in
@@ -420,6 +438,11 @@ let release_stack t ~base ~len =
        pointers into a dead domain's stack fault. *)
     Space.pkey_mprotect t.space ~addr:base ~len ~prot:Prot.rw
       ~pkey:t.monitor_pkey;
+    (* A pooled stack stays mapped; poison it so even monitor-privileged
+       stale pointers into the dead domain's frames are detected until
+       the area is reissued ({!take_stack} unpoisons). *)
+    if Space.sanitizer_enabled t.space then
+      Space.poison t.space ~addr:base ~len;
     t.stack_pool <- (base, len) :: t.stack_pool
   end
   else Space.munmap t.space base
@@ -499,6 +522,7 @@ let inst_heap t inst =
   | Some h -> h
   | None ->
       let h = Tlsf.create t.space ~name:(Printf.sprintf "udi%d" inst.udi) in
+      if t.sanitizer then Tlsf.set_sanitize h true;
       let len = max inst.opts.heap_size Tlsf.min_region_len in
       let region = Space.mmap t.space ~len ~prot:Prot.rw ~pkey:inst.pkey in
       Tlsf.add_region h ~addr:region ~len;
@@ -531,6 +555,33 @@ let fresh_frame t =
   t.frame_counter <- t.frame_counter + 1;
   t.frame_counter
 
+(* Cheap monitor-init-time policy assertion behind [verify_policy]: every
+   live domain holds a key of its own, distinct from the monitor's and the
+   root's. The full static verifier (stack/heap visibility, gate buffers,
+   hooks, reachability) lives in [lib/analysis] and runs offline or at
+   server setup. *)
+let assert_policy t =
+  if t.verify_policy then begin
+    let seen = Hashtbl.create 16 in
+    let claim what udi pkey =
+      if pkey >= 0 then begin
+        let who = Printf.sprintf "%s %d" what udi in
+        if pkey = t.monitor_pkey || pkey = t.root_pkey then
+          failwith
+            (Printf.sprintf "sdrad: policy violation: %s holds reserved key %d"
+               who pkey);
+        match Hashtbl.find_opt seen pkey with
+        | Some other ->
+            failwith
+              (Printf.sprintf "sdrad: policy violation: %s and %s share key %d"
+                 other who pkey)
+        | None -> Hashtbl.replace seen pkey who
+      end
+    in
+    Hashtbl.iter (fun _ i -> claim "domain" i.udi i.pkey) t.exec_insts;
+    Hashtbl.iter (fun _ d -> claim "data domain" d.d_udi d.d_pkey) t.data_insts
+  end
+
 let init_exec t ts udi opts =
   sanctioned t @@ fun () ->
   if udi = root_udi then err Root_operation;
@@ -550,6 +601,7 @@ let init_exec t ts udi opts =
               save_context t ts inst;
               ts.cur_pkru <- compute_pkru t ts);
           Telemetry.Metrics.inc t.c_inits;
+          assert_policy t;
           inst
       | Ready | Entered -> err Already_initialized)
   | None ->
@@ -582,20 +634,40 @@ let init_exec t ts udi opts =
           save_context t ts inst;
           ts.cur_pkru <- compute_pkru t ts);
       Telemetry.Metrics.inc t.c_inits;
+      assert_policy t;
       inst
 
 (* Fully remove an instance's memory and identity (used by destroy with
    [`Discard] and by abnormal exits: "subheaps are never merged back after
    abnormal exits, as the data must be considered corrupted"). *)
 let discard_instance t ts inst =
-  if inst.opts.scrub_on_discard then begin
+  let bypass f =
+    if Space.sanitizer_enabled t.space then Space.sanitizer_bypass t.space f
+    else f ()
+  in
+  if inst.opts.scrub_on_discard then
+    (* The scrub sweeps whole regions, redzones and freed blocks included;
+       it must not trip the poison scan it co-exists with. *)
+    bypass (fun () ->
+        List.iter
+          (fun r ->
+            match Space.alloc_len t.space r with
+            | Some len -> Space.fill t.space ~addr:r ~len '\000'
+            | None -> ())
+          inst.heap_regions;
+        Space.fill t.space ~addr:inst.stack_base ~len:inst.stack_len '\000');
+  (* Poison-on-discard: mark everything the domain could address poisoned
+     before the mappings go away, so any access racing the teardown — and
+     pooled-stack ghosts until reissue — is a detected POISON fault, not a
+     silent read. A later mmap over the same range clears the marks. *)
+  if t.sanitizer then begin
     List.iter
       (fun r ->
         match Space.alloc_len t.space r with
-        | Some len -> Space.fill t.space ~addr:r ~len '\000'
+        | Some len -> Space.poison t.space ~addr:r ~len
         | None -> ())
       inst.heap_regions;
-    Space.fill t.space ~addr:inst.stack_base ~len:inst.stack_len '\000'
+    Space.poison t.space ~addr:inst.stack_base ~len:inst.stack_len
   end;
   List.iter (fun r -> Space.munmap t.space r) inst.heap_regions;
   inst.heap_regions <- [];
@@ -777,6 +849,7 @@ let init_data t ~udi ?heap_size () =
   let len = max heap_size Tlsf.min_region_len in
   let region = Space.mmap t.space ~len ~prot:Prot.rw ~pkey in
   let h = Tlsf.create t.space ~name:(Printf.sprintf "data%d" udi) in
+  if t.sanitizer then Tlsf.set_sanitize h true;
   Tlsf.add_region h ~addr:region ~len;
   let perms = Hashtbl.create 4 in
   (* The creating domain gets read-write access by default so it can
@@ -795,7 +868,8 @@ let init_data t ~udi ?heap_size () =
           d_perms = perms;
           d_meta_addr = meta;
         };
-      ts.cur_pkru <- compute_pkru t ts)
+      ts.cur_pkru <- compute_pkru t ts);
+  assert_policy t
 
 let dprotect t ~udi ~tddi prot =
   let ts = thread_state t in
@@ -1069,21 +1143,82 @@ let domain_pkey t udi =
       | None -> None)
 
 let monitor_bytes t = Tlsf.used_bytes t.monitor_heap
+let monitor_pkey t = t.monitor_pkey
+let root_pkey t = t.root_pkey
+let has_incident_handler t = t.incident_handler <> None
+let sanitizer_enabled t = t.sanitizer
 
-(* Deprecated shim over the metrics registry: same keys and order as the
-   original assoc list, now derived from the registered instruments. *)
-let runtime_stats t =
-  let exec = Hashtbl.length t.exec_insts in
-  [
-    ("execution_domains", exec);
-    ("data_domains", Hashtbl.length t.data_insts);
-    ("pkeys_in_use", Space.pkeys_in_use t.space);
-    ("pooled_stacks", List.length t.stack_pool);
-    ("threads", Hashtbl.length t.threads);
-    ("rewinds", Telemetry.Metrics.counter_value t.c_rewinds);
-    ("key_evictions", Telemetry.Metrics.counter_value t.c_key_evictions);
-    ("monitor_bytes", Tlsf.used_bytes t.monitor_heap);
-  ]
+(* Structured snapshot of the monitor's declared state, the input to the
+   static policy verifier (lib/analysis). Pure data, no simulated-memory
+   access, no virtual time charged. *)
+type domain_info = {
+  di_udi : udi;
+  di_kind : [ `Exec | `Data ];
+  di_tid : int;
+  di_parent : udi;
+  di_pkey : int;
+  di_state : [ `Dormant | `Ready | `Entered ];
+  di_stack : (int * int) option;
+  di_regions : (int * int) list;
+  di_accessible : bool;
+  di_parent_readable : bool;
+  di_has_cleanup : bool;
+  di_perms : (udi * Vmem.Prot.t) list;
+}
+
+let domains_info t =
+  let region_len r =
+    match Space.alloc_len t.space r with Some l -> l | None -> 0
+  in
+  let execs =
+    Hashtbl.fold
+      (fun _ inst acc ->
+        {
+          di_udi = inst.udi;
+          di_kind = `Exec;
+          di_tid = inst.tid;
+          di_parent = inst.parent;
+          di_pkey = inst.pkey;
+          di_state =
+            (match inst.state with
+            | Dormant -> `Dormant
+            | Ready -> `Ready
+            | Entered -> `Entered);
+          di_stack = Some (inst.stack_base, inst.stack_len);
+          di_regions = List.map (fun r -> (r, region_len r)) inst.heap_regions;
+          di_accessible = inst.opts.access = Accessible;
+          di_parent_readable = inst.opts.parent_readable;
+          di_has_cleanup = inst.cleanups <> [];
+          di_perms = [];
+        }
+        :: acc)
+      t.exec_insts []
+  in
+  let datas =
+    Hashtbl.fold
+      (fun _ dd acc ->
+        {
+          di_udi = dd.d_udi;
+          di_kind = `Data;
+          di_tid = -1;
+          di_parent = root_udi;
+          di_pkey = dd.d_pkey;
+          di_state = `Ready;
+          di_stack = None;
+          di_regions = List.map (fun r -> (r, region_len r)) dd.d_regions;
+          di_accessible = false;
+          di_parent_readable = false;
+          di_has_cleanup = false;
+          di_perms =
+            List.sort compare
+              (Hashtbl.fold (fun u p acc -> (u, p) :: acc) dd.d_perms []);
+        }
+        :: acc)
+      t.data_insts []
+  in
+  List.sort
+    (fun a b -> compare (a.di_udi, a.di_tid) (b.di_udi, b.di_tid))
+    (execs @ datas)
 
 (* {1 Convenience wrappers} *)
 

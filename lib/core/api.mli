@@ -47,6 +47,8 @@ val create :
   ?default_heap_size:int ->
   ?stack_reuse:bool ->
   ?virtual_keys:bool ->
+  ?sanitizer:bool ->
+  ?verify_policy:bool ->
   ?metrics:Telemetry.Metrics.t ->
   ?tracer:Telemetry.Trace.t ->
   ?incident_log_cap:int ->
@@ -62,6 +64,15 @@ val create :
     pages made inaccessible with mprotect, the slow fallback the paper
     notes — and its key recycled; the instance is transparently unparked
     on its next initialization.
+
+    [sanitizer] (default [false]) puts every heap this monitor creates —
+    monitor, root, per-domain sub-heaps, data domains — into heap-poison
+    mode (see {!Tlsf.set_sanitize}): redzones after every allocation,
+    [0xFD] poison-on-free, shadow-map poison on discard, with violations
+    raised as [POISON] faults the rewind machinery recovers from.
+    [verify_policy] (default [false]) asserts cheap policy invariants
+    (protection-key disjointness, no reserved-key reuse) at every domain
+    initialization; the full static verifier is {!Analysis.Policy}.
 
     [metrics] and [tracer] supply a shared {!Telemetry} registry and span
     tracer; fresh (private) ones are created when omitted. The tracer
@@ -212,13 +223,41 @@ val monitor_bytes : t -> int
 (** Bytes of monitor control data currently allocated (contexts + domain
     records). *)
 
-val runtime_stats : t -> (string * int) list
-(** Live counters for operators: initialized domains, data domains,
-    protection keys in use, pooled stacks, rewinds, registered threads.
+val monitor_pkey : t -> int
+val root_pkey : t -> int
 
-    @deprecated This is now a compatibility shim over {!metrics} — same
-    keys as before, sourced from the registry. New code should read the
-    registry directly. *)
+val has_incident_handler : t -> bool
+(** Whether any incident handler is installed (a supervisor counts) — the
+    policy verifier's evidence that rewinds are observed somewhere. *)
+
+val sanitizer_enabled : t -> bool
+(** Whether this monitor was created with [~sanitizer:true]. *)
+
+(** {1 Policy snapshot}
+
+    The monitor's declared state as pure data — the input the static
+    policy verifier ({!Analysis.Policy}) checks against. Reading it
+    touches no simulated memory and charges no virtual time. *)
+
+type domain_info = {
+  di_udi : udi;
+  di_kind : [ `Exec | `Data ];
+  di_tid : int;  (** owning thread; [-1] for data domains *)
+  di_parent : udi;  (** [Types.root_udi] for top-level and data domains *)
+  di_pkey : int;  (** [-1] when parked by key virtualization *)
+  di_state : [ `Dormant | `Ready | `Entered ];
+  di_stack : (int * int) option;  (** (base, len); [None] for data *)
+  di_regions : (int * int) list;  (** sub-heap regions, (base, len) *)
+  di_accessible : bool;
+  di_parent_readable : bool;
+  di_has_cleanup : bool;  (** an {!on_abnormal_cleanup} hook is pending *)
+  di_perms : (udi * Vmem.Prot.t) list;
+      (** data domains: viewer execution domain -> granted rights *)
+}
+
+val domains_info : t -> domain_info list
+(** Every live execution-domain instance and data domain, sorted by
+    (udi, tid). *)
 
 (** {1 Convenience wrappers} *)
 

@@ -33,6 +33,7 @@ type config = {
   shed_queue_limit : int;
   shed_wait_limit : float;
   nonblocking_admit : bool;
+  verify_policy : bool;
 }
 
 let default_config =
@@ -55,6 +56,7 @@ let default_config =
     shed_queue_limit = 0;
     shed_wait_limit = 0.0;
     nonblocking_admit = false;
+    verify_policy = false;
   }
 
 let uri_dst_cap = 2048
@@ -553,6 +555,12 @@ let rec start sched space ?sdrad ?supervisor ?faults net ~fs cfg =
       restart_lat = [];
     }
   in
+  (* Static policy check over the compartments set up above; raises
+     [Analysis.Policy.Rejected] on any error-severity finding. *)
+  (match (cfg.verify_policy, sd) with
+  | true, Some sd ->
+      Analysis.Policy.assert_ok (Analysis.Policy.of_api sd)
+  | _ -> ());
   Array.iter (fun slot -> spawn_worker t slot) t.slots;
   t.master_tid <- Sched.spawn sched ~name:"nginx-master" (fun () -> master t);
   let acceptor = Sched.spawn sched ~name:"nginx-accept" (fun () -> acceptor t) in

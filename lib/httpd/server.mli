@@ -60,6 +60,11 @@ type config = {
   nonblocking_admit : bool;
       (** use {!Resilience.Supervisor.admit_nb}: a supervisor backoff
           delay becomes a 503 instead of parking the worker *)
+  verify_policy : bool;
+      (** {!Sdrad} variant only: after the pool data domain is set up,
+          run the {!Analysis.Policy} verifier over a snapshot of the
+          monitor and raise {!Analysis.Policy.Rejected} on any
+          error-severity finding. Off by default. *)
 }
 
 val default_config : config

@@ -33,6 +33,7 @@ type config = {
   shed_queue_limit : int;  (* shed when waitset backlog exceeds this; 0 = off *)
   shed_wait_limit : float;  (* shed when queueing delay exceeds this; 0 = off *)
   nonblocking_admit : bool;  (* turn supervisor backoff waits into busy *)
+  verify_policy : bool;  (* run the static policy verifier after setup *)
 }
 
 let default_config =
@@ -55,6 +56,7 @@ let default_config =
     shed_queue_limit = 0;
     shed_wait_limit = 0.0;
     nonblocking_admit = false;
+    verify_policy = false;
   }
 
 type conn_state = { cbuf : int; mutable outstanding : bool }
@@ -400,6 +402,13 @@ let rec start sched space ?sdrad ?supervisor ?faults net cfg =
     (fun () -> float_of_int (Store.value_bytes t.db));
   M.counter_fn metrics "kvcache_evictions_total" ~help:"LRU evictions"
     (fun () -> Store.evictions t.db);
+  (* Static policy check over the compartments set up above: key
+     disjointness, cross-domain visibility, gate buffers, abort hooks,
+     reachability. Raises [Analysis.Policy.Rejected] on any error. *)
+  (match (cfg.verify_policy, sd) with
+  | true, Some sd ->
+      Analysis.Policy.assert_ok (Analysis.Policy.of_api sd)
+  | _ -> ());
   let dispatcher_tid = Sched.spawn sched ~name:"mc-dispatch" (fun () -> dispatcher t) in
   let worker_tids =
     List.init cfg.workers (fun i ->

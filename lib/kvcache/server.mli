@@ -64,6 +64,12 @@ type config = {
   nonblocking_admit : bool;
       (** use {!Resilience.Supervisor.admit_nb}: a supervisor backoff
           delay becomes a busy reply instead of parking the worker *)
+  verify_policy : bool;
+      (** {!Sdrad} variant only: after the data domains are set up, run
+          the {!Analysis.Policy} verifier over a snapshot of the monitor
+          and raise {!Analysis.Policy.Rejected} if any error-severity
+          finding (overlapping keys, unintended cross-domain visibility,
+          unreadable gate buffers) is present. Off by default. *)
 }
 
 val default_config : config

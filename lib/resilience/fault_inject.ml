@@ -24,6 +24,8 @@ type kind =
   | Net_truncate  (* message cut short at a random offset *)
   | Net_delay of float  (* latency spike, extra cycles *)
   | Kill_thread  (* scheduler-level loss of a thread *)
+  | Heap_overflow  (* write one byte past an allocation's usable size *)
+  | Use_after_free  (* read a block after freeing it *)
 
 let kind_to_string = function
   | Alloc_fail -> "alloc-fail"
@@ -34,6 +36,8 @@ let kind_to_string = function
   | Net_truncate -> "net-truncate"
   | Net_delay d -> Printf.sprintf "net-delay(%.0f)" d
   | Kill_thread -> "kill-thread"
+  | Heap_overflow -> "heap-overflow"
+  | Use_after_free -> "use-after-free"
 
 type rule = {
   site : string;
@@ -109,6 +113,25 @@ let smash_canary sd =
   Api.with_stack_frame sd 16 (fun buf ->
       Space.store64 (Api.space sd) (buf + 16) 0x41414141)
 
+(* The classic off-by-one: one byte past the usable size. On a sanitized
+   heap that byte is the redzone (POISON fault, rewound); unsanitized it
+   silently nicks the next block's header — exactly the gap the sanitizer
+   exists to close. [buf] must be a live allocation of the current
+   domain's heap. *)
+let heap_overflow sd ~buf ~len =
+  let udi = Api.current sd in
+  let n = try Api.usable_size sd ~udi buf with _ -> len in
+  Space.store8 (Api.space sd) (buf + n) 0xFD
+
+(* Allocate, free, read: the freed payload is poisoned on a sanitized
+   heap (POISON fault); unsanitized the dangling read silently returns
+   free-list metadata. *)
+let use_after_free sd =
+  let udi = Api.current sd in
+  let p = Api.malloc sd ~udi 24 in
+  Api.free sd ~udi p;
+  ignore (Space.load8 (Api.space sd) p)
+
 (* Inject inside a domain body: corrupts state appropriate to the decided
    kind and lets the substrate raise whatever it raises. Network and
    scheduler kinds are ignored here — they belong to the [arm_*]
@@ -121,6 +144,8 @@ let fire_in_domain t ~site ~sd ~buf ~len =
       | Bit_flip -> ignore (flip_random_bit t (Api.space sd) ~addr:buf ~len)
       | Wild_write -> wild_write (Api.space sd)
       | Stack_smash -> smash_canary sd
+      | Heap_overflow -> heap_overflow sd ~buf ~len
+      | Use_after_free -> use_after_free sd
       | Alloc_fail | Net_drop | Net_truncate | Net_delay _ | Kill_thread -> ());
       Some k
 

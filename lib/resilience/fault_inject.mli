@@ -18,6 +18,12 @@ type kind =
   | Net_truncate  (** message cut short at a random offset *)
   | Net_delay of float  (** latency spike, extra cycles *)
   | Kill_thread  (** scheduler-level loss of a thread *)
+  | Heap_overflow
+      (** write one byte past the allocation's usable size — on a
+          sanitized heap this lands in the redzone (POISON fault) *)
+  | Use_after_free
+      (** malloc, free, then read the freed payload — on a sanitized heap
+          the freed bytes are poisoned (POISON fault) *)
 
 val kind_to_string : kind -> string
 

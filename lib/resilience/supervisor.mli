@@ -107,9 +107,9 @@ val forget : t -> udi:Sdrad.Types.udi -> unit
     destroyed for good). *)
 
 val stats : t -> (string * int) list
-(** Global counters in {!Sdrad.Api.runtime_stats} style: supervised
-    domains, rewinds seen, quarantines, rejections, backoff waits,
-    probes, probe successes. *)
+(** Global counters as an assoc list: supervised domains, rewinds seen,
+    quarantines, rejections, backoff waits, probes, probe successes.
+    The same values are exported as [supervisor_*] metric series. *)
 
 val domain_counters : t -> udi:Sdrad.Types.udi -> (string * int) list
 (** Per-domain counters: rewinds, quarantines, probes, rejections. *)

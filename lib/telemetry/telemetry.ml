@@ -128,6 +128,21 @@ module Metrics = struct
   let series_count t =
     Hashtbl.fold (fun _ f acc -> acc + List.length f.f_series) t.families 0
 
+  (* Point read of one series by name + label set; [None] for unknown
+     names, missing label sets and histograms (which have no single
+     value). This is what operator surfaces use instead of the old
+     assoc-list stats snapshot. *)
+  let sample t ?(labels = []) name =
+    match Hashtbl.find_opt t.families name with
+    | None -> None
+    | Some f -> (
+        match List.assoc_opt labels f.f_series with
+        | Some (C c) -> Some (float_of_int c.c)
+        | Some (Cfn fn) -> Some (float_of_int (fn ()))
+        | Some (G g) -> Some g.g
+        | Some (Gfn fn) -> Some (fn ())
+        | Some (H _) | None -> None)
+
   (* {2 Exposition} *)
 
   let escape_label v =

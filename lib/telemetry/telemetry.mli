@@ -98,6 +98,11 @@ module Metrics : sig
   (** Number of distinct (name, labels) series registered. A histogram
       counts as one series. *)
 
+  val sample : t -> ?labels:(string * string) list -> string -> float option
+  (** Current value of one counter or gauge series (callback-backed ones
+      are invoked); [None] for unknown names, unregistered label sets, and
+      histograms. The point-read primitive for operator surfaces. *)
+
   val expose : t -> string
   (** Prometheus text exposition format, version 0.0.4: [# HELP] /
       [# TYPE] headers followed by one line per sample. Families are

@@ -44,6 +44,9 @@ type t = {
   mutable malloc_calls : int;
   mutable free_calls : int;
   mutable region_adds : int;
+  mutable sanitize : bool;
+      (* heap-poison mode: trailing redzone per allocation, poison-on-free
+         fill, everything but live payloads poisoned in the shadow map *)
 }
 
 let create space ~name =
@@ -61,9 +64,32 @@ let create space ~name =
     malloc_calls = 0;
     free_calls = 0;
     region_adds = 0;
+    sanitize = false;
   }
 
 let set_inject_failure t h = t.inject_failure <- h
+
+(* Sanitize mode must be chosen before the first region arrives: regions
+   are poisoned wholesale on entry and allocations carve live windows out
+   of that, an invariant that cannot be established retroactively. *)
+let redzone = 16
+
+let set_sanitize t on =
+  if on <> t.sanitize then begin
+    if t.regions <> [] then
+      invalid_arg "Tlsf.set_sanitize: heap already has regions";
+    if on && not (Vmem.Space.sanitizer_enabled t.space) then
+      Vmem.Space.set_sanitizer t.space true;
+    t.sanitize <- on
+  end
+
+let sanitized t = t.sanitize
+
+(* The allocator's own metadata — headers, free-list links — lives inside
+   poisoned ranges by design; every public entry point of a sanitized
+   heap runs with the poison scan suspended. *)
+let with_bypass t f =
+  if t.sanitize then Vmem.Space.sanitizer_bypass t.space f else f ()
 
 let space t = t.space
 let name t = t.name
@@ -139,15 +165,21 @@ let remove_free t b size =
   end
 
 let add_region t ~addr ~len =
+  let full_len = len in
   let len = len land lnot (align - 1) in
   if len < min_region_len then invalid_arg "Tlsf.add_region: region too small";
-  let size = len - header in
-  set_prev_phys t addr 0;
-  set_hdr t addr (size lor fl_free lor fl_last);
-  insert_free t addr size;
-  t.regions <- (addr, len) :: t.regions;
-  t.total_bytes <- t.total_bytes + len;
-  t.region_adds <- t.region_adds + 1
+  with_bypass t (fun () ->
+      let size = len - header in
+      set_prev_phys t addr 0;
+      set_hdr t addr (size lor fl_free lor fl_last);
+      insert_free t addr size;
+      t.regions <- (addr, len) :: t.regions;
+      t.total_bytes <- t.total_bytes + len;
+      t.region_adds <- t.region_adds + 1);
+  (* Sanitized heaps start fully poisoned; [malloc] carves live payload
+     windows out, [free] re-poisons them. The unaligned tail (never handed
+     out) is poisoned too. *)
+  if t.sanitize then Vmem.Space.poison t.space ~addr ~len:full_len
 
 let find_suitable t fl sl =
   let sl_map = t.sl_bitmap.(fl) land (-1 lsl sl) in
@@ -159,7 +191,7 @@ let find_suitable t fl sl =
       let fl' = ffs fl_map in
       Some (fl', ffs t.sl_bitmap.(fl'))
 
-let malloc_opt t request =
+let malloc_opt_raw t request =
   let injected =
     match t.inject_failure with Some f -> f request | None -> false
   in
@@ -204,10 +236,26 @@ let malloc_opt t request =
         t.malloc_calls <- t.malloc_calls + 1;
         Some (b + header)
 
+(* Sanitized allocation: the physical block is the request plus a
+   trailing redzone; only [payload, payload + size - redzone) is
+   unpoisoned, so an overflow past the usable size lands on poisoned
+   bytes before it can reach the next block's header. *)
+let malloc_opt t request =
+  if not t.sanitize then malloc_opt_raw t request
+  else
+    Vmem.Space.sanitizer_bypass t.space (fun () ->
+        match malloc_opt_raw t (max request 1 + redzone) with
+        | None -> None
+        | Some p ->
+            let s = size_of (hdr t (p - header)) in
+            Vmem.Space.unpoison t.space ~addr:p ~len:(s - redzone);
+            Vmem.Space.poison t.space ~addr:(p + s - redzone) ~len:redzone;
+            Some p)
+
 let malloc t request =
   match malloc_opt t request with Some p -> p | None -> raise Out_of_memory
 
-let free t ptr =
+let free_raw t ptr =
   let b = ptr - header in
   let word = hdr t b in
   if is_free word then
@@ -253,9 +301,29 @@ let free t ptr =
   end;
   insert_free t !b !size
 
-let usable_size t ptr = size_of (hdr t (ptr - header))
+(* Sanitized free: fill the dying payload with the poison pattern, then
+   release it, then mark it poisoned in the shadow map. The fill happens
+   BEFORE [free_raw] so coalescing's free-list links (written into the
+   first 16 payload bytes) survive; double frees are detected first so
+   the fill cannot clobber a live free block's links. *)
+let free t ptr =
+  if not t.sanitize then free_raw t ptr
+  else
+    Vmem.Space.sanitizer_bypass t.space (fun () ->
+        let word = hdr t (ptr - header) in
+        if is_free word then free_raw t ptr (* raises the double-free error *)
+        else begin
+          let size = size_of word in
+          Vmem.Space.fill t.space ~addr:ptr ~len:size '\xfd';
+          free_raw t ptr;
+          Vmem.Space.poison t.space ~addr:ptr ~len:size
+        end)
 
-let realloc t ptr request =
+let usable_size t ptr =
+  let s = with_bypass t (fun () -> size_of (hdr t (ptr - header))) in
+  if t.sanitize then s - redzone else s
+
+let realloc_raw t ptr request =
   if ptr = 0 then malloc t request
   else begin
     let old_size = usable_size t ptr in
@@ -334,20 +402,40 @@ let realloc t ptr request =
     end
   end
 
+(* Sanitized realloc never moves blocks in place: in-place splitting and
+   absorption would have to re-derive redzone windows for partial blocks.
+   A fresh allocation + copy of the live payload keeps the invariant
+   (everything but live payloads poisoned) trivially true. *)
+let realloc t ptr request =
+  if not t.sanitize then realloc_raw t ptr request
+  else if ptr = 0 then malloc t request
+  else begin
+    let old_logical = usable_size t ptr in
+    let fresh = malloc t request in
+    let n = min old_logical (usable_size t fresh) in
+    if n > 0 then Vmem.Space.blit t.space ~src:ptr ~dst:fresh ~len:n;
+    free t ptr;
+    fresh
+  end
+
 let iter_blocks t f =
-  List.iter
-    (fun (addr, _len) ->
-      let rec walk b =
-        let word = hdr t b in
-        let size = size_of word in
-        f ~addr:b ~size ~free:(is_free word);
-        if not (is_last word) then walk (next_phys b size)
-      in
-      walk addr)
-    (regions t)
+  with_bypass t (fun () ->
+      List.iter
+        (fun (addr, _len) ->
+          let rec walk b =
+            let word = hdr t b in
+            let size = size_of word in
+            f ~addr:b ~size ~free:(is_free word);
+            if not (is_last word) then walk (next_phys b size)
+          in
+          walk addr)
+        (regions t))
 
 let merge t ~from =
   if t.space != from.space then invalid_arg "Tlsf.merge: different spaces";
+  if t.sanitize <> from.sanitize then
+    invalid_arg "Tlsf.merge: sanitizer mismatch";
+  with_bypass t (fun () ->
   List.iter
     (fun (addr, len) ->
       t.regions <- (addr, len) :: t.regions;
@@ -363,7 +451,7 @@ let merge t ~from =
         if not (is_last word) then walk (next_phys b size)
       in
       walk addr)
-    (regions from);
+    (regions from));
   from.regions <- [];
   from.fl_bitmap <- 0;
   Array.fill from.sl_bitmap 0 fl_count 0;
@@ -373,6 +461,7 @@ let merge t ~from =
   from.total_bytes <- 0
 
 let check t =
+  with_bypass t @@ fun () ->
   let errors = ref [] in
   let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
   let free_set = Hashtbl.create 64 in

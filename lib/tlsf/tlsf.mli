@@ -47,19 +47,46 @@ val set_inject_failure : t -> (int -> bool) option -> unit
     allocation fails ([malloc_opt] returns [None], {!malloc} raises
     [Out_of_memory]) as if the heap were exhausted. [None] disarms. *)
 
+(** {1 Heap-poison sanitizer}
+
+    A sanitized heap keeps the invariant that {e every byte of every
+    region is poisoned in the space's shadow map except live allocation
+    payloads}. Each allocation carries a trailing {!redzone} (excluded
+    from {!usable_size}); {!free} fills the dying payload with [0xFD]
+    and re-poisons it. A checked access that touches a redzone or a
+    freed block raises {!Vmem.Space.Fault} with code
+    [Vmem.Space.POISON] — a detected, rewindable incident instead of
+    silent corruption. The allocator's own metadata accesses run with
+    the scan suspended ({!Vmem.Space.sanitizer_bypass}). *)
+
+val set_sanitize : t -> bool -> unit
+(** Enable heap-poison mode. Must be called before the first
+    {!add_region} (@raise Invalid_argument otherwise); enables the
+    space's sanitizer as a side effect. *)
+
+val sanitized : t -> bool
+
+val redzone : int
+(** Trailing poisoned bytes appended to every sanitized allocation (16). *)
+
 val free : t -> int -> unit
 (** Release a payload address, coalescing with free physical neighbours.
     @raise Heap_corrupted on double free or foreign pointer. *)
 
 val realloc : t -> int -> int -> int
 val usable_size : t -> int -> int
+(** Physical payload size of a live allocation; on a sanitized heap the
+    redzone is excluded, i.e. the bytes the caller may touch. *)
 
 val merge : t -> from:t -> unit
 (** Absorb every region of [from] into [t]: free blocks of [from] become
     allocatable from [t]; live allocations of [from] become live
     allocations of [t] (and must subsequently be freed via [t]). [from] is
     emptied. The caller is responsible for re-keying the pages
-    ({!Vmem.Space.pkey_mprotect}) before calling. *)
+    ({!Vmem.Space.pkey_mprotect}) before calling. Both heaps must agree
+    on sanitize mode (@raise Invalid_argument otherwise); poison state
+    travels with the regions, so blocks freed in [from] stay poisoned
+    under [t]. *)
 
 val regions : t -> (int * int) list
 (** [(addr, len)] of every region owned by this control. *)

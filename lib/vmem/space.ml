@@ -2,7 +2,7 @@ module Sched = Simkern.Sched
 module Cost = Simkern.Cost
 
 type access = Read | Write | Exec
-type si_code = MAPERR | ACCERR | PKUERR
+type si_code = MAPERR | ACCERR | PKUERR | POISON
 
 exception
   Fault of {
@@ -22,6 +22,7 @@ let pp_si_code ppf = function
   | MAPERR -> Format.pp_print_string ppf "SEGV_MAPERR"
   | ACCERR -> Format.pp_print_string ppf "SEGV_ACCERR"
   | PKUERR -> Format.pp_print_string ppf "SEGV_PKUERR"
+  | POISON -> Format.pp_print_string ppf "SEGV_POISON"
 
 let fault_to_string = function
   | Fault { addr; access; code; pkey; tid } ->
@@ -88,6 +89,13 @@ type t = {
   mutable diff_period : int;  (* cross-check 1-in-N fast-path hits; 0 = off *)
   mutable diff_tick : int;
   mutable diff_check_count : int;
+  (* heap-poison sanitizer state (ASan-style shadow memory) *)
+  mutable san_enabled : bool;
+  mutable san_map : Bytes.t;  (* 1 bit per byte of [mem]; empty until enabled *)
+  mutable san_bypass : bool;  (* allocator metadata accesses skip the scan *)
+  mutable san_fault_count : int;
+  mutable san_poisoned_count : int;
+  mutable san_unpoisoned_count : int;
 }
 
 let fresh_tlb pages =
@@ -132,6 +140,12 @@ let create ?(size_mib = 64) ?(cost = Cost.default) () =
     diff_period = 0;
     diff_tick = 0;
     diff_check_count = 0;
+    san_enabled = false;
+    san_map = Bytes.empty;
+    san_bypass = false;
+    san_fault_count = 0;
+    san_poisoned_count = 0;
+    san_unpoisoned_count = 0;
   }
 
 let cost t = t.cost
@@ -390,6 +404,94 @@ let check_tlb t addr access p1 p2 =
   done;
   if !pending > 0.0 then charge t !pending
 
+(* {1 Heap-poison sanitizer}
+
+   Shadow state for the ASan-style sanitizer: one bit per byte of [mem],
+   set while the byte is poisoned (redzone, freed block, discarded
+   domain). The scan runs after the protection checks succeed, charges no
+   virtual time (shadow memory is a host-side artifact, like the grant
+   cache), and raises the simulator's SEGV with the [POISON] code so the
+   ordinary rewind machinery treats a poisoned read exactly like a
+   protection-key violation. Allocators flip [san_bypass] around their own
+   metadata walks: headers and free-list links live inside poisoned
+   ranges by design. *)
+
+let san_set_range map addr len v =
+  let stop = addr + len in
+  let i = ref addr in
+  while !i < stop && !i land 7 <> 0 do
+    let b = !i lsr 3 and m = 1 lsl (!i land 7) in
+    let cur = Char.code (Bytes.unsafe_get map b) in
+    Bytes.unsafe_set map b
+      (Char.unsafe_chr (if v then cur lor m else cur land lnot m));
+    incr i
+  done;
+  let nbytes = (stop - !i) asr 3 in
+  if nbytes > 0 then begin
+    Bytes.fill map (!i lsr 3) nbytes (if v then '\xff' else '\000');
+    i := !i + (nbytes lsl 3)
+  end;
+  while !i < stop do
+    let b = !i lsr 3 and m = 1 lsl (!i land 7) in
+    let cur = Char.code (Bytes.unsafe_get map b) in
+    Bytes.unsafe_set map b
+      (Char.unsafe_chr (if v then cur lor m else cur land lnot m));
+    incr i
+  done
+
+(* First poisoned address in [addr, addr+len), skipping zero shadow bytes
+   eight data bytes at a time. *)
+let san_find map addr len =
+  let stop = addr + len in
+  let rec scan i =
+    if i >= stop then None
+    else
+      let b = i lsr 3 in
+      if i land 7 = 0 && stop - i >= 8 && Bytes.unsafe_get map b = '\000' then
+        scan (i + 8)
+      else if Char.code (Bytes.unsafe_get map b) land (1 lsl (i land 7)) <> 0
+      then Some i
+      else scan (i + 1)
+  in
+  scan addr
+
+let set_sanitizer t on =
+  if on && Bytes.length t.san_map = 0 then
+    t.san_map <- Bytes.make ((t.size + 7) lsr 3) '\000';
+  t.san_enabled <- on
+
+let sanitizer_enabled t = t.san_enabled
+
+let sanitizer_bypass t f =
+  let was = t.san_bypass in
+  t.san_bypass <- true;
+  Fun.protect ~finally:(fun () -> t.san_bypass <- was) f
+
+let san_range_arg op t addr len =
+  if addr < 0 || len < 0 || addr + len > t.size then
+    invalid_arg ("Space." ^ op ^ ": range out of bounds")
+
+let poison t ~addr ~len =
+  if t.san_enabled && len > 0 then begin
+    san_range_arg "poison" t addr len;
+    san_set_range t.san_map addr len true;
+    t.san_poisoned_count <- t.san_poisoned_count + 1
+  end
+
+let unpoison t ~addr ~len =
+  if t.san_enabled && len > 0 then begin
+    san_range_arg "unpoison" t addr len;
+    san_set_range t.san_map addr len false;
+    t.san_unpoisoned_count <- t.san_unpoisoned_count + 1
+  end
+
+let first_poisoned t ~addr ~len =
+  if (not t.san_enabled) || len <= 0 then None else san_find t.san_map addr len
+
+let poison_faults t = t.san_fault_count
+let poisoned_ranges t = t.san_poisoned_count
+let unpoisoned_ranges t = t.san_unpoisoned_count
+
 let check t addr len access =
   if len > 0 then begin
     if addr < 0 || addr + len > t.size then fault t addr access MAPERR (-1);
@@ -398,7 +500,14 @@ let check t addr len access =
     else
       for p = p1 to p2 do
         check_page t (if p = p1 then addr else p lsl page_shift) p access
-      done
+      done;
+    if t.san_enabled && not t.san_bypass then
+      match san_find t.san_map addr len with
+      | Some a ->
+          t.san_fault_count <- t.san_fault_count + 1;
+          fault t a access POISON
+            (Char.code (Bytes.unsafe_get t.pkey_of (a lsr page_shift)))
+      | None -> ()
   end
 
 (* {1 Mappings} *)
@@ -438,6 +547,9 @@ let mmap t ~len ~prot ~pkey =
   Bytes.fill t.mem (base_page lsl page_shift) (npages lsl page_shift) '\000';
   let addr = base_page lsl page_shift in
   Hashtbl.replace t.allocs addr (total, npages);
+  (* A fresh mapping carries no poison, whatever lived there before. *)
+  if Bytes.length t.san_map > 0 then
+    san_set_range t.san_map addr (npages lsl page_shift) false;
   tlb_shootdown t base_page (base_page + npages - 1);
   charge t (t.cost.syscall +. (t.cost.mmap_per_page *. float_of_int total));
   addr
@@ -717,6 +829,9 @@ let restore_image t im =
   List.iter
     (fun (p, contents) -> Bytes.blit contents 0 t.mem (p lsl page_shift) ps)
     im.im_pages;
+  (* images predate the poison state: a restored process starts clean *)
+  if Bytes.length t.san_map > 0 then
+    Bytes.fill t.san_map 0 (Bytes.length t.san_map) '\000';
   (* the image carries arbitrary flags/keys/touched state: full flush *)
   if t.pages > 0 then tlb_shootdown t 0 (t.pages - 1)
 

@@ -21,6 +21,9 @@ type si_code =
   | MAPERR  (** address not mapped *)
   | ACCERR  (** page protection forbids the access *)
   | PKUERR  (** protection-key rights forbid the access *)
+  | POISON
+      (** heap-poison sanitizer: the access touched a poisoned byte (a
+          redzone, a freed block, or a discarded domain's memory) *)
 
 exception
   Fault of {
@@ -148,6 +151,47 @@ val tlb_shootdowns : t -> int
 (** Range invalidations broadcast to all thread caches (one per
     [mmap]/[munmap]/[mprotect]/[pkey_mprotect]/[restore_image] event,
     not per page). *)
+
+(** {1 Heap-poison sanitizer}
+
+    ASan-style shadow state: one poison bit per byte of the space. While
+    the sanitizer is enabled, every checked access that passes the
+    protection checks is also scanned against the shadow map; touching a
+    poisoned byte raises {!Fault} with code {!POISON} — a detected fault
+    the rewind machinery recovers from, instead of a silent
+    use-after-free or redzone overflow. The scan is a host-side artifact:
+    it charges no virtual time and is invisible to the cost model, so an
+    unsanitized run and a sanitized run that never faults follow the same
+    virtual-time trajectory. Allocators bracket their own metadata
+    accesses with {!sanitizer_bypass} (headers and free-list links live
+    inside poisoned ranges by design). A fresh {!mmap} clears poison over
+    its range; {!restore_image} clears the whole map. *)
+
+val set_sanitizer : t -> bool -> unit
+(** Enable/disable the sanitizer. The shadow map (size/8 bytes) is
+    allocated on first enable and retained. *)
+
+val sanitizer_enabled : t -> bool
+
+val poison : t -> addr:int -> len:int -> unit
+(** Mark [\[addr, addr+len)] poisoned. No-op while disabled. *)
+
+val unpoison : t -> addr:int -> len:int -> unit
+
+val first_poisoned : t -> addr:int -> len:int -> int option
+(** First poisoned address in the range, without faulting or charging. *)
+
+val sanitizer_bypass : t -> (unit -> 'a) -> 'a
+(** Run the body with poison scanning suspended on this space (protection
+    checks still apply). Nests; restored on exception. *)
+
+val poison_faults : t -> int
+(** Accesses refused with {!POISON} since creation. *)
+
+val poisoned_ranges : t -> int
+(** [poison] calls that marked a non-empty range (monotonic). *)
+
+val unpoisoned_ranges : t -> int
 
 (** {1 Kernel-mode access}
 

@@ -466,8 +466,13 @@ let test_syscalls_fine_in_root () =
       Space.store8 space m 1;
       Space.munmap space m)
 
-let test_with_domain_and_runtime_stats () =
+let test_with_domain_and_metrics () =
   with_sdrad (fun space sd ->
+      let sample name =
+        match Telemetry.Metrics.sample (Api.metrics sd) name with
+        | Some v -> int_of_float v
+        | None -> Alcotest.fail (name ^ " not registered")
+      in
       Api.run sd ~udi:1
         ~on_rewind:(fun _ -> Alcotest.fail "no rewind expected")
         (fun () ->
@@ -476,12 +481,11 @@ let test_with_domain_and_runtime_stats () =
           let v = Api.with_domain sd 1 (fun () -> Space.read_string space p 9) in
           check Alcotest.string "bracket works" "bracketed" v;
           check int "back in root" Types.root_udi (Api.current sd);
-          let stats = Api.runtime_stats sd in
-          check bool "one execution domain live" true
-            (List.assoc "execution_domains" stats = 1);
-          check bool "keys in use >= 3" true (List.assoc "pkeys_in_use" stats >= 3);
+          check int "one execution domain live" 1
+            (sample "sdrad_execution_domains");
+          check bool "keys in use >= 3" true (sample "sdrad_pkeys_in_use" >= 3);
           Api.destroy sd 1 ~heap:`Discard);
-      check int "no rewinds recorded" 0 (List.assoc "rewinds" (Api.runtime_stats sd)))
+      check int "no rewinds recorded" 0 (sample "sdrad_rewinds_total"))
 
 let test_with_domain_fault_propagates_entered () =
   with_sdrad (fun space sd ->
@@ -527,9 +531,14 @@ let test_virtual_keys_scale_past_fifteen () =
           | Some p -> addrs.(udi - 1) <- p
           | None -> Alcotest.fail "no allocation"
         done;
-        let stats = Api.runtime_stats sd in
-        check bool "evictions happened" true (List.assoc "key_evictions" stats > 0);
-        check int "all thirty live" 30 (List.assoc "execution_domains" stats);
+        let sample name =
+          Option.value ~default:0.0
+            (Telemetry.Metrics.sample (Api.metrics sd) name)
+        in
+        check bool "evictions happened" true
+          (sample "sdrad_key_evictions_total" > 0.0);
+        check int "all thirty live" 30
+          (int_of_float (sample "sdrad_execution_domains"));
         (* Re-initialize each (unparking it) and verify its state. *)
         for udi = 1 to 30 do
           Api.run sd ~udi
@@ -572,7 +581,8 @@ let test_parked_memory_inaccessible () =
           ignore (persist_event sd space udi None)
         done;
         check bool "evictions happened" true
-          (List.assoc "key_evictions" (Api.runtime_stats sd) > 0);
+          (Telemetry.Metrics.sample (Api.metrics sd) "sdrad_key_evictions_total"
+          > Some 0.0);
         (* The parked pages are PROT_NONE: not even the root can read. *)
         match Space.load8 space secret with
         | _ -> Alcotest.fail "parked memory readable"
@@ -654,10 +664,13 @@ let lifecycle_invariants =
                   (fun () -> Api.destroy sd udi ~heap:`Discard)
               with Types.Error _ -> ())
             [ 1; 2; 3; 4; 5 ];
-          let stats = Api.runtime_stats sd in
-          if List.assoc "execution_domains" stats <> 0 then ok := false;
+          let sample name =
+            Option.value ~default:(-1.0)
+              (Telemetry.Metrics.sample (Api.metrics sd) name)
+          in
+          if sample "sdrad_execution_domains" <> 0.0 then ok := false;
           (* monitor + root keys only *)
-          if List.assoc "pkeys_in_use" stats <> 2 then ok := false;
+          if sample "sdrad_pkeys_in_use" <> 2.0 then ok := false;
           if Api.monitor_bytes sd <> baseline_monitor then ok := false);
       !ok)
 
@@ -702,7 +715,7 @@ let () =
           Alcotest.test_case "opt-in allows" `Quick test_syscall_optin_allows;
           Alcotest.test_case "monitor sanctioned" `Quick test_monitor_syscalls_sanctioned;
           Alcotest.test_case "root unaffected" `Quick test_syscalls_fine_in_root;
-          Alcotest.test_case "with_domain + stats" `Quick test_with_domain_and_runtime_stats;
+          Alcotest.test_case "with_domain + stats" `Quick test_with_domain_and_metrics;
           Alcotest.test_case "with_domain fault" `Quick test_with_domain_fault_propagates_entered;
         ] );
       ("lifecycle", [ QCheck_alcotest.to_alcotest lifecycle_invariants ]);
