@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all check test lint chaos chaos-soak bench bench-r3 bench-r4 telemetry-report clean
+.PHONY: all check test lint chaos chaos-soak chaos-rewind-soak bench bench-r3 bench-r4 telemetry-report clean
 
 all: check
 
@@ -29,6 +29,13 @@ chaos:
 # non-idempotent op is applied twice.
 chaos-soak:
 	dune build @chaos-soak
+
+# Fault-during-rewind campaign across the same seeds: second faults
+# injected between discard steps of multi-domain rewinds; fails if any
+# partial rollback state is observable (leaked lock, half-discarded
+# subtree, pending intent, missing or duplicate audit record).
+chaos-rewind-soak:
+	dune build @chaos-rewind-soak
 
 bench:
 	dune exec bench/main.exe -- quick

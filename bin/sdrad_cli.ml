@@ -435,13 +435,23 @@ let stats_cmd =
    [stats] demo) so the exposition below is byte-stable for any seed:
    [seed] only feeds the monitor's canary value, which no metric
    exposes. *)
-let run_metrics_scenario ~seed =
+let run_metrics_scenario ?(interrupts = 0) ~seed () =
   let module Supervisor = Resilience.Supervisor in
   let space = Space.create ~size_mib:192 () in
   let sd = Api.create ~seed ~virtual_keys:true space in
   let sched = Sched.create () in
   let net = Netsim.create (Space.cost space) in
   let sup = Supervisor.attach sd in
+  (if interrupts > 0 then
+     (* Budgeted Rewind_interrupt plan on the monitor's rewind-path
+        probe: [rollback-report --interrupts N] exercises (and reports)
+        the resumed two-phase path. *)
+     let module Fi = Resilience.Fault_inject in
+     let fi =
+       Fi.create ~seed
+         [ Fi.rule ~site:"cli.rewind" ~max_fires:interrupts Fi.Rewind_interrupt ]
+     in
+     Fi.arm_rewind fi sd ~site:"cli.rewind");
   let cfg =
     {
       Kvcache.Server.default_config with
@@ -540,10 +550,145 @@ let metrics_cmd =
   let seed = Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED") in
   let run verbose seed =
     setup_logging verbose;
-    let sd = run_metrics_scenario ~seed in
+    let sd = run_metrics_scenario ~seed () in
     print_string (Telemetry.Metrics.expose (Api.metrics sd))
   in
   Cmd.v (Cmd.info "metrics" ~doc) Term.(const run $ verbose_arg $ seed)
+
+(* {1 rollback-report} *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rollback_report_cmd =
+  let module Rl = Checkpoint.Rewind_log in
+  let doc =
+    "Run the deterministic supervised attack scenario (the same one behind \
+     $(b,metrics)) and reconstruct what every rewind undid from the \
+     monitor's durable audit log: trigger fault, discarded domain subtree \
+     with stack and heap extents, journal replays, virtual-time window and \
+     any mid-rewind interrupts absorbed by the two-phase protocol."
+  in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED") in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the report as deterministic JSON.")
+  in
+  let interrupts =
+    Arg.(
+      value & opt int 0
+      & info [ "interrupts" ] ~docv:"N"
+          ~doc:
+            "Inject $(docv) rewind-interrupt faults mid-rewind (two-phase \
+             resume path); absorbed interrupts show up on the incident \
+             records.")
+  in
+  let state_to_string = function
+    | `Entered -> "entered"
+    | `Ready -> "ready"
+    | `Dormant -> "dormant"
+  in
+  let print_json sd recs =
+    let b = Buffer.create 4096 in
+    let resumed =
+      List.length (List.filter (fun r -> r.Rl.r_interrupts > 0) recs)
+    in
+    Buffer.add_string b
+      (Printf.sprintf
+         "{\n  \"appended\": %d,\n  \"dropped\": %d,\n  \"retained\": %d,\n\
+         \  \"resumed\": %d,\n  \"incidents\": [" (Api.audit_appended sd)
+         (Api.audit_dropped sd) (Api.audit_retained sd) resumed);
+    List.iteri
+      (fun i r ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b
+          (Printf.sprintf
+             "\n    { \"id\": %d, \"target\": %d, \"tid\": %d, \"kind\": \
+              \"%s\",\n      \"si\": \"%s\", \"fault_addr\": %d, \"msg\": \
+              \"%s\",\n      \"start\": %.0f, \"end\": %.0f, \"interrupts\": \
+              %d, \"replays\": %d,\n      \"subtree\": ["
+             r.Rl.r_id r.Rl.r_target r.Rl.r_tid
+             (Rl.kind_to_string r.Rl.r_kind)
+             (json_escape r.Rl.r_si) r.Rl.r_fault_addr
+             (json_escape r.Rl.r_msg) r.Rl.r_start r.Rl.r_end
+             r.Rl.r_interrupts r.Rl.r_replays);
+        List.iteri
+          (fun j x ->
+            if j > 0 then Buffer.add_char b ',';
+            let sb, sl = x.Rl.x_stack in
+            Buffer.add_string b
+              (Printf.sprintf
+                 "\n        { \"udi\": %d, \"was\": \"%s\", \"stack\": [%d, \
+                  %d], \"regions\": [%s] }"
+                 x.Rl.x_udi
+                 (state_to_string x.Rl.x_was)
+                 sb sl
+                 (String.concat ", "
+                    (List.map
+                       (fun (a, l) -> Printf.sprintf "[%d, %d]" a l)
+                       x.Rl.x_regions))))
+          r.Rl.r_subtree;
+        Buffer.add_string b " ] }")
+      recs;
+    Buffer.add_string b "\n  ]\n}\n";
+    print_string (Buffer.contents b)
+  in
+  let print_table sd recs =
+    Printf.printf
+      "rewind audit: %d committed, %d dropped, %d retained in the ring\n"
+      (Api.audit_appended sd) (Api.audit_dropped sd) (Api.audit_retained sd);
+    List.iter
+      (fun r ->
+        Printf.printf
+          "\nincident %d: %s in udi %d (tid %d)  si=%s addr=0x%x%s\n"
+          r.Rl.r_id
+          (Rl.kind_to_string r.Rl.r_kind)
+          r.Rl.r_target r.Rl.r_tid r.Rl.r_si r.Rl.r_fault_addr
+          (if r.Rl.r_msg = "" then "" else "  [" ^ r.Rl.r_msg ^ "]");
+        Printf.printf
+          "  window %.0f -> %.0f cycles, %d interrupt(s) absorbed, %d \
+           journal replay(s) at commit\n"
+          r.Rl.r_start r.Rl.r_end r.Rl.r_interrupts r.Rl.r_replays;
+        Printf.printf "  discarded %d domain(s):\n"
+          (List.length r.Rl.r_subtree);
+        List.iter
+          (fun x ->
+            let sb, sl = x.Rl.x_stack in
+            let heap_bytes =
+              List.fold_left (fun a (_, l) -> a + l) 0 x.Rl.x_regions
+            in
+            Printf.printf
+              "    udi %-4d %-8s stack 0x%x+%d  %d heap region(s), %d B\n"
+              x.Rl.x_udi
+              (state_to_string x.Rl.x_was)
+              sb sl
+              (List.length x.Rl.x_regions)
+              heap_bytes)
+          r.Rl.r_subtree)
+      recs
+  in
+  let run verbose seed json interrupts =
+    setup_logging verbose;
+    let sd = run_metrics_scenario ~interrupts ~seed () in
+    let recs = Api.audit_records sd in
+    if json then print_json sd recs else print_table sd recs
+  in
+  Cmd.v
+    (Cmd.info "rollback-report" ~doc)
+    Term.(const run $ verbose_arg $ seed $ json $ interrupts)
 
 let trace_cmd =
   let doc =
@@ -728,4 +873,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
        [ costs_cmd; cve_cmd; switch_cmd; render_cmd; kvbench_cmd; webbench_cmd;
-         stats_cmd; metrics_cmd; trace_cmd; analyze_cmd ]))
+         stats_cmd; metrics_cmd; rollback_report_cmd; trace_cmd; analyze_cmd ]))

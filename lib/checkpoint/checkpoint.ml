@@ -1,3 +1,4 @@
+module Rewind_log = Rewind_log
 module Sched = Simkern.Sched
 module Cost = Simkern.Cost
 module Space = Vmem.Space

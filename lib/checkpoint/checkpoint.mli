@@ -7,6 +7,10 @@
     the paper's compartmentalization-based rewind avoids. Used by
     experiments E2 and A3. *)
 
+module Rewind_log = Rewind_log
+(** Durable two-phase rewind transaction log backing the monitor's
+    atomic multi-domain rewind — see {!Rewind_log}. *)
+
 type snap
 
 val take : Vmem.Space.t -> snap

@@ -3,6 +3,7 @@ module Cost = Simkern.Cost
 module Space = Vmem.Space
 module Prot = Vmem.Prot
 module Pkru = Vmem.Pkru
+module Rewind_log = Checkpoint.Rewind_log
 open Types
 
 exception Stack_check_failure
@@ -77,9 +78,19 @@ type t = {
   incident_q : Types.fault Queue.t;  (* bounded ring, oldest at front *)
   mutable incident_handler : (Types.fault -> unit) option;
   mutable in_monitor : bool;
+  audit : Rewind_log.t;  (* durable rewind intent + incident audit log *)
+  mutable rewind_fault_hook : (unit -> bool) option;
+      (* chaos probe consulted before each discard step of a rewind;
+         [true] simulates a second fault arriving mid-rewind *)
+  mutable journal_probes : (unit -> int) list;
+      (* cumulative replay-hit counts, sampled at incident commit *)
+  mutable pending_interrupted : bool;
+      (* the in-flight incident absorbed at least one mid-rewind fault *)
   metrics : Telemetry.Metrics.t;
   tracer : Telemetry.Trace.t;
   c_rewinds : Telemetry.Metrics.counter;
+  c_incidents_resumed : Telemetry.Metrics.counter;
+  c_rewind_interrupts : Telemetry.Metrics.counter;
   c_key_evictions : Telemetry.Metrics.counter;
   c_incidents : Telemetry.Metrics.counter;
   c_dropped_incidents : Telemetry.Metrics.counter;
@@ -134,7 +145,7 @@ let create ?(seed = 1) ?(monitor_size = 256 * 1024)
     ?(root_heap_size = 4 * 1024 * 1024) ?(default_stack_size = 64 * 1024)
     ?(default_heap_size = 256 * 1024) ?(stack_reuse = true)
     ?(virtual_keys = false) ?(sanitizer = false) ?(verify_policy = false)
-    ?metrics ?tracer ?(incident_log_cap = 1024) space =
+    ?metrics ?tracer ?(incident_log_cap = 1024) ?(audit_log_cap = 256) space =
   let alloc_key () =
     match Space.pkey_alloc space with Some k -> k | None -> err Out_of_pkeys
   in
@@ -148,6 +159,9 @@ let create ?(seed = 1) ?(monitor_size = 256 * 1024)
   let root_heap = Tlsf.create space ~name:"sdrad-root" in
   if sanitizer then Tlsf.set_sanitize root_heap true;
   Tlsf.add_region root_heap ~addr:root_region ~len:root_heap_size;
+  (* The rewind transaction log lives in the monitor data domain, next to
+     the domain records and saved contexts it audits. *)
+  let audit = Rewind_log.create space ~heap:monitor_heap ~cap:audit_log_cap in
   let rng = Simkern.Rng.create seed in
   let metrics =
     match metrics with Some m -> m | None -> Telemetry.Metrics.create ()
@@ -182,11 +196,23 @@ let create ?(seed = 1) ?(monitor_size = 256 * 1024)
     incident_q = Queue.create ();
     incident_handler = None;
     in_monitor = false;
+    audit;
+    rewind_fault_hook = None;
+    journal_probes = [];
+    pending_interrupted = false;
     metrics;
     tracer;
     c_rewinds =
       M.counter metrics "sdrad_rewinds_total"
         ~help:"Abnormal domain exits (rewind-and-discard events)";
+    c_incidents_resumed =
+      M.counter metrics "sdrad_incidents_resumed_total"
+        ~help:
+          "Rewinds that absorbed a fault mid-discard and were resumed from \
+           the durable intent record";
+    c_rewind_interrupts =
+      M.counter metrics "sdrad_rewind_interrupts_total"
+        ~help:"Faults arriving while a multi-domain rewind was in flight";
     c_key_evictions =
       M.counter metrics "sdrad_key_evictions_total"
         ~help:"Dormant domains parked to recycle a protection key";
@@ -233,6 +259,15 @@ let create ?(seed = 1) ?(monitor_size = 256 * 1024)
   M.gauge_fn metrics "sdrad_monitor_bytes"
     ~help:"Monitor control data currently allocated" (fun () ->
       float_of_int (Tlsf.used_bytes t.monitor_heap));
+  M.counter_fn metrics "sdrad_audit_appended_total"
+    ~help:"Incident records committed to the durable rewind audit log"
+    (fun () -> Rewind_log.appended t.audit);
+  M.counter_fn metrics "sdrad_audit_dropped_total"
+    ~help:"Incident records evicted from the bounded audit ring"
+    (fun () -> Rewind_log.dropped t.audit);
+  M.gauge_fn metrics "sdrad_audit_records"
+    ~help:"Incident records currently retained in the audit ring" (fun () ->
+      float_of_int (Rewind_log.retained t.audit));
   M.counter_fn metrics "vmem_pkru_writes_total"
     ~help:"WRPKRU instructions executed" (fun () -> Space.wrpkru_writes space);
   M.counter_fn metrics "vmem_faults_total" ~help:"Memory faults raised"
@@ -681,6 +716,62 @@ let discard_instance t ts inst =
   if inst.pkey >= 0 then Space.pkey_free t.space inst.pkey;
   Hashtbl.remove t.exec_insts (ts.t_tid, inst.udi)
 
+(* {1 Subtrees}
+
+   A domain's children cannot outlive it: whether the parent is rewound,
+   destroyed, or torn down by a foreign exception, every initialized
+   descendant — entered or not — goes with it. Post-order (deepest
+   first, children in udi order for determinism), so a subtree is always
+   discarded bottom-up. *)
+
+let run_cleanups inst =
+  let fs = inst.cleanups in
+  inst.cleanups <- [];
+  List.iter (fun f -> f ()) fs
+
+let descendants_post t ts udi ~except =
+  let children u =
+    Hashtbl.fold
+      (fun (tid, _) i acc ->
+        if tid = ts.t_tid && i.parent = u && not (List.memq i except) then
+          i :: acc
+        else acc)
+      t.exec_insts []
+    |> List.sort (fun a b -> compare a.udi b.udi)
+  in
+  let rec go u = List.concat_map (fun k -> go k.udi @ [ k ]) (children u) in
+  go udi
+
+(* The audit-log view of a domain about to be discarded, captured while
+   everything is still mapped. *)
+let extent_of t inst =
+  {
+    Rewind_log.x_udi = inst.udi;
+    x_was =
+      (match inst.state with
+      | Entered -> `Entered
+      | Ready -> `Ready
+      | Dormant -> `Dormant);
+    x_stack = (inst.stack_base, inst.stack_len);
+    x_regions =
+      List.map
+        (fun r ->
+          (r, match Space.alloc_len t.space r with Some l -> l | None -> 0))
+        inst.heap_regions;
+  }
+
+let trigger_of_cause = function
+  | Segv { addr; code; access } ->
+      ( `Segv,
+        Format.asprintf "%a" Space.pp_si_code code,
+        addr,
+        Format.asprintf "%a" Space.pp_access access )
+  | Stack_smash -> (`Stack_smash, "-", 0, "")
+  | Explicit msg -> (`Explicit, "-", 0, msg)
+
+let journal_replays t =
+  List.fold_left (fun acc probe -> acc + probe ()) 0 t.journal_probes
+
 let enter t udi =
   let ts = thread_state t in
   let inst = get_exec t ts udi in
@@ -791,6 +882,16 @@ let destroy t udi ~heap =
       if inst.parent <> current_udi_of ts then err Not_a_child;
       let merge_refused = ref false in
       with_monitor t ts (fun () ->
+          (* The destroyed domain takes its whole subtree with it. The
+             descendants' abnormal cleanups run (their teardown is
+             involuntary, and rewind-aware resources such as Dlock must be
+             poison-released, not leaked); [inst]'s own cleanups do not —
+             an explicit destroy is a normal exit. *)
+          List.iter
+            (fun d ->
+              run_cleanups d;
+              discard_instance t ts d)
+            (descendants_post t ts udi ~except:[]);
           (match heap with
           | `Discard -> ()
           | `Merge -> (
@@ -992,13 +1093,86 @@ let abort _t msg = raise (Attack_detected msg)
 (* {1 Rewinding} *)
 
 (* Abnormal exit (steps 11–14 of Figure 1): restore the parent's
-   privileges, discard the failing domain — and any domains entered below
-   it, whose contexts are unwound with it — and roll the thread back to
-   the failing domain's initialization point. *)
-let run_cleanups inst =
-  let fs = inst.cleanups in
-  inst.cleanups <- [];
-  List.iter (fun f -> f ()) fs
+   privileges, discard the failing domain — and its whole nested subtree,
+   entered or not — and roll the thread back to the failing domain's
+   initialization point.
+
+   The discard is a two-phase transaction against the durable log in
+   monitor memory (INTERNALS §12): (1) write an intent record naming
+   every domain and extent about to go, (2) discard bottom-up, advancing
+   the intent's progress counter after each domain, (3) commit — stamp
+   the record and clear the intent pointer. A fault arriving mid-rewind
+   (modelled by [rewind_fault_hook], the [Rewind_interrupt] chaos site)
+   re-drives the in-flight discard from the durable progress counter, so
+   a partially-rolled-back tree is never observable. *)
+
+exception Rewind_interrupted
+
+(* The failing domain plus everything that must go with it, bottom-up:
+   for each domain of the entered chain up to [inst] (innermost first),
+   its non-entered descendants, then the domain itself. Also truncates
+   [ts.entered] to the surviving suffix. *)
+let rewind_victims t ts inst =
+  let chain, remainder =
+    if List.memq inst ts.entered then
+      let rec split acc = function
+        | top :: rest when top == inst -> (List.rev (top :: acc), rest)
+        | top :: rest -> split (top :: acc) rest
+        | [] -> assert false
+      in
+      split [] ts.entered
+    else ([ inst ], ts.entered)
+  in
+  ts.entered <- remainder;
+  List.concat_map
+    (fun e -> descendants_post t ts e.udi ~except:chain @ [ e ])
+    chain
+
+(* Phase 2: the discard driver. Every iteration re-reads the durable
+   progress counter, so after an interrupt the loop resumes exactly where
+   the intent record says the last completed step was — on hardware this
+   is the trap handler re-entering the monitor and finding the in-flight
+   intent. *)
+let drive_discards t ts ~audited victims =
+  let arr = Array.of_list victims in
+  let total = Array.length arr in
+  let local_p = ref 0 in
+  let progress () =
+    if audited then Rewind_log.progress t.audit else !local_p
+  in
+  (* Bound the faults honored per rewind so an always-firing chaos rule
+     cannot keep the monitor in the discard loop forever. *)
+  let interrupt_budget = ref (total + 8) in
+  let check_interrupt () =
+    match t.rewind_fault_hook with
+    | Some hook when !interrupt_budget > 0 && hook () ->
+        decr interrupt_budget;
+        Telemetry.Metrics.inc t.c_rewind_interrupts;
+        raise Rewind_interrupted
+    | _ -> ()
+  in
+  let rec drive () =
+    let p = progress () in
+    if p < total then begin
+      (try
+         check_interrupt ();
+         (if audited then
+            (* Resume cross-check: the live tree must agree with the
+               durable intent at every step. *)
+            match Rewind_log.domain_at t.audit p with
+            | Some u -> assert (u = arr.(p).udi)
+            | None -> ());
+         run_cleanups arr.(p);
+         discard_instance t ts arr.(p);
+         if audited then Rewind_log.mark_discarded t.audit (p + 1)
+         else incr local_p
+       with Rewind_interrupted ->
+         t.pending_interrupted <- true;
+         if audited then Rewind_log.note_interrupt t.audit);
+      drive ()
+    end
+  in
+  drive ()
 
 let abnormal_exit ?(record = true) t ts inst fault =
   if record then Telemetry.Metrics.inc t.c_rewinds;
@@ -1009,22 +1183,36 @@ let abnormal_exit ?(record = true) t ts inst fault =
       Telemetry.Trace.with_span t.tracer "rewind.context_restore" (fun () ->
           charge t.cost.context_restore);
       with_monitor t ts (fun () ->
+          let victims = rewind_victims t ts inst in
+          (* Phase 1 — intent. A fresh incident first finalizes any stale
+             in-flight record (a grandparent rewind whose outer frame
+             never ran), so the log cannot wedge. A [~record:false] exit
+             is the collateral parent level of a grandparent rewind: its
+             subtree chains onto the in-flight incident instead of
+             opening a second one. *)
+          if record && Rewind_log.pending t.audit then
+            Rewind_log.commit t.audit ~at:t0
+              ~journal_replays:(journal_replays t);
+          let kind, si, fault_addr, msg = trigger_of_cause fault.cause in
+          let audited =
+            Rewind_log.begin_incident t.audit ~continue:(not record)
+              ~target:fault.failed_udi ~tid:ts.t_tid ~kind ~si ~fault_addr
+              ~msg ~at:t0
+              ~subtree:(List.map (extent_of t) victims)
+          in
           Telemetry.Trace.with_span t.tracer "rewind.heap_discard" (fun () ->
-              let rec pop () =
-                match ts.entered with
-                | [] -> ()
-                | top :: rest ->
-                    ts.entered <- rest;
-                    if top == inst then ()
-                    else begin
-                      run_cleanups top;
-                      discard_instance t ts top;
-                      pop ()
-                    end
-              in
-              pop ();
-              run_cleanups inst;
-              discard_instance t ts inst);
+              drive_discards t ts ~audited victims);
+          (* Phase 3 — commit. A [Grandparent] domain's own exit leaves
+             the incident in flight: the collateral exit at the parent
+             level (or, failing that, the next incident) completes it. *)
+          if (not record) || inst.opts.rewind = Parent then begin
+            Rewind_log.commit t.audit ~at:(now ())
+              ~journal_replays:(journal_replays t);
+            if t.pending_interrupted then begin
+              Telemetry.Metrics.inc t.c_incidents_resumed;
+              t.pending_interrupted <- false
+            end
+          end;
           Telemetry.Trace.with_span t.tracer "rewind.policy_update" (fun () ->
               ts.cur_pkru <- compute_pkru t ts)));
   Telemetry.Metrics.observe t.h_rewind_cycles (now () -. t0);
@@ -1033,13 +1221,31 @@ let abnormal_exit ?(record = true) t ts inst fault =
   if record then record_incident t fault
 
 (* Clean up our instance when a foreign exception unwinds through the
-   init frame: force-exit if entered, then discard everything. *)
+   init frame: force-exit if entered, then discard everything, subtree
+   included. Descendants' abnormal cleanups run (their last chance);
+   [inst]'s own do not — a foreign exception is not this domain's
+   abnormal exit, and its resources unwind with the OCaml stack. If a
+   grandparent rewind is passing through, the discarded subtree is
+   chained onto its in-flight audit record. *)
 let teardown_passthrough t ts inst frame_id =
   if inst.frame = frame_id && Hashtbl.mem t.exec_insts (ts.t_tid, inst.udi)
   then
     with_monitor t ts (fun () ->
         ts.entered <- List.filter (fun i -> not (i == inst)) ts.entered;
-        discard_instance t ts inst;
+        let victims = descendants_post t ts inst.udi ~except:[] @ [ inst ] in
+        let audited =
+          Rewind_log.pending t.audit
+          && Rewind_log.begin_incident t.audit ~continue:true
+               ~target:inst.udi ~tid:ts.t_tid ~kind:`Explicit ~si:"-"
+               ~fault_addr:0 ~msg:"collateral teardown" ~at:(now ())
+               ~subtree:(List.map (extent_of t) victims)
+        in
+        List.iteri
+          (fun idx d ->
+            if not (d == inst) then run_cleanups d;
+            discard_instance t ts d;
+            if audited then Rewind_log.mark_discarded t.audit (idx + 1))
+          victims;
         ts.cur_pkru <- compute_pkru t ts)
 
 let cause_of_exn = function
@@ -1109,6 +1315,25 @@ let is_initialized t udi =
 let rewind_count t = Telemetry.Metrics.counter_value t.c_rewinds
 let incidents t = List.of_seq (Queue.to_seq t.incident_q)
 let dropped_incidents t = Telemetry.Metrics.counter_value t.c_dropped_incidents
+
+(* {2 Rewind audit log}
+
+   Reading the log back dereferences monitor-protected memory, so raise
+   privileges when called from a registered simulated thread; outside the
+   scheduler the default all-access policy applies. *)
+let with_audit_read t f =
+  match Hashtbl.find_opt t.threads (cur_tid ()) with
+  | Some ts -> with_monitor t ts f
+  | None -> f ()
+
+let audit_records t = with_audit_read t (fun () -> Rewind_log.records t.audit)
+let audit_appended t = Rewind_log.appended t.audit
+let audit_dropped t = Rewind_log.dropped t.audit
+let audit_retained t = Rewind_log.retained t.audit
+let audit_bytes t = Rewind_log.bytes t.audit
+let audit_pending t = Rewind_log.pending t.audit
+let set_rewind_fault_hook t hook = t.rewind_fault_hook <- hook
+let add_journal_probe t probe = t.journal_probes <- probe :: t.journal_probes
 let metrics t = t.metrics
 let tracer t = t.tracer
 let set_incident_handler t h = t.incident_handler <- Some h

@@ -52,6 +52,7 @@ val create :
   ?metrics:Telemetry.Metrics.t ->
   ?tracer:Telemetry.Trace.t ->
   ?incident_log_cap:int ->
+  ?audit_log_cap:int ->
   Vmem.Space.t ->
   t
 (** Link SDRaD into a simulated process: allocates the monitor data domain
@@ -78,7 +79,9 @@ val create :
     tracer; fresh (private) ones are created when omitted. The tracer
     starts disabled. [incident_log_cap] bounds the retained incident log
     (default 1024, minimum 1); older incidents are evicted and counted in
-    {!dropped_incidents}. *)
+    {!dropped_incidents}. [audit_log_cap] (default 256, minimum 1)
+    likewise bounds the durable rewind audit log in monitor memory (see
+    {!audit_records}). *)
 
 val space : t -> Vmem.Space.t
 
@@ -189,6 +192,55 @@ val incidents : t -> fault list
 
 val dropped_incidents : t -> int
 (** Incidents evicted from the bounded log so far. *)
+
+(** {1 Rewind audit log}
+
+    Every multi-domain rewind is a two-phase transaction against a
+    durable log in monitor-root memory: an {e intent record} (domain
+    subtree, trigger fault, target udi, heap/stack extents) written
+    before any discard, a progress counter advanced after each domain,
+    and a commit that turns the intent into an append-only incident
+    record. A fault arriving mid-rewind resumes the in-flight discard
+    from the intent instead of leaving a half-discarded tree. See
+    INTERNALS §12 and {!Checkpoint.Rewind_log}. *)
+
+val audit_records : t -> Checkpoint.Rewind_log.record list
+(** Committed incident records, oldest first. Safe to call from inside or
+    outside simulated threads (monitor privileges are raised around the
+    protected-memory reads). *)
+
+val audit_appended : t -> int
+(** Incidents ever committed to the audit log. *)
+
+val audit_dropped : t -> int
+(** Audit records evicted from the bounded ring ([audit_log_cap]). *)
+
+val audit_retained : t -> int
+(** Audit records currently held. *)
+
+val audit_bytes : t -> int
+(** Monitor-heap bytes currently held by audit records — the one
+    monitor allocation that intentionally outlives its domains, so
+    leak checks can subtract it from {!monitor_bytes}. *)
+
+val audit_pending : t -> bool
+(** An intent record is in flight — only observable from a rewind-path
+    probe; by the time control returns to application code the
+    transaction has committed. *)
+
+val set_rewind_fault_hook : t -> (unit -> bool) option -> unit
+(** Install (or clear) the chaos probe consulted before every discard
+    step of a rewind. Returning [true] simulates a second fault arriving
+    mid-rewind: the step is abandoned and re-driven from the durable
+    intent record, and [sdrad_rewind_interrupts_total] /
+    [sdrad_incidents_resumed_total] account the recovery. Wired to
+    {!Resilience.Fault_inject} via [arm_rewind]. *)
+
+val add_journal_probe : t -> (unit -> int) -> unit
+(** Register a cumulative replay-hit counter (e.g. a server's
+    {!Resilience.Journal} hits); the sum across probes is sampled at
+    incident-commit time and stored in the audit record's
+    [r_replays]. *)
 
 val metrics : t -> Telemetry.Metrics.t
 (** The metrics registry every SDRaD counter, gauge and histogram of this

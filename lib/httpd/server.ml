@@ -561,6 +561,11 @@ let rec start sched space ?sdrad ?supervisor ?faults net ~fs cfg =
   | true, Some sd ->
       Analysis.Policy.assert_ok (Analysis.Policy.of_api sd)
   | _ -> ());
+  (* Rewind audit records sample the journal's cumulative replay hits at
+     incident-commit time. *)
+  (match sd with
+  | Some sd -> Api.add_journal_probe sd (fun () -> Journal.hits t.journal)
+  | None -> ());
   Array.iter (fun slot -> spawn_worker t slot) t.slots;
   t.master_tid <- Sched.spawn sched ~name:"nginx-master" (fun () -> master t);
   let acceptor = Sched.spawn sched ~name:"nginx-accept" (fun () -> acceptor t) in

@@ -277,6 +277,12 @@ let stats_reply t =
       ("busy_rejections",
        string_of_int (Telemetry.Metrics.counter_value t.c_busy));
       ("slab_pages", string_of_int (Slab.pages_allocated t.slab));
+      (* Operator truth about the bounded incident log: how many rewind
+         reports the monitor had to evict (0 for the Baseline variant). *)
+      ("dropped_incidents",
+       match t.sd with
+       | Some sd -> string_of_int (Api.dropped_incidents sd)
+       | None -> "0");
     ]
 
 (* [stats telemetry]: the registry's Prometheus exposition as the reply
@@ -409,6 +415,12 @@ let rec start sched space ?sdrad ?supervisor ?faults net cfg =
   | true, Some sd ->
       Analysis.Policy.assert_ok (Analysis.Policy.of_api sd)
   | _ -> ());
+  (* Rewind audit records carry the journal's cumulative replay hits, so
+     an operator can line an incident up against PR 4's "no acked write
+     lost" guarantee. *)
+  (match sd with
+  | Some sd -> Api.add_journal_probe sd (fun () -> Journal.hits t.journal)
+  | None -> ());
   let dispatcher_tid = Sched.spawn sched ~name:"mc-dispatch" (fun () -> dispatcher t) in
   let worker_tids =
     List.init cfg.workers (fun i ->

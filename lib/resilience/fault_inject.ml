@@ -26,6 +26,7 @@ type kind =
   | Kill_thread  (* scheduler-level loss of a thread *)
   | Heap_overflow  (* write one byte past an allocation's usable size *)
   | Use_after_free  (* read a block after freeing it *)
+  | Rewind_interrupt  (* second fault arriving mid-rewind (two-phase path) *)
 
 let kind_to_string = function
   | Alloc_fail -> "alloc-fail"
@@ -38,6 +39,7 @@ let kind_to_string = function
   | Kill_thread -> "kill-thread"
   | Heap_overflow -> "heap-overflow"
   | Use_after_free -> "use-after-free"
+  | Rewind_interrupt -> "rewind-interrupt"
 
 type rule = {
   site : string;
@@ -146,7 +148,9 @@ let fire_in_domain t ~site ~sd ~buf ~len =
       | Stack_smash -> smash_canary sd
       | Heap_overflow -> heap_overflow sd ~buf ~len
       | Use_after_free -> use_after_free sd
-      | Alloc_fail | Net_drop | Net_truncate | Net_delay _ | Kill_thread -> ());
+      | Alloc_fail | Net_drop | Net_truncate | Net_delay _ | Kill_thread
+      | Rewind_interrupt ->
+          ());
       Some k
 
 (* {1 Substrate adapters} *)
@@ -166,6 +170,17 @@ let arm_netsim t net ~site =
          | Some Net_truncate -> Netsim.Truncate (Rng.int t.rng (max 1 len))
          | Some (Net_delay d) -> Netsim.Delay d
          | Some _ | None -> Netsim.Deliver))
+
+(* Inject faults into the rewind path itself: the monitor consults the
+   hook before every discard step of an in-flight rewind, exercising the
+   two-phase intent/commit protocol (resume from the durable intent
+   record). Budget the rule with [max_fires] — an unbounded always-fire
+   rule would stall every rewind against its internal interrupt cap. *)
+let arm_rewind t sd ~site =
+  Api.set_rewind_fault_hook sd
+    (Some
+       (fun () ->
+         match decide t ~site with Some Rewind_interrupt -> true | _ -> false))
 
 let maybe_kill t ~site ~sched ~tid =
   match decide t ~site with

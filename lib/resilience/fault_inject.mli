@@ -24,6 +24,10 @@ type kind =
   | Use_after_free
       (** malloc, free, then read the freed payload — on a sanitized heap
           the freed bytes are poisoned (POISON fault) *)
+  | Rewind_interrupt
+      (** second fault arriving while a multi-domain rewind is in
+          flight; exercises the two-phase intent/commit protocol (the
+          monitor resumes the discard from the durable intent record) *)
 
 val kind_to_string : kind -> string
 
@@ -75,6 +79,14 @@ val arm_tlsf : t -> Tlsf.t -> site:string -> unit
 val arm_netsim : t -> Netsim.t -> site:string -> unit
 (** Route the network's per-send hook to this engine: [Net_drop],
     [Net_truncate] and [Net_delay] rules perturb messages in flight. *)
+
+val arm_rewind : t -> Sdrad.Api.t -> site:string -> unit
+(** Route the monitor's rewind-path probe to this engine: a firing
+    [Rewind_interrupt] rule simulates a fault landing between two
+    discard steps of an in-flight rewind. Budget the rule with
+    [max_fires]; the monitor stops consulting the hook after a bounded
+    number of interrupts per rewind, so an unbounded always-fire rule
+    only wastes draws. *)
 
 val maybe_kill : t -> site:string -> sched:Simkern.Sched.t -> tid:int -> bool
 (** Consult [site] and, if a [Kill_thread] rule fires, kill the thread. *)

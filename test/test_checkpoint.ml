@@ -100,6 +100,134 @@ let test_incremental_no_changes () =
       let inc = Checkpoint.take_incremental s ~base in
       check int "nothing dirty" 0 (Checkpoint.dirty_pages inc))
 
+(* {1 Transactional rewind} *)
+
+(* Differential property: interrupting a multi-domain rewind at any step
+   (a second fault mid-discard, absorbed by the two-phase intent/commit
+   protocol) must leave exactly the state an uninterrupted rewind leaves —
+   same audit record (modulo interrupt count and virtual-time window),
+   same surviving domains, same monitor-heap footprint, same Dlock
+   poisoning. The domain tree is randomized per seed (depth <= 4: an
+   entered chain plus Ready children, one of which holds a lock). *)
+
+module Api = Sdrad.Api
+module Dlock = Sdrad.Dlock
+module Rl = Checkpoint.Rewind_log
+
+let run_rewind_scenario ~seed ~hook =
+  let space = Space.create ~size_mib:32 () in
+  let sd = Api.create ~seed space in
+  let rng = Simkern.Rng.create ((seed * 7919) + 13) in
+  let depth = 1 + Simkern.Rng.int rng 3 in
+  let ready_children = 1 + Simkern.Rng.int rng 3 in
+  let lock_child = Simkern.Rng.int rng ready_children in
+  let with_grandchild = depth <= 2 && Simkern.Rng.int rng 2 = 1 in
+  let lock = Dlock.create sd in
+  let udis = ref [] in
+  let consultations = ref 0 in
+  Api.set_rewind_fault_hook sd
+    (Some
+       (fun () ->
+         let i = !consultations in
+         incr consultations;
+         hook i));
+  in_thread (fun () ->
+      let rec chain d =
+        udis := d :: !udis;
+        Api.run sd ~udi:d
+          ~on_rewind:(fun _ ->
+            if d <> depth then Alcotest.fail "only the deepest level rewinds")
+          (fun () ->
+            Api.enter sd d;
+            ignore (Api.malloc sd ~udi:d ((16 * d) + 16));
+            if d < depth then begin
+              chain (d + 1);
+              Api.exit_domain sd
+            end
+            else begin
+              (* Ready subtree hanging off the faulting domain: these are
+                 not on the entered chain, but the rewind must discard
+                 them (and run their lock-release cleanups) all the
+                 same. *)
+              for i = 0 to ready_children - 1 do
+                let udi = 50 + i in
+                udis := udi :: !udis;
+                Api.run sd ~udi
+                  ~on_rewind:(fun _ -> Alcotest.fail "ready child rewound")
+                  (fun () ->
+                    Api.enter sd udi;
+                    ignore (Api.malloc sd ~udi (24 + (8 * i)));
+                    (if with_grandchild && i = 0 then begin
+                       udis := 70 :: !udis;
+                       Api.run sd ~udi:70
+                         ~on_rewind:(fun _ -> Alcotest.fail "grandchild rewound")
+                         (fun () ->
+                           Api.enter sd 70;
+                           ignore (Api.malloc sd ~udi:70 32);
+                           Api.exit_domain sd)
+                     end);
+                    if i = lock_child then ignore (Dlock.acquire lock);
+                    Api.exit_domain sd)
+              done;
+              ignore (Space.load8 space 0)
+            end)
+      in
+      chain 1);
+  (* Render everything the rewind is responsible for — audit record minus
+     the interrupt/time fields, survivors, monitor footprint, lock state —
+     as a string, so a mismatch prints both sides. *)
+  let b = Buffer.create 512 in
+  List.iter
+    (fun r ->
+      Printf.bprintf b "rec id=%d target=%d kind=%s si=%s addr=%d msg=%s replays=%d [" r.Rl.r_id
+        r.Rl.r_target
+        (Rl.kind_to_string r.Rl.r_kind)
+        r.Rl.r_si r.Rl.r_fault_addr r.Rl.r_msg r.Rl.r_replays;
+      List.iter
+        (fun x ->
+          let sb, sl = x.Rl.x_stack in
+          Printf.bprintf b " (%d %s %d+%d %s)" x.Rl.x_udi
+            (match x.Rl.x_was with
+            | `Entered -> "e"
+            | `Ready -> "r"
+            | `Dormant -> "d")
+            sb sl
+            (String.concat ","
+               (List.map (fun (a, l) -> Printf.sprintf "%d:%d" a l) x.Rl.x_regions)))
+        r.Rl.r_subtree;
+      Printf.bprintf b " ]\n")
+    (Api.audit_records sd);
+  Printf.bprintf b "bytes=%d pending=%b\n"
+    (Api.monitor_bytes sd - Api.audit_bytes sd)
+    (Api.audit_pending sd);
+  Printf.bprintf b "lock poisoned=%b holder=%s\n" (Dlock.poisoned lock)
+    (match Dlock.holder lock with
+    | None -> "-"
+    | Some t -> string_of_int t);
+  List.iter
+    (fun u -> Printf.bprintf b "live %d=%b\n" u (Api.is_initialized sd u))
+    (List.sort_uniq compare !udis);
+  (Buffer.contents b, !consultations)
+
+let test_interrupted_rewind_differential () =
+  List.iter
+    (fun seed ->
+      let base, steps = run_rewind_scenario ~seed ~hook:(fun _ -> false) in
+      check bool "multi-step rewind" true (steps >= 2);
+      (* One run per possible interrupt point, plus an interrupt storm
+         that rides the monitor's absorption budget. *)
+      for k = 0 to steps - 1 do
+        let obs, _ = run_rewind_scenario ~seed ~hook:(fun i -> i = k) in
+        check Alcotest.string
+          (Printf.sprintf "seed %d, interrupt at step %d" seed k)
+          base obs
+      done;
+      let obs, _ = run_rewind_scenario ~seed ~hook:(fun _ -> true) in
+      check Alcotest.string
+        (Printf.sprintf "seed %d, interrupt storm" seed)
+        base obs)
+    [ 11; 23; 37; 41; 53 ]
+
 (* {1 Stats} *)
 
 let test_summary_known_values () =
@@ -156,6 +284,11 @@ let () =
           Alcotest.test_case "restart reload cost" `Quick test_restart_dominated_by_reload;
           Alcotest.test_case "incremental payload" `Quick test_incremental_smaller_payload;
           Alcotest.test_case "incremental no changes" `Quick test_incremental_no_changes;
+        ] );
+      ( "transactional-rewind",
+        [
+          Alcotest.test_case "interrupted rewind is equivalent" `Quick
+            test_interrupted_rewind_differential;
         ] );
       ( "stats",
         [

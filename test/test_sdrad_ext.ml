@@ -240,6 +240,64 @@ let test_dlock_normal_release_not_poisoned () =
       check bool "reacquirable" true (Dlock.acquire l);
       Dlock.release l)
 
+let test_dlock_released_from_discarded_subtree () =
+  with_sdrad (fun space sd ->
+      (* Regression: a lock acquired two levels below the faulting domain
+         — whose holder then exited back to Ready without releasing —
+         must be poison-released when the rewind discards the whole
+         subtree. Before the transactional-rewind work only the faulting
+         domain's own cleanups ran, so the lock stayed held forever. *)
+      let l = Dlock.create sd in
+      Api.run sd ~udi:1
+        ~on_rewind:(fun _ -> ())
+        (fun () ->
+          Api.enter sd 1;
+          Api.run sd ~udi:2
+            ~on_rewind:(fun _ -> Alcotest.fail "no rewind at level 2")
+            (fun () ->
+              Api.enter sd 2;
+              Api.run sd ~udi:3
+                ~on_rewind:(fun _ -> Alcotest.fail "no rewind at level 3")
+                (fun () ->
+                  Api.enter sd 3;
+                  ignore (Dlock.acquire l);
+                  (* Exit upwards without releasing: udis 2 and 3 are left
+                     Ready, the lock still held from udi 3. *)
+                  Api.exit_domain sd);
+              Api.exit_domain sd);
+          ignore (Space.load8 space 0));
+      check bool "ready descendants discarded" false (Api.is_initialized sd 3);
+      check (Alcotest.option int) "lock released by subtree discard" None
+        (Dlock.holder l);
+      check bool "and poisoned" true (Dlock.poisoned l);
+      check bool "reacquirable, reported dirty" false (Dlock.acquire l);
+      Dlock.clear_poisoned l;
+      Dlock.release l)
+
+let test_dlock_released_by_destroy_subtree () =
+  with_sdrad (fun _ sd ->
+      (* The explicit-destroy path has the same obligation: destroying a
+         domain force-discards its Ready descendants, and their abnormal
+         cleanups (the lock release among them) must run. *)
+      let l = Dlock.create sd in
+      Api.run sd ~udi:1
+        ~on_rewind:(fun _ -> Alcotest.fail "no rewind expected")
+        (fun () ->
+          Api.enter sd 1;
+          Api.run sd ~udi:2
+            ~on_rewind:(fun _ -> Alcotest.fail "no rewind expected")
+            (fun () ->
+              Api.enter sd 2;
+              ignore (Dlock.acquire l);
+              Api.exit_domain sd);
+          Api.exit_domain sd;
+          Api.destroy sd 1 ~heap:`Discard);
+      check bool "descendant gone" false (Api.is_initialized sd 2);
+      check (Alcotest.option int) "lock released by destroy" None
+        (Dlock.holder l);
+      check bool "poisoned by forced discard" true (Dlock.poisoned l);
+      Dlock.clear_poisoned l)
+
 let test_dlock_with_lock_reports_poison () =
   with_sdrad (fun space sd ->
       let l = Dlock.create sd in
@@ -671,7 +729,10 @@ let lifecycle_invariants =
           if sample "sdrad_execution_domains" <> 0.0 then ok := false;
           (* monitor + root keys only *)
           if sample "sdrad_pkeys_in_use" <> 2.0 then ok := false;
-          if Api.monitor_bytes sd <> baseline_monitor then ok := false);
+          (* The audit log intentionally retains incident records in
+             monitor memory; everything else must return to baseline. *)
+          if Api.monitor_bytes sd - Api.audit_bytes sd <> baseline_monitor
+          then ok := false);
       !ok)
 
 let () =
@@ -698,6 +759,8 @@ let () =
           Alcotest.test_case "basic" `Quick test_dlock_basic;
           Alcotest.test_case "released by rewind" `Quick test_dlock_released_by_rewind;
           Alcotest.test_case "normal release" `Quick test_dlock_normal_release_not_poisoned;
+          Alcotest.test_case "released across subtree" `Quick test_dlock_released_from_discarded_subtree;
+          Alcotest.test_case "released by destroy" `Quick test_dlock_released_by_destroy_subtree;
           Alcotest.test_case "with_lock poison" `Quick test_dlock_with_lock_reports_poison;
         ] );
       ( "corners",
