@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all check test lint chaos chaos-soak chaos-rewind-soak bench bench-r3 bench-r4 telemetry-report clean
+.PHONY: all check test lint chaos chaos-soak chaos-rewind-soak bench bench-r3 bench-r4 telemetry-report forensics-report clean
 
 all: check
 
@@ -19,9 +19,17 @@ test: check
 lint:
 	dune build @lint
 
-# Long fault-injection / DoS suites across five fixed seeds.
+# Long fault-injection / DoS suites across five fixed seeds, plus the
+# incident-forensics smoke run (see forensics-report below).
 chaos:
 	dune build @chaos
+
+# Incident forensics smoke: replay the injected-fault scenario and
+# render one request's full causal chain — client send, retry attempts,
+# domain switch, fault, rewind audit record with flight snapshot,
+# journal-replay outcome — as text and JSON, plus the rollback report.
+forensics-report:
+	dune build @forensics-report
 
 # Recovery-correctness soak across five fixed seeds: retrying clients
 # with idempotency keys under mixed network faults, injected corruption

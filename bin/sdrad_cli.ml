@@ -7,6 +7,7 @@
      sdrad_cli webbench [opts]     one NGINX load configuration
      sdrad_cli stats [opts]        supervised attack demo + monitor stats
      sdrad_cli metrics [opts]      same scenario, Prometheus text exposition
+     sdrad_cli incident <seq>      causal timeline of one rewind incident
      sdrad_cli trace [opts]        Chrome trace JSON of a switch/rewind run *)
 
 open Cmdliner
@@ -438,7 +439,11 @@ let stats_cmd =
 let run_metrics_scenario ?(interrupts = 0) ~seed () =
   let module Supervisor = Resilience.Supervisor in
   let space = Space.create ~size_mib:192 () in
-  let sd = Api.create ~seed ~virtual_keys:true space in
+  (* Span tracing stays on for the whole scenario so the rewound
+     requests surface as aborted spans ([trace_aborted_spans_total]). *)
+  let tracer = Telemetry.Trace.create ~capacity:65536 () in
+  Telemetry.Trace.set_enabled tracer true;
+  let sd = Api.create ~seed ~tracer ~virtual_keys:true space in
   let sched = Sched.create () in
   let net = Netsim.create (Space.cost space) in
   let sup = Supervisor.attach sd in
@@ -481,11 +486,18 @@ let run_metrics_scenario ?(interrupts = 0) ~seed () =
         in
         let evil =
           Sched.spawn sched ~name:"evil" (fun () ->
-              for _ = 1 to 8 do
+              for i = 1 to 8 do
                 Sched.sleep 20_000.0;
                 let c = Netsim.connect net ~src:777 ~port:11211 in
+                (* Each attack carries its own causal trace id, so the
+                   fault it triggers — flight-recorder events, rewind
+                   audit record — is attributable to this request. *)
+                let ctx =
+                  Telemetry.Context.root (Printf.sprintf "evil-%d" i)
+                in
                 Netsim.send c
-                  (Kvcache.Proto.fmt_set_lying ~key:"pwn" ~flags:0
+                  (Kvcache.Proto.fmt_set_lying_traced
+                     ~trace:(Telemetry.Context.trace ctx) ~key:"pwn" ~flags:0
                      ~declared:(-1) ~value:(String.make 300 'X'));
                 ignore (Netsim.recv c);
                 Netsim.close c
@@ -518,11 +530,13 @@ let run_metrics_scenario ?(interrupts = 0) ~seed () =
                   ~metrics:(Api.metrics sd) ~name:"cli"
               in
               (match
-                 Retry.execute eng (fun ~rid ~attempt:_ ~deadline ->
+                 Retry.execute_ctx eng (fun ~ctx ~rid ~attempt:_ ~deadline ->
                      (if (not (Netsim.is_open !conn))
                          || Netsim.peer_closed !conn
                       then conn := Netsim.connect net ~src:2 ~port:11211);
-                     Netsim.send !conn (Kvcache.Proto.fmt_incr ~rid "ctr" 1);
+                     Netsim.send !conn
+                       (Kvcache.Proto.fmt_incr ~rid
+                          ~trace:(Telemetry.Context.trace ctx) "ctr" 1);
                      match Netsim.recv_deadline !conn ~deadline with
                      | Some r -> Ok r
                      | None ->
@@ -571,6 +585,28 @@ let json_escape s =
       | c -> Buffer.add_char buf c)
     s;
   Buffer.contents buf
+
+(* Flight-recorder event rendering shared by [rollback-report] and
+   [incident]. *)
+module Fl = Checkpoint.Flight
+
+let fmt_trace_id tr = if tr = 0L then "-" else Printf.sprintf "%016Lx" tr
+
+let flight_event_line e =
+  Printf.sprintf "%10.0f  udi=%-3d tid=%-3d %-12s trace=%s%s" e.Fl.e_at
+    e.Fl.e_udi e.Fl.e_tid
+    (Fl.kind_to_string e.Fl.e_kind)
+    (fmt_trace_id e.Fl.e_trace)
+    (if e.Fl.e_arg = 0 then "" else Printf.sprintf " arg=0x%x" e.Fl.e_arg)
+
+let flight_event_json e =
+  Printf.sprintf
+    "{ \"at\": %.0f, \"udi\": %d, \"tid\": %d, \"kind\": \"%s\", \"trace\": \
+     \"%s\", \"arg\": %d }"
+    e.Fl.e_at e.Fl.e_udi e.Fl.e_tid
+    (Fl.kind_to_string e.Fl.e_kind)
+    (fmt_trace_id e.Fl.e_trace)
+    e.Fl.e_arg
 
 let rollback_report_cmd =
   let module Rl = Checkpoint.Rewind_log in
@@ -641,6 +677,12 @@ let rollback_report_cmd =
                        (fun (a, l) -> Printf.sprintf "[%d, %d]" a l)
                        x.Rl.x_regions))))
           r.Rl.r_subtree;
+        Buffer.add_string b " ],\n      \"events\": [";
+        List.iteri
+          (fun j e ->
+            if j > 0 then Buffer.add_char b ',';
+            Buffer.add_string b ("\n        " ^ flight_event_json e))
+          r.Rl.r_events;
         Buffer.add_string b " ] }")
       recs;
     Buffer.add_string b "\n  ]\n}\n";
@@ -677,7 +719,13 @@ let rollback_report_cmd =
               sb sl
               (List.length x.Rl.x_regions)
               heap_bytes)
-          r.Rl.r_subtree)
+          r.Rl.r_subtree;
+        if r.Rl.r_events <> [] then begin
+          Printf.printf "  last flight-recorder events (frozen at intent):\n";
+          List.iter
+            (fun e -> Printf.printf "    %s\n" (flight_event_line e))
+            r.Rl.r_events
+        end)
       recs
   in
   let run verbose seed json interrupts =
@@ -689,6 +737,281 @@ let rollback_report_cmd =
   Cmd.v
     (Cmd.info "rollback-report" ~doc)
     Term.(const run $ verbose_arg $ seed $ json $ interrupts)
+
+(* {1 incident} *)
+
+(* Forensics scenario: ONE logical client operation whose story crosses
+   every recovery layer. Its first attempt is killed by an injected
+   in-domain memory fault (rewind, audit record, connection dropped);
+   the second attempt succeeds but the reply is dropped on the wire; the
+   third is answered from the replay journal. All three attempts reuse
+   one request id, so they share one causal trace id — the chain the
+   [incident] command reconstructs. Timing is fixed, so the output is
+   byte-stable for any seed (the seed only feeds canary values no
+   report renders). *)
+let run_incident_scenario ~seed () =
+  let module Supervisor = Resilience.Supervisor in
+  let module Fi = Resilience.Fault_inject in
+  let module Retry = Resilience.Retry in
+  let space = Space.create ~size_mib:192 () in
+  let sd = Api.create ~seed ~virtual_keys:true space in
+  let sched = Sched.create () in
+  let net = Netsim.create (Space.cost space) in
+  let sup = Supervisor.attach sd in
+  let fi =
+    Fi.create ~seed [ Fi.rule ~site:"kv.domain" ~max_fires:1 Fi.Wild_write ]
+  in
+  let cfg =
+    {
+      Kvcache.Server.default_config with
+      variant = Kvcache.Server.Sdrad;
+      vulnerable = true;
+      workers = 2;
+      per_client_domains = true;
+    }
+  in
+  let _ =
+    Sched.spawn sched ~name:"cli" (fun () ->
+        let s =
+          Kvcache.Server.start sched space ~sdrad:sd ~supervisor:sup ~faults:fi
+            net cfg
+        in
+        let client =
+          Sched.spawn sched ~name:"client" (fun () ->
+              let conn = ref (Netsim.connect net ~src:3 ~port:11211) in
+              (* Counting (deterministic) wire fault: message 3 is the
+                 server's reply to the second attempt — the first attempt
+                 dies in the domain and never answers. *)
+              let n = ref 0 in
+              Netsim.set_fault_hook net
+                (Some
+                   (fun ~len:_ ->
+                     incr n;
+                     if !n = 3 then Netsim.Drop else Netsim.Deliver));
+              let eng =
+                Retry.create
+                  { Retry.default_policy with attempt_timeout = 60_000.0 }
+                  ~rng:(Simkern.Rng.create 5)
+                  ~metrics:(Api.metrics sd) ~name:"cli"
+              in
+              (match
+                 Retry.execute_ctx eng (fun ~ctx ~rid ~attempt:_ ~deadline ->
+                     (if (not (Netsim.is_open !conn))
+                         || Netsim.peer_closed !conn
+                      then conn := Netsim.connect net ~src:3 ~port:11211);
+                     Netsim.send !conn
+                       (Kvcache.Proto.fmt_storage "set" ~rid
+                          ~trace:(Telemetry.Context.trace ctx) ~key:"order:42"
+                          ~flags:0 ~value:"paid" ());
+                     match Netsim.recv_deadline !conn ~deadline with
+                     | Some r -> Ok r
+                     | None ->
+                         Netsim.close !conn;
+                         Error (`Retry "timeout"))
+               with
+              | Ok _ -> ()
+              | Error _ -> failwith "incident scenario: op did not land");
+              Netsim.set_fault_hook net None;
+              Netsim.close !conn)
+        in
+        Sched.join client;
+        Kvcache.Server.stop s)
+  in
+  Sched.run sched;
+  sd
+
+let incident_cmd =
+  let module Rl = Checkpoint.Rewind_log in
+  let module M = Telemetry.Metrics in
+  let doc =
+    "Reconstruct the full causal timeline of one rewind incident from the \
+     monitor's forensic surfaces: the durable audit record (with its frozen \
+     flight-recorder snapshot), every flight-recorder event sharing the \
+     incident's trace id — client send, retry attempts, domain switches, \
+     the injected fault, the journal-replay outcome — and the latency \
+     histogram of the logical client operation, with its exemplar trace id."
+  in
+  let seq =
+    Arg.(
+      value & pos 0 int 1
+      & info [] ~docv:"SEQ" ~doc:"Incident sequence number (audit record id).")
+  in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED") in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the report as deterministic JSON.")
+  in
+  (* The incident's causal trace id comes from the audit record's frozen
+     events: the triggering fault's id, or failing that the last
+     traced event of the snapshot. *)
+  let trace_of_record r =
+    let fault =
+      List.find_opt (fun e -> e.Fl.e_kind = Fl.Fault) r.Rl.r_events
+    in
+    match fault with
+    | Some e when e.Fl.e_trace <> 0L -> e.Fl.e_trace
+    | _ ->
+        List.fold_left
+          (fun acc e -> if e.Fl.e_trace <> 0L then e.Fl.e_trace else acc)
+          0L r.Rl.r_events
+  in
+  (* Everything the live flight rings still hold about that trace,
+     across all domains (the rings live in monitor memory, so they
+     survive the rewind), in virtual-time order. *)
+  let linked_events sd trace =
+    if trace = 0L then []
+    else
+      List.sort
+        (fun a b ->
+          match compare a.Fl.e_at b.Fl.e_at with
+          | 0 -> compare (a.Fl.e_udi, a.Fl.e_kind) (b.Fl.e_udi, b.Fl.e_kind)
+          | c -> c)
+        (List.concat_map
+           (fun udi ->
+             List.filter
+               (fun e -> e.Fl.e_trace = trace)
+               (Api.flight_events sd ~udi))
+           (Api.flight_domains sd))
+  in
+  let latency_report sd =
+    let h = M.histogram (Api.metrics sd) "client_op_latency_cycles" in
+    let count = M.hist_count h in
+    if count = 0 then None
+    else
+      let buckets = M.hist_buckets h in
+      let q p = Stats.quantile_of_buckets buckets p in
+      let exemplars =
+        List.sort_uniq compare
+          (List.map (fun (_, _, id) -> id) (M.hist_exemplars h))
+      in
+      Some (count, q 0.5, q 0.9, q 0.99, exemplars)
+  in
+  let state_to_string = function
+    | `Entered -> "entered"
+    | `Ready -> "ready"
+    | `Dormant -> "dormant"
+  in
+  let print_table sd r =
+    let trace = trace_of_record r in
+    Printf.printf "incident %d: %s in udi %d (tid %d)  si=%s addr=0x%x%s\n"
+      r.Rl.r_id
+      (Rl.kind_to_string r.Rl.r_kind)
+      r.Rl.r_target r.Rl.r_tid r.Rl.r_si r.Rl.r_fault_addr
+      (if r.Rl.r_msg = "" then "" else "  [" ^ r.Rl.r_msg ^ "]");
+    Printf.printf
+      "trace %s  window %.0f -> %.0f cycles, %d interrupt(s) absorbed, %d \
+       journal replay(s) at commit\n"
+      (fmt_trace_id trace) r.Rl.r_start r.Rl.r_end r.Rl.r_interrupts
+      r.Rl.r_replays;
+    Printf.printf "\ndiscarded subtree (%d domain(s)):\n"
+      (List.length r.Rl.r_subtree);
+    List.iter
+      (fun x ->
+        let sb, sl = x.Rl.x_stack in
+        let heap_bytes =
+          List.fold_left (fun a (_, l) -> a + l) 0 x.Rl.x_regions
+        in
+        Printf.printf "  udi %-4d %-8s stack 0x%x+%d  %d heap region(s), %d B\n"
+          x.Rl.x_udi
+          (state_to_string x.Rl.x_was)
+          sb sl
+          (List.length x.Rl.x_regions)
+          heap_bytes)
+      r.Rl.r_subtree;
+    Printf.printf "\nflight snapshot frozen into the audit record:\n";
+    List.iter
+      (fun e -> Printf.printf "  %s\n" (flight_event_line e))
+      r.Rl.r_events;
+    Printf.printf "\ncausal timeline for trace %s (live flight rings):\n"
+      (fmt_trace_id trace);
+    List.iter
+      (fun e -> Printf.printf "  %s\n" (flight_event_line e))
+      (linked_events sd trace);
+    match latency_report sd with
+    | None -> ()
+    | Some (count, p50, p90, p99, exemplars) ->
+        Printf.printf
+          "\nclient_op_latency_cycles: count %d  p50 %.0f  p90 %.0f  p99 \
+           %.0f\n"
+          count p50 p90 p99;
+        if exemplars <> [] then
+          Printf.printf "  exemplar trace(s): %s\n"
+            (String.concat ", " exemplars)
+  in
+  let print_json sd r =
+    let b = Buffer.create 4096 in
+    let trace = trace_of_record r in
+    Buffer.add_string b
+      (Printf.sprintf
+         "{\n\
+         \  \"id\": %d, \"target\": %d, \"tid\": %d, \"kind\": \"%s\",\n\
+         \  \"si\": \"%s\", \"fault_addr\": %d, \"msg\": \"%s\",\n\
+         \  \"trace\": \"%s\",\n\
+         \  \"start\": %.0f, \"end\": %.0f, \"interrupts\": %d, \"replays\": \
+          %d,\n\
+         \  \"subtree\": ["
+         r.Rl.r_id r.Rl.r_target r.Rl.r_tid
+         (Rl.kind_to_string r.Rl.r_kind)
+         (json_escape r.Rl.r_si) r.Rl.r_fault_addr (json_escape r.Rl.r_msg)
+         (fmt_trace_id trace) r.Rl.r_start r.Rl.r_end r.Rl.r_interrupts
+         r.Rl.r_replays);
+    List.iteri
+      (fun j x ->
+        if j > 0 then Buffer.add_char b ',';
+        let sb, sl = x.Rl.x_stack in
+        Buffer.add_string b
+          (Printf.sprintf
+             "\n    { \"udi\": %d, \"was\": \"%s\", \"stack\": [%d, %d], \
+              \"regions\": [%s] }"
+             x.Rl.x_udi
+             (state_to_string x.Rl.x_was)
+             sb sl
+             (String.concat ", "
+                (List.map
+                   (fun (a, l) -> Printf.sprintf "[%d, %d]" a l)
+                   x.Rl.x_regions))))
+      r.Rl.r_subtree;
+    Buffer.add_string b " ],\n  \"snapshot\": [";
+    List.iteri
+      (fun j e ->
+        if j > 0 then Buffer.add_char b ',';
+        Buffer.add_string b ("\n    " ^ flight_event_json e))
+      r.Rl.r_events;
+    Buffer.add_string b " ],\n  \"timeline\": [";
+    List.iteri
+      (fun j e ->
+        if j > 0 then Buffer.add_char b ',';
+        Buffer.add_string b ("\n    " ^ flight_event_json e))
+      (linked_events sd trace);
+    Buffer.add_string b " ]";
+    (match latency_report sd with
+    | None -> ()
+    | Some (count, p50, p90, p99, exemplars) ->
+        Buffer.add_string b
+          (Printf.sprintf
+             ",\n\
+             \  \"latency\": { \"count\": %d, \"p50\": %.0f, \"p90\": %.0f, \
+              \"p99\": %.0f, \"exemplars\": [%s] }"
+             count p50 p90 p99
+             (String.concat ", "
+                (List.map (fun e -> "\"" ^ json_escape e ^ "\"") exemplars))));
+    Buffer.add_string b "\n}\n";
+    print_string (Buffer.contents b)
+  in
+  let run verbose seq seed json =
+    setup_logging verbose;
+    let sd = run_incident_scenario ~seed () in
+    let recs = Api.audit_records sd in
+    match List.find_opt (fun r -> r.Rl.r_id = seq) recs with
+    | Some r -> if json then print_json sd r else print_table sd r
+    | None ->
+        Printf.eprintf "no incident %d in the audit log (%d retained)\n" seq
+          (List.length recs);
+        Stdlib.exit 1
+  in
+  Cmd.v (Cmd.info "incident" ~doc)
+    Term.(const run $ verbose_arg $ seq $ seed $ json)
 
 let trace_cmd =
   let doc =
@@ -873,4 +1196,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
        [ costs_cmd; cve_cmd; switch_cmd; render_cmd; kvbench_cmd; webbench_cmd;
-         stats_cmd; metrics_cmd; rollback_report_cmd; trace_cmd; analyze_cmd ]))
+         stats_cmd; metrics_cmd; rollback_report_cmd; incident_cmd; trace_cmd;
+         analyze_cmd ]))

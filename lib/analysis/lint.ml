@@ -45,7 +45,8 @@ let rules =
     };
   ]
 
-let rule_names = List.map (fun r -> r.r_name) rules @ [ "missing-mli" ]
+let rule_names =
+  List.map (fun r -> r.r_name) rules @ [ "missing-mli"; "metric-naming" ]
 
 (* Replace comment bodies, string literals and char literals with spaces
    (newlines preserved, so line numbers survive). *)
@@ -164,6 +165,169 @@ let scan_source ~file src =
     rules;
   List.rev !out
 
+(* {1 Metric naming}
+
+   Registered series names are an operator-facing API: dashboards and
+   alerts key on them long after the code moves. Every literal name at a
+   [Metrics.counter/gauge/histogram] (and [_fn]) call site must carry a
+   known subsystem prefix; counters must end in [_total] (and only
+   counters may); the suffixes the exposition itself appends to
+   histogram series ([_bucket], [_sum], [_count]) are reserved.
+   Computed names (non-literal first argument) are skipped — they are
+   the caller's contract to uphold. *)
+
+let metric_prefixes =
+  [
+    "sdrad_"; "vmem_"; "tlsf_"; "sanitizer_"; "supervisor_"; "kvcache_";
+    "httpd_"; "client_"; "trace_";
+  ]
+
+let metric_ctors =
+  (* longest first, so [counter_fn] is not matched as [counter] *)
+  [
+    ("counter_fn", `Counter); ("counter", `Counter); ("gauge_fn", `Gauge);
+    ("gauge", `Gauge); ("histogram", `Histogram);
+  ]
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '\'' || c = '.'
+
+let ends_with ~suffix s =
+  let ls = String.length s and lx = String.length suffix in
+  ls >= lx && String.sub s (ls - lx) lx = suffix
+
+let starts_with ~prefix s =
+  let ls = String.length s and lx = String.length prefix in
+  ls > lx && String.sub s 0 lx = prefix
+
+let check_metric_name ~kind name =
+  if not (List.exists (fun p -> starts_with ~prefix:p name) metric_prefixes)
+  then
+    Some
+      (Printf.sprintf "\"%s\": no known subsystem prefix (one of %s)" name
+         (String.concat " " metric_prefixes))
+  else if
+    List.exists
+      (fun s -> ends_with ~suffix:s name)
+      [ "_bucket"; "_sum"; "_count" ]
+  then
+    Some
+      (Printf.sprintf
+         "\"%s\": suffix reserved for the histogram exposition" name)
+  else
+    match kind with
+    | `Counter when not (ends_with ~suffix:"_total" name) ->
+        Some (Printf.sprintf "\"%s\": counter names must end in _total" name)
+    | (`Gauge | `Histogram) when ends_with ~suffix:"_total" name ->
+        Some
+          (Printf.sprintf "\"%s\": _total is for counters only" name)
+    | _ -> None
+
+(* Scan raw source for [<expr>.<ctor> <registry> "<name>"] call shapes.
+   The first argument (the registry) is skipped whether it is an
+   identifier path or parenthesized; anything but a string literal in
+   name position means the name is computed, which this rule does not
+   judge. *)
+let scan_metric_names ~file src =
+  let n = String.length src in
+  let line_of pos =
+    let l = ref 1 in
+    for k = 0 to min (pos - 1) (n - 1) do
+      if src.[k] = '\n' then incr l
+    done;
+    !l
+  in
+  let raw_lines = Array.of_list (split_lines src) in
+  let out = ref [] in
+  let skip_ws k =
+    let k = ref k in
+    while
+      !k < n && (src.[!k] = ' ' || src.[!k] = '\n' || src.[!k] = '\t')
+    do
+      incr k
+    done;
+    !k
+  in
+  (* Past a string literal starting at the opening quote. *)
+  let skip_string k =
+    let k = ref (k + 1) in
+    while !k < n && src.[!k] <> '"' do
+      if src.[!k] = '\\' then k := !k + 2 else incr k
+    done;
+    min n (!k + 1)
+  in
+  let skip_parens k =
+    let k = ref (k + 1) and depth = ref 1 in
+    while !k < n && !depth > 0 do
+      (match src.[!k] with
+      | '(' -> incr depth
+      | ')' -> decr depth
+      | '"' -> k := skip_string !k - 1
+      | _ -> ());
+      incr k
+    done;
+    !k
+  in
+  let i = ref 0 in
+  while !i < n do
+    (if src.[!i] = '.' then
+       match
+         List.find_opt
+           (fun (ctor, _) ->
+             let lc = String.length ctor in
+             !i + lc < n
+             && String.sub src (!i + 1) lc = ctor
+             && not (is_ident_char src.[!i + 1 + lc]))
+           metric_ctors
+       with
+       | None -> ()
+       | Some (ctor, kind) ->
+           let after = !i + 1 + String.length ctor in
+           (* Skip the registry argument. *)
+           let k = skip_ws after in
+           let k =
+             if k < n && src.[k] = '(' then Some (skip_parens k)
+             else if k < n && is_ident_char src.[k] then begin
+               let j = ref k in
+               while !j < n && is_ident_char src.[!j] do
+                 incr j
+               done;
+               Some !j
+             end
+             else None
+           in
+           (match k with
+           | None -> ()
+           | Some k -> (
+               let k = skip_ws k in
+               if k < n && src.[k] = '"' then
+                 let close = skip_string k - 1 in
+                 let name = String.sub src (k + 1) (close - k - 1) in
+                 match check_metric_name ~kind name with
+                 | None -> ()
+                 | Some msg ->
+                     let line = line_of !i in
+                     out :=
+                       {
+                         v_file = file;
+                         v_line = line;
+                         v_rule = "metric-naming";
+                         v_text =
+                           (msg
+                           ^
+                           if line - 1 < Array.length raw_lines then
+                             "  | " ^ String.trim raw_lines.(line - 1)
+                           else "");
+                       }
+                       :: !out));
+           i := after - 1);
+    incr i
+  done;
+  List.rev !out
+
 (* {1 Tree walking} *)
 
 let read_file path =
@@ -189,7 +353,14 @@ let scan_tree ?(allow = fun ~rule:_ ~file:_ -> false) root =
   let pattern_violations =
     List.concat_map
       (fun file ->
-        let vs = scan_source ~file (read_file file) in
+        let src = read_file file in
+        let vs =
+          scan_source ~file src
+          @
+          (* The registry implementation itself manipulates [counter]/
+             [gauge]/[histogram] values without naming any series. *)
+          if in_dir file "telemetry" then [] else scan_metric_names ~file src
+        in
         List.filter (fun v -> not (allow ~rule:v.v_rule ~file:v.v_file)) vs)
       sources
   in

@@ -9,9 +9,17 @@
       [checkpoint].
     - [missing-mli]: a [.ml] under the scanned tree without a sibling
       [.mli].
+    - [metric-naming]: a literal series name at a
+      [Metrics.counter]/[gauge]/[histogram] (or [_fn]) call site without
+      a known subsystem prefix, a counter not ending in [_total] (or a
+      gauge/histogram that does), or a name ending in one of the
+      suffixes the histogram exposition reserves ([_bucket], [_sum],
+      [_count]).
 
     Matching runs on a comment- and string-stripped view of each source,
-    so banned names in docstrings or error messages do not trip rules. *)
+    so banned names in docstrings or error messages do not trip rules
+    ([metric-naming] alone reads the raw source — the names it judges
+    {e are} string literals). *)
 
 type violation = {
   v_file : string;
@@ -25,6 +33,12 @@ val rule_names : string list
 
 val scan_source : file:string -> string -> violation list
 (** Pattern rules only (no [missing-mli]) over one source text. *)
+
+val metric_prefixes : string list
+(** Subsystem prefixes the [metric-naming] rule accepts. *)
+
+val scan_metric_names : file:string -> string -> violation list
+(** The [metric-naming] rule alone over one source text. *)
 
 val scan_tree :
   ?allow:(rule:string -> file:string -> bool) -> string -> violation list

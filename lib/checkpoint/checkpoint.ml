@@ -1,4 +1,5 @@
 module Rewind_log = Rewind_log
+module Flight = Flight
 module Sched = Simkern.Sched
 module Cost = Simkern.Cost
 module Space = Vmem.Space

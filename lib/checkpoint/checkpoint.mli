@@ -11,6 +11,10 @@ module Rewind_log = Rewind_log
 (** Durable two-phase rewind transaction log backing the monitor's
     atomic multi-domain rewind — see {!Rewind_log}. *)
 
+module Flight = Flight
+(** Per-domain flight recorder in monitor-protected memory — see
+    {!Flight}. *)
+
 type snap
 
 val take : Vmem.Space.t -> snap

@@ -1,0 +1,85 @@
+(** Per-domain flight recorder: a bounded ring of structured events kept
+    in {e monitor-protected} simulated memory, so the record of what a
+    domain did survives the rewind that discards the domain itself.
+
+    Each event is six 64-bit words stored through checked {!Vmem.Space}
+    accesses in the monitor's TLSF heap: virtual timestamp, kind, acting
+    thread, the causal trace id of the request being served
+    ({!Telemetry.Context}), one kind-specific argument, and the owning
+    domain. Rings are
+    per-domain (keyed by udi) and FIFO-evicted beyond [max_domains];
+    every lost event — wrap, eviction, or allocation failure under
+    memory pressure — is counted in {!dropped}, never silent.
+
+    At rewind intent time {!snapshot} extracts the last few events of
+    each victim domain for embedding into the durable {!Rewind_log}
+    audit record ({!store}/{!load} are the serialization halves). *)
+
+type kind =
+  | Admit  (** supervisor admitted a request into the domain *)
+  | Switch_in  (** domain entered (PKRU switched to its view) *)
+  | Switch_out  (** domain exited normally *)
+  | Alloc_poison  (** sanitizer poisoned/unpoisoned an allocation *)
+  | Lock_acquire  (** domain-owned lock taken *)
+  | Fault  (** the fault that triggered a rewind *)
+  | Shed  (** request shed before the domain switch *)
+  | Replay  (** journal replay served instead of re-executing *)
+
+type event = {
+  e_at : float;  (** virtual cycles *)
+  e_tid : int;
+  e_kind : kind;
+  e_udi : int;
+  e_trace : int64;  (** 0 = no causal context; ids are 62-bit, see
+                        {!Telemetry.Context} *)
+  e_arg : int;  (** kind-specific: fault address, replay hit count, … *)
+}
+
+type t
+
+val create :
+  Vmem.Space.t -> heap:Tlsf.t -> ?cap:int -> ?max_domains:int -> unit -> t
+(** [cap] events retained per domain (default 32); at most
+    [max_domains] rings (default 64) before the oldest is evicted.
+    @raise Invalid_argument when either is non-positive. *)
+
+val record :
+  t -> udi:int -> tid:int -> at:float -> ?trace:int64 -> ?arg:int -> kind ->
+  unit
+(** Append one event to [udi]'s ring, allocating the ring on first use.
+    Under allocation failure the event is dropped (and counted). *)
+
+val events : t -> udi:int -> event list
+(** Retained events for one domain, oldest first; [[]] for domains that
+    never recorded. *)
+
+val snapshot : t -> udi:int -> n:int -> event list
+(** The last [n] retained events, oldest first. *)
+
+val domains : t -> int list
+(** Udis that currently hold a ring, in ring-creation order. *)
+
+val recorded : t -> int
+(** Events ever recorded across all domains. *)
+
+val dropped : t -> int
+(** Events lost to ring wrap, domain eviction, or allocation failure. *)
+
+val bytes : t -> int
+(** Monitor-heap bytes currently held by rings — like audit records, an
+    allocation that intentionally outlives the domains it describes, so
+    leak checks can subtract it from the monitor footprint. *)
+
+val kind_to_string : kind -> string
+(** Stable lowercase rendering ([admit], [switch-in], …) used by dumps,
+    audit reports and goldens. *)
+
+val kind_code : kind -> int
+val code_kind : int -> kind
+
+(** {1 Raw (de)serialization} — for embedding event excerpts in other
+    durable structures; [stored_size] bytes per event. *)
+
+val stored_size : int
+val store : Vmem.Space.t -> int -> event -> unit
+val load : Vmem.Space.t -> int -> event

@@ -55,6 +55,9 @@ type record = {
   r_start : float;
   r_end : float;
   r_interrupts : int;  (* faults absorbed mid-rewind by the intent *)
+  r_events : Flight.event list;
+      (* flight-recorder excerpt captured at intent time, continuations
+         merged, oldest first *)
 }
 
 (* {1 Memory layout}
@@ -68,15 +71,18 @@ type record = {
      +48  trigger kind   +56  fault addr    +64  t_start (cycles)
      +72  t_end (cycles) +80  interrupts    +88  journal replays
      +96  n domains      +104 progress      +112 si len
-     +120 msg len        +128 si bytes, msg bytes, pad to 8,
-                              then per domain:
-                                udi, prior state, stack base, stack len,
-                                n regions, (addr, len) per region *)
+     +120 msg len        +128 n events
+     +136 si bytes, msg bytes (each padded to 8),
+          then n * Flight.stored_size flight-recorder event slots
+          (the black-box excerpt captured at intent time),
+          then per domain:
+            udi, prior state, stack base, stack len,
+            n regions, (addr, len) per region *)
 
 let hdr_magic = 0x5244_4C47 (* "RDLG" *)
 let blk_magic = 0x5245_5749 (* "REWI" *)
 let hdr_size = 40
-let blk_fixed = 128
+let blk_fixed = 136
 let str_cap = 96 (* si/msg truncation bound *)
 
 type t = {
@@ -136,10 +142,11 @@ let code_kind = function 0 -> `Segv | 1 -> `Stack_smash | _ -> `Explicit
 let was_code = function `Entered -> 0 | `Ready -> 1 | `Dormant -> 2
 let code_was = function 0 -> `Entered | 1 -> `Ready | _ -> `Dormant
 
-let block_size ~si ~msg ~subtree =
+let block_size ~si ~msg ~events ~subtree =
   blk_fixed
   + align8 (String.length si)
   + align8 (String.length msg)
+  + (Flight.stored_size * List.length events)
   + List.fold_left
       (fun acc x -> acc + (8 * (5 + (2 * List.length x.x_regions))))
       0 subtree
@@ -177,7 +184,8 @@ let alloc_block t size =
   in
   go ()
 
-let write_block t addr ~id ~target ~tid ~kind ~si ~fault_addr ~msg ~at ~subtree =
+let write_block t addr ~id ~target ~tid ~kind ~si ~fault_addr ~msg ~at ~events
+    ~subtree =
   w t addr blk_magic;
   w t (addr + 8) id;
   w t (addr + 16) 0;
@@ -194,11 +202,17 @@ let write_block t addr ~id ~target ~tid ~kind ~si ~fault_addr ~msg ~at ~subtree 
   w t (addr + 104) 0;
   w t (addr + 112) (String.length si);
   w t (addr + 120) (String.length msg);
+  w t (addr + 128) (List.length events);
   let p = addr + blk_fixed in
   if si <> "" then Space.store_string t.space p si;
   let p = p + align8 (String.length si) in
   if msg <> "" then Space.store_string t.space p msg;
   let p = ref (p + align8 (String.length msg)) in
+  List.iter
+    (fun ev ->
+      Flight.store t.space !p ev;
+      p := !p + Flight.stored_size)
+    events;
   List.iter
     (fun x ->
       let base, len = x.x_stack in
@@ -222,16 +236,16 @@ let write_block t addr ~id ~target ~tid ~kind ~si ~fault_addr ~msg ~at ~subtree 
    [false] — the rewind proceeds unaudited — when even eviction cannot
    make room, or when a continuation has no incident to continue. *)
 let begin_incident t ~continue ~target ~tid ~kind ~si ~fault_addr ~msg ~at
-    ~subtree =
+    ?(events = []) ~subtree () =
   let si = trunc si and msg = trunc msg in
   if continue && t.head = 0 then false
   else
-    match alloc_block t (block_size ~si ~msg ~subtree) with
+    match alloc_block t (block_size ~si ~msg ~events ~subtree) with
     | None -> false
     | Some addr ->
         if continue then begin
           write_block t addr ~id:(r t (t.head + 8)) ~target ~tid ~kind ~si
-            ~fault_addr ~msg ~at ~subtree;
+            ~fault_addr ~msg ~at ~events ~subtree;
           w t (t.tail + 24) addr;
           t.tail <- addr;
           true
@@ -240,7 +254,7 @@ let begin_incident t ~continue ~target ~tid ~kind ~si ~fault_addr ~msg ~at
           let id = r t (t.header + 8) in
           w t (t.header + 8) (id + 1);
           write_block t addr ~id ~target ~tid ~kind ~si ~fault_addr ~msg ~at
-            ~subtree;
+            ~events ~subtree;
           w t (t.header + 32) addr;
           t.head <- addr;
           t.tail <- addr;
@@ -253,18 +267,21 @@ let progress t = if t.tail = 0 then 0 else r t (t.tail + 104)
 
 (* The udi the intent expects at discard step [idx] — the resume path
    cross-checks the live tree against the durable record. *)
+(* Start of a block's per-domain extent section: skip the strings and
+   the flight-recorder excerpt. *)
+let subtree_off t addr =
+  addr + blk_fixed
+  + align8 (r t (addr + 112))
+  + align8 (r t (addr + 120))
+  + (Flight.stored_size * r t (addr + 128))
+
 let domain_at t idx =
   if t.tail = 0 then None
   else begin
     let n = r t (t.tail + 96) in
     if idx < 0 || idx >= n then None
     else begin
-      let p =
-        ref
-          (t.tail + blk_fixed
-          + align8 (r t (t.tail + 112))
-          + align8 (r t (t.tail + 120)))
-      in
+      let p = ref (subtree_off t t.tail) in
       for _ = 1 to idx do
         p := !p + 40 + (16 * r t (!p + 32))
       done;
@@ -302,12 +319,7 @@ let commit t ~at ~journal_replays =
 
 let read_subtree t addr =
   let n = r t (addr + 96) in
-  let p =
-    ref
-      (addr + blk_fixed
-      + align8 (r t (addr + 112))
-      + align8 (r t (addr + 120)))
-  in
+  let p = ref (subtree_off t addr) in
   List.init n (fun _ ->
       let udi = r t !p in
       let was = code_was (r t (!p + 8)) in
@@ -329,7 +341,15 @@ let read_record t addr =
   in
   let si = str 112 (addr + blk_fixed) in
   let msg = str 120 (addr + blk_fixed + align8 (r t (addr + 112))) in
-  let rec chain a = if a = 0 then [] else read_subtree t a :: chain (r t (a + 24)) in
+  let read_events a =
+    let base =
+      a + blk_fixed + align8 (r t (a + 112)) + align8 (r t (a + 120))
+    in
+    List.init
+      (r t (a + 128))
+      (fun i -> Flight.load t.space (base + (i * Flight.stored_size)))
+  in
+  let rec chain f a = if a = 0 then [] else f a :: chain f (r t (a + 24)) in
   {
     r_id = r t (addr + 8);
     r_target = r t (addr + 32);
@@ -338,11 +358,12 @@ let read_record t addr =
     r_si = si;
     r_fault_addr = r t (addr + 56);
     r_msg = msg;
-    r_subtree = List.concat (chain addr);
+    r_subtree = List.concat (chain (read_subtree t) addr);
     r_replays = r t (addr + 88);
     r_start = float_of_int (r t (addr + 64));
     r_end = float_of_int (r t (addr + 72));
     r_interrupts = r t (addr + 80);
+    r_events = List.concat (chain read_events addr);
   }
 
 let records t =

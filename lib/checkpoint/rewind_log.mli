@@ -34,6 +34,10 @@ type record = {
   r_start : float;  (** virtual time the intent was written *)
   r_end : float;  (** virtual time of the commit *)
   r_interrupts : int;  (** faults absorbed mid-rewind *)
+  r_events : Flight.event list;
+      (** flight-recorder excerpt captured at intent time — the last few
+          events of each victim domain, continuations merged, oldest
+          first *)
 }
 
 val create : Vmem.Space.t -> heap:Tlsf.t -> cap:int -> t
@@ -50,12 +54,16 @@ val begin_incident :
   fault_addr:int ->
   msg:string ->
   at:float ->
+  ?events:Flight.event list ->
   subtree:extent list ->
+  unit ->
   bool
-(** Phase 1: durably record the subtree about to be discarded.
-    [~continue:true] chains onto the in-flight incident (collateral
-    exits of a grandparent rewind) instead of opening a new one.
-    Returns [false] if the record could not be stored even after
+(** Phase 1: durably record the subtree about to be discarded, together
+    with an optional flight-recorder excerpt ([events], default none) —
+    the victims' last recorded actions, frozen before their memory is
+    thrown away. [~continue:true] chains onto the in-flight incident
+    (collateral exits of a grandparent rewind) instead of opening a new
+    one. Returns [false] if the record could not be stored even after
     evicting history — the rewind then proceeds unaudited. *)
 
 val pending : t -> bool

@@ -4,6 +4,7 @@ module Space = Vmem.Space
 module Prot = Vmem.Prot
 module Pkru = Vmem.Pkru
 module Rewind_log = Checkpoint.Rewind_log
+module Flight = Checkpoint.Flight
 open Types
 
 exception Stack_check_failure
@@ -79,6 +80,9 @@ type t = {
   mutable incident_handler : (Types.fault -> unit) option;
   mutable in_monitor : bool;
   audit : Rewind_log.t;  (* durable rewind intent + incident audit log *)
+  flight : Flight.t;  (* per-domain event rings in monitor memory *)
+  flight_snap : int;  (* events snapshotted per victim at rewind intent *)
+  trace_ctx : (int, int64) Hashtbl.t;  (* tid -> active causal trace id *)
   mutable rewind_fault_hook : (unit -> bool) option;
       (* chaos probe consulted before each discard step of a rewind;
          [true] simulates a second fault arriving mid-rewind *)
@@ -145,7 +149,8 @@ let create ?(seed = 1) ?(monitor_size = 256 * 1024)
     ?(root_heap_size = 4 * 1024 * 1024) ?(default_stack_size = 64 * 1024)
     ?(default_heap_size = 256 * 1024) ?(stack_reuse = true)
     ?(virtual_keys = false) ?(sanitizer = false) ?(verify_policy = false)
-    ?metrics ?tracer ?(incident_log_cap = 1024) ?(audit_log_cap = 256) space =
+    ?metrics ?tracer ?(incident_log_cap = 1024) ?(audit_log_cap = 256)
+    ?(flight_log_cap = 32) ?(flight_snap = 8) space =
   let alloc_key () =
     match Space.pkey_alloc space with Some k -> k | None -> err Out_of_pkeys
   in
@@ -162,6 +167,9 @@ let create ?(seed = 1) ?(monitor_size = 256 * 1024)
   (* The rewind transaction log lives in the monitor data domain, next to
      the domain records and saved contexts it audits. *)
   let audit = Rewind_log.create space ~heap:monitor_heap ~cap:audit_log_cap in
+  (* The flight recorder shares the monitor data domain: its rings must
+     survive the rewinds of the domains they describe. *)
+  let flight = Flight.create space ~heap:monitor_heap ~cap:flight_log_cap () in
   let rng = Simkern.Rng.create seed in
   let metrics =
     match metrics with Some m -> m | None -> Telemetry.Metrics.create ()
@@ -197,6 +205,9 @@ let create ?(seed = 1) ?(monitor_size = 256 * 1024)
     incident_handler = None;
     in_monitor = false;
     audit;
+    flight;
+    flight_snap = max 0 flight_snap;
+    trace_ctx = Hashtbl.create 8;
     rewind_fault_hook = None;
     journal_probes = [];
     pending_interrupted = false;
@@ -268,6 +279,17 @@ let create ?(seed = 1) ?(monitor_size = 256 * 1024)
   M.gauge_fn metrics "sdrad_audit_records"
     ~help:"Incident records currently retained in the audit ring" (fun () ->
       float_of_int (Rewind_log.retained t.audit));
+  M.counter_fn metrics "sdrad_flight_events_total"
+    ~help:"Flight-recorder events recorded across all per-domain rings"
+    (fun () -> Flight.recorded t.flight);
+  M.counter_fn metrics "sdrad_flight_dropped_total"
+    ~help:
+      "Flight-recorder events lost to ring wrap, domain eviction or \
+       allocation failure"
+    (fun () -> Flight.dropped t.flight);
+  M.counter_fn metrics "trace_aborted_spans_total"
+    ~help:"Spans ended by an exception unwinding (faults, rewinds)"
+    (fun () -> Telemetry.Trace.aborted_spans tracer);
   M.counter_fn metrics "vmem_pkru_writes_total"
     ~help:"WRPKRU instructions executed" (fun () -> Space.wrpkru_writes space);
   M.counter_fn metrics "vmem_faults_total" ~help:"Memory faults raised"
@@ -414,6 +436,58 @@ let with_monitor t ts f =
       Telemetry.Trace.with_span t.tracer "switch.pkru_write" (fun () ->
           Space.wrpkru t.space ts.cur_pkru))
     f
+
+(* {1 Causal trace context}
+
+   One 62-bit trace id per thread, set by the server when it starts
+   handling a request and cleared when the reply is sent. Every flight-
+   recorder event and rewind audit record written on that thread in
+   between carries the id, which is what links a client op to its
+   server-side consequences. Plain OCaml state: the id is metadata about
+   the monitor's execution, not compartment-reachable memory. *)
+
+let current_trace t =
+  match Hashtbl.find_opt t.trace_ctx (cur_tid ()) with
+  | Some id -> id
+  | None -> 0L
+
+let set_trace t id =
+  let tid = cur_tid () in
+  if id = 0L then Hashtbl.remove t.trace_ctx tid
+  else Hashtbl.replace t.trace_ctx tid id
+
+let with_trace t id f =
+  let tid = cur_tid () in
+  let prev = Hashtbl.find_opt t.trace_ctx tid in
+  set_trace t id;
+  Fun.protect
+    ~finally:(fun () ->
+      match prev with
+      | Some p -> Hashtbl.replace t.trace_ctx tid p
+      | None -> Hashtbl.remove t.trace_ctx tid)
+    f
+
+(* Record one flight-recorder event for [udi] (default: the thread's
+   current domain), stamped with the active trace context. Raises
+   privileges when called from compartment context — the ring lives in
+   monitor memory. *)
+let flight_event t ?udi ?(arg = 0) kind =
+  let tid = cur_tid () in
+  let udi =
+    match udi with
+    | Some u -> u
+    | None -> (
+        match Hashtbl.find_opt t.threads tid with
+        | Some ts -> current_udi_of ts
+        | None -> root_udi)
+  in
+  let write () =
+    Flight.record t.flight ~udi ~tid ~at:(now ()) ~trace:(current_trace t)
+      ~arg kind
+  in
+  match Hashtbl.find_opt t.threads tid with
+  | Some ts -> with_monitor t ts write
+  | None -> write ()
 
 (* {1 Monitor bookkeeping blocks}
 
@@ -794,7 +868,9 @@ let enter t udi =
               charge t.cost.stack_switch);
           Telemetry.Trace.with_span t.tracer "switch.bookkeeping" (fun () ->
               charge t.cost.switch_work;
-              ts.cur_pkru <- compute_pkru t ts));
+              ts.cur_pkru <- compute_pkru t ts);
+          Flight.record t.flight ~udi ~tid:ts.t_tid ~at:(now ())
+            ~trace:(current_trace t) Flight.Switch_in);
       (* Push the return address of the call gate onto the new stack — done
          after the policy switch, with the domain's own rights. *)
       inst.sp <- inst.sp - 16;
@@ -819,7 +895,9 @@ let exit_domain t =
               Telemetry.Trace.with_span t.tracer "switch.bookkeeping"
                 (fun () ->
                   charge t.cost.switch_work;
-                  ts.cur_pkru <- compute_pkru t ts)));
+                  ts.cur_pkru <- compute_pkru t ts);
+              Flight.record t.flight ~udi:inst.udi ~tid:ts.t_tid
+                ~at:(now ()) ~trace:(current_trace t) Flight.Switch_out));
       Telemetry.Metrics.inc t.c_exits;
       Telemetry.Metrics.observe t.h_switch_cycles (now () -. t0)
 
@@ -1013,6 +1091,11 @@ let malloc t ~udi size =
   let ts = thread_state t in
   let target = resolve_heap t ts udi in
   with_monitor t ts (fun () ->
+      (* Under the sanitizer every allocation (un)poisons redzones — a
+         forensically interesting act, so it lands in the flight ring. *)
+      if t.sanitizer then
+        Flight.record t.flight ~udi ~tid:ts.t_tid ~at:(now ())
+          ~trace:(current_trace t) ~arg:size Flight.Alloc_poison;
       match target with
       | In_current ->
           let heap, pkey, track, pool = current_heap t ts in
@@ -1194,11 +1277,23 @@ let abnormal_exit ?(record = true) t ts inst fault =
             Rewind_log.commit t.audit ~at:t0
               ~journal_replays:(journal_replays t);
           let kind, si, fault_addr, msg = trigger_of_cause fault.cause in
+          (* The fault lands in the target's flight ring first, so the
+             snapshot below — the black-box excerpt frozen into the
+             audit record — ends on the event that triggered it. *)
+          if record then
+            Flight.record t.flight ~udi:fault.failed_udi ~tid:ts.t_tid
+              ~at:t0 ~trace:(current_trace t) ~arg:fault_addr Flight.Fault;
+          let events =
+            List.concat_map
+              (fun v -> Flight.snapshot t.flight ~udi:v.udi ~n:t.flight_snap)
+              victims
+          in
           let audited =
             Rewind_log.begin_incident t.audit ~continue:(not record)
               ~target:fault.failed_udi ~tid:ts.t_tid ~kind ~si ~fault_addr
-              ~msg ~at:t0
+              ~msg ~at:t0 ~events
               ~subtree:(List.map (extent_of t) victims)
+              ()
           in
           Telemetry.Trace.with_span t.tracer "rewind.heap_discard" (fun () ->
               drive_discards t ts ~audited victims);
@@ -1238,7 +1333,13 @@ let teardown_passthrough t ts inst frame_id =
           && Rewind_log.begin_incident t.audit ~continue:true
                ~target:inst.udi ~tid:ts.t_tid ~kind:`Explicit ~si:"-"
                ~fault_addr:0 ~msg:"collateral teardown" ~at:(now ())
+               ~events:
+                 (List.concat_map
+                    (fun v ->
+                      Flight.snapshot t.flight ~udi:v.udi ~n:t.flight_snap)
+                    victims)
                ~subtree:(List.map (extent_of t) victims)
+               ()
         in
         List.iteri
           (fun idx d ->
@@ -1258,6 +1359,20 @@ let run t ~udi ?(opts = default_options) ~on_rewind body =
   let ts = thread_state t in
   let inst = init_exec t ts udi opts in
   let frame_id = inst.frame in
+  (* The whole protected execution is one span: a fault unwinding
+     through it leaves an [aborted:true] trace event (and bumps
+     [trace_aborted_spans_total]), so rewound requests are
+     distinguishable from clean returns in Chrome exports. *)
+  let body () =
+    Telemetry.Trace.with_span t.tracer "domain.body"
+      ~args:
+        (let tr = current_trace t in
+         ("udi", string_of_int udi)
+         ::
+         (if tr = 0L then []
+          else [ ("trace", Printf.sprintf "%016Lx" tr) ]))
+      body
+  in
   match body () with
   | v ->
       (* Convention: the domain must be destroyed or deinitialized before
@@ -1327,6 +1442,14 @@ let with_audit_read t f =
   | None -> f ()
 
 let audit_records t = with_audit_read t (fun () -> Rewind_log.records t.audit)
+
+let flight_events t ~udi =
+  with_audit_read t (fun () -> Flight.events t.flight ~udi)
+
+let flight_domains t = Flight.domains t.flight
+let flight_recorded t = Flight.recorded t.flight
+let flight_dropped t = Flight.dropped t.flight
+let flight_bytes t = Flight.bytes t.flight
 let audit_appended t = Rewind_log.appended t.audit
 let audit_dropped t = Rewind_log.dropped t.audit
 let audit_retained t = Rewind_log.retained t.audit

@@ -53,6 +53,8 @@ val create :
   ?tracer:Telemetry.Trace.t ->
   ?incident_log_cap:int ->
   ?audit_log_cap:int ->
+  ?flight_log_cap:int ->
+  ?flight_snap:int ->
   Vmem.Space.t ->
   t
 (** Link SDRaD into a simulated process: allocates the monitor data domain
@@ -81,7 +83,10 @@ val create :
     (default 1024, minimum 1); older incidents are evicted and counted in
     {!dropped_incidents}. [audit_log_cap] (default 256, minimum 1)
     likewise bounds the durable rewind audit log in monitor memory (see
-    {!audit_records}). *)
+    {!audit_records}). [flight_log_cap] (default 32, minimum 1) bounds
+    each domain's flight-recorder ring ({!flight_events});
+    [flight_snap] (default 8) is how many trailing events per victim
+    domain are frozen into the audit record at rewind-intent time. *)
 
 val space : t -> Vmem.Space.t
 
@@ -227,6 +232,56 @@ val audit_pending : t -> bool
 (** An intent record is in flight — only observable from a rewind-path
     probe; by the time control returns to application code the
     transaction has committed. *)
+
+(** {1 Causal trace context and flight recorder}
+
+    A per-thread {!Telemetry.Context} trace id links a client operation
+    to every monitor-level consequence it triggers. While a trace id is
+    installed, every flight-recorder event and switch recorded for the
+    thread carries it; the per-domain flight recorder itself is a
+    bounded ring of structured events in monitor-protected memory, so
+    it {e survives the discard} of the domain it describes — the last
+    few events of each victim are frozen into the rewind audit record
+    at intent time (see [r_events] of {!Checkpoint.Rewind_log}). *)
+
+val current_trace : t -> int64
+(** Trace id installed for the calling simulated thread ([0L] when
+    none). *)
+
+val set_trace : t -> int64 -> unit
+(** Install (non-zero) or clear ([0L]) the calling thread's trace id —
+    servers call this as soon as they decode a request's context. *)
+
+val with_trace : t -> int64 -> (unit -> 'a) -> 'a
+(** Bracket: install the id, run the body, restore the previous id even
+    on exceptions. *)
+
+val flight_event : t -> ?udi:udi -> ?arg:int -> Checkpoint.Flight.kind -> unit
+(** Record an application-level event (admit, shed, replay, lock
+    acquisition…) in the flight recorder, tagged with the calling
+    thread, current virtual time and installed trace id. [udi] defaults
+    to the domain the thread is executing in. Events the monitor
+    records itself (switches, faults, poisoned allocations) need no
+    call — they are emitted inside the existing monitor gates. *)
+
+val flight_events : t -> udi:udi -> Checkpoint.Flight.event list
+(** Retained flight-recorder events of one domain, oldest first. Safe
+    from inside or outside simulated threads. *)
+
+val flight_domains : t -> udi list
+(** Domains that currently own a flight ring, oldest-allocated first. *)
+
+val flight_recorded : t -> int
+(** Events ever recorded across all domains. *)
+
+val flight_dropped : t -> int
+(** Events lost to ring wrap-around or ring eviction. *)
+
+val flight_bytes : t -> int
+(** Monitor-heap bytes currently held by flight rings. Rings
+    intentionally outlive the domains they describe (that is their
+    purpose), so — like {!audit_bytes} — leak checks subtract this from
+    {!monitor_bytes}. *)
 
 val set_rewind_fault_hook : t -> (unit -> bool) option -> unit
 (** Install (or clear) the chaos probe consulted before every discard

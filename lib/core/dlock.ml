@@ -16,7 +16,8 @@ let acquire t =
   t.holder_tid <- Some (Sched.self ());
   (* Acquired inside a nested domain: arm the abnormal-exit cleanup so a
      rewind of this domain releases (and poisons) the lock. *)
-  if Api.current t.sd <> Types.root_udi then
+  if Api.current t.sd <> Types.root_udi then begin
+    Api.flight_event t.sd Checkpoint.Flight.Lock_acquire;
     t.cancel <-
       Some
         (Api.on_abnormal_cleanup t.sd (fun () ->
@@ -24,6 +25,7 @@ let acquire t =
              t.holder_tid <- None;
              t.cancel <- None;
              Sched.Mutex.unlock t.mu))
+  end
   else t.cancel <- None;
   not t.poisoned_flag
 

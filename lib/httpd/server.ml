@@ -189,6 +189,32 @@ let http_400 = "HTTP/1.1 400 Bad Request\r\nContent-Length: 0\r\n\r\n"
 let http_403 = "HTTP/1.1 403 Forbidden\r\nContent-Length: 0\r\n\r\n"
 let http_405 = "HTTP/1.1 405 Method Not Allowed\r\nContent-Length: 0\r\n\r\n"
 
+(* Pre-parse scan of the raw request bytes for the [traceparent] header:
+   admission decisions (shed, admit) are taken before the sandboxed
+   header parse, but their flight-recorder events should still carry the
+   client's causal trace id. The authoritative parse is the header
+   phase's. *)
+let trace_of_msg msg =
+  let rec scan off =
+    match String.index_from_opt msg off '\n' with
+    | None -> 0L
+    | Some nl ->
+        let line = String.trim (String.sub msg off (nl - off)) in
+        if line = "" then 0L (* end of headers: no traceparent *)
+        else if
+          String.length line > 12
+          && String.lowercase_ascii (String.sub line 0 12) = "traceparent:"
+        then
+          match
+            Telemetry.Context.of_traceparent
+              (String.trim (String.sub line 12 (String.length line - 12)))
+          with
+          | Some ctx -> Telemetry.Context.trace ctx
+          | None -> 0L
+        else scan (nl + 1)
+  in
+  scan 0
+
 (* Serve the (already parsed) request: certificate check, file lookup,
    response. Runs in the worker's root context for every variant. *)
 (* RFC 7230 §6.3: HTTP/1.1 persists unless "Connection: close"; HTTP/1.0
@@ -289,7 +315,15 @@ let respond t slot c ~meth ~version ~path ~headers ~body =
             | None -> compute ()
             | Some rid -> (
                 match Journal.find t.journal rid with
-                | Some r -> r
+                | Some r ->
+                    (* Journal hit: a consequence of the original op's
+                       earlier attempt — record it under the retry's
+                       (already installed) trace id. *)
+                    (match t.sd with
+                    | Some sd ->
+                        Api.flight_event sd Checkpoint.Flight.Replay
+                    | None -> ());
+                    r
                 | None ->
                     let r = compute () in
                     Journal.record t.journal rid r;
@@ -633,9 +667,14 @@ and worker t slot =
         | Some (msg, arrival) when should_shed t slot ~arrival ->
             (* Overload: answer the retryable 503 before any parsing or
                domain switch is spent on this request. *)
-            ignore msg;
             Sched.charge (Space.cost t.space).Cost.syscall;
             Telemetry.Metrics.inc t.c_shed;
+            (match t.sd with
+            | Some sd ->
+                Api.with_trace sd (trace_of_msg msg) (fun () ->
+                    Api.flight_event sd ~udi:(slot_udi t slot)
+                      Checkpoint.Flight.Shed)
+            | None -> ());
             Netsim.send c http_503
         | Some (msg, _arrival) ->
             Sched.charge (Space.cost t.space).Cost.syscall;
@@ -644,11 +683,23 @@ and worker t slot =
             let cbuf = Hashtbl.find t.conns (Netsim.id c) in
             let len = min (String.length msg) (t.cfg.conn_buf_size - 2) in
             Space.store_string t.space cbuf (String.sub msg 0 len);
+            (* Install the request's trace context for its whole
+               handling: parse-phase switches, faults, replays and audit
+               records all inherit it. *)
+            (match (t.cfg.variant, t.sd) with
+            | Sdrad, Some sd ->
+                Api.set_trace sd (trace_of_msg msg);
+                Api.flight_event sd ~udi:(slot_udi t slot)
+                  Checkpoint.Flight.Admit
+            | _ -> ());
             let verdict =
               match (t.cfg.variant, t.sd) with
               | Sdrad, Some sd -> handle_sdrad t slot sd c ~cbuf ~len
               | _ -> handle_plain t slot c ~cbuf ~len
             in
+            (match t.sd with
+            | Some sd -> Api.set_trace sd 0L
+            | None -> ());
             (match verdict with
             | `Keep -> ()
             | (`Close | `Close_graceful) as v ->

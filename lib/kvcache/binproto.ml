@@ -123,6 +123,42 @@ let res_not_found =
 let res_error status =
   frame ~magic:magic_response ~opcode:0xFF ~status ~extras:"" ~key:"" ~value:""
 
+(* The causal trace context rides in the 8-byte CAS field (bytes 16-23),
+   which our request subset never uses otherwise — [frame] always zeroes
+   it, and zero is the "no context" encoding. The id is 62 bits, so the
+   big-endian split into two 32-bit halves below is lossless. *)
+let load_be64 space a =
+  Int64.logor
+    (Int64.shift_left (Int64.of_int (load_be32 space a)) 32)
+    (Int64.of_int (load_be32 space (a + 4)))
+
+let parse_trace space ~addr ~len =
+  if len < header_size || Space.load8 space addr <> magic_request then 0L
+  else load_be64 space (addr + 16)
+
+(* Same extraction from raw wire bytes (pre-admission decisions). *)
+let trace_of_string s =
+  if String.length s < header_size || Char.code s.[0] <> magic_request then 0L
+  else
+    let be32 off =
+      Int64.of_int
+        ((Char.code s.[off] lsl 24)
+        lor (Char.code s.[off + 1] lsl 16)
+        lor (Char.code s.[off + 2] lsl 8)
+        lor Char.code s.[off + 3])
+    in
+    Int64.logor (Int64.shift_left (be32 16) 32) (be32 20)
+
+(* Patch the trace id into an already-built request frame. *)
+let with_trace s trace =
+  if trace = 0L then s
+  else begin
+    let b = Bytes.of_string s in
+    put_be32 b 16 (Int64.to_int (Int64.shift_right_logical trace 32));
+    put_be32 b 20 (Int64.to_int (Int64.logand trace 0xFFFFFFFFL));
+    Bytes.to_string b
+  end
+
 (* Patch the opaque field into an already-built frame. *)
 let with_opaque s opaque =
   if opaque = 0 then s

@@ -40,6 +40,18 @@ val parse : Vmem.Space.t -> addr:int -> len:int -> Proto.cmd
     [declared_len] carries the signed value-length derivation described
     above. Malformed frames yield [Bad]. *)
 
+val parse_trace : Vmem.Space.t -> addr:int -> len:int -> int64
+(** The causal trace id carried in the request's CAS field (bytes
+    16-23, unused by our command subset); [0L] = no context. *)
+
+val trace_of_string : string -> int64
+(** {!parse_trace} over raw wire bytes (pre-admission decisions). *)
+
+val with_trace : string -> int64 -> string
+(** Patch a trace id into an already-built request frame's CAS field
+    ([0L] leaves the frame untouched) — the binary-protocol analogue of
+    the text protocol's trailing [trace=] token. *)
+
 (** {1 Response building (server side)} *)
 
 val res_value : flags:int -> value:string -> string

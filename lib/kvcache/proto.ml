@@ -35,13 +35,45 @@ let strip_rid words =
       (List.rev rest, Some (String.sub last 3 (String.length last - 3)))
   | _ -> (words, None)
 
+(* A trailing [trace=<16 hex>] token carries the client's causal trace
+   context. Unlike [id=], it may ride on any command — reads included —
+   so it is stripped before dispatch; a malformed value is left alone
+   (and then parses as a key or argument, exactly as before). *)
+let strip_trace words =
+  match List.rev words with
+  | last :: rest when String.length last > 6 && String.sub last 0 6 = "trace="
+    -> (
+      match
+        Telemetry.Context.of_trace_hex
+          (String.sub last 6 (String.length last - 6))
+      with
+      | Some ctx -> (List.rev rest, Telemetry.Context.trace ctx)
+      | None -> (words, 0L))
+  | _ -> (words, 0L)
+
+(* The trace id of a request, without interpreting the command — servers
+   call this once on arrival to install the context, then [parse]. *)
+let parse_trace space ~addr ~len =
+  match Space.memchr space ~addr ~len '\r' with
+  | None -> 0L
+  | Some cr ->
+      let line = Space.read_string space addr (cr - addr) in
+      snd (strip_trace (split_words line))
+
+(* Same extraction from raw wire bytes — for decisions taken before the
+   request is admitted into simulated memory (load shedding). *)
+let trace_of_string msg =
+  match String.index_opt msg '\r' with
+  | None -> 0L
+  | Some cr -> snd (strip_trace (split_words (String.sub msg 0 cr)))
+
 let parse space ~addr ~len =
   match Space.memchr space ~addr ~len '\r' with
   | None -> Bad "no CRLF"
   | Some cr ->
       let line = Space.read_string space addr (cr - addr) in
       let data_off = cr - addr + 2 in
-      let words = split_words line in
+      let words, _trace = strip_trace (split_words line) in
       (match words with
       | [ "get"; key ] when String.length key <= max_key_len -> Get key
       | "get" :: (_ :: _ :: _ as keys)
@@ -97,13 +129,22 @@ let error = "ERROR\r\n"
 let value_header ~key ~flags ~len =
   Printf.sprintf "VALUE %s %d %d\r\n" key flags len
 
-let fmt_get key = Printf.sprintf "get %s\r\n" key
-let fmt_multi_get keys = Printf.sprintf "get %s\r\n" (String.concat " " keys)
 let rid_suffix = function None -> "" | Some r -> " id=" ^ r
 
-let fmt_storage op ?rid ~key ~flags ~value () =
-  Printf.sprintf "%s %s %d 0 %d%s\r\n%s\r\n" op key flags
-    (String.length value) (rid_suffix rid) value
+(* Trace rides last on the line ([... id=<rid> trace=<hex>]): it is the
+   first token stripped on the server. Zero = no context = no token. *)
+let trace_suffix = function
+  | None -> ""
+  | Some tr -> if tr = 0L then "" else Printf.sprintf " trace=%016Lx" tr
+
+let fmt_get ?trace key =
+  Printf.sprintf "get %s%s\r\n" key (trace_suffix trace)
+
+let fmt_multi_get keys = Printf.sprintf "get %s\r\n" (String.concat " " keys)
+
+let fmt_storage op ?rid ?trace ~key ~flags ~value () =
+  Printf.sprintf "%s %s %d 0 %d%s%s\r\n%s\r\n" op key flags
+    (String.length value) (rid_suffix rid) (trace_suffix trace) value
 
 let fmt_set ~key ~flags ~value = fmt_storage "set" ~key ~flags ~value ()
 let fmt_add ~key ~flags ~value = fmt_storage "add" ~key ~flags ~value ()
@@ -124,14 +165,21 @@ let fmt_replace_rid ~rid ~key ~flags ~value =
 let fmt_set_lying ~key ~flags ~declared ~value =
   Printf.sprintf "set %s %d 0 %d\r\n%s\r\n" key flags declared value
 
-let fmt_delete ?rid key =
-  Printf.sprintf "delete %s%s\r\n" key (rid_suffix rid)
+let fmt_set_lying_traced ~trace ~key ~flags ~declared ~value =
+  Printf.sprintf "set %s %d 0 %d%s\r\n%s\r\n" key flags declared
+    (trace_suffix (Some trace))
+    value
 
-let fmt_incr ?rid key d =
-  Printf.sprintf "incr %s %d%s\r\n" key d (rid_suffix rid)
+let fmt_delete ?rid ?trace key =
+  Printf.sprintf "delete %s%s%s\r\n" key (rid_suffix rid) (trace_suffix trace)
 
-let fmt_decr ?rid key d =
-  Printf.sprintf "decr %s %d%s\r\n" key d (rid_suffix rid)
+let fmt_incr ?rid ?trace key d =
+  Printf.sprintf "incr %s %d%s%s\r\n" key d (rid_suffix rid)
+    (trace_suffix trace)
+
+let fmt_decr ?rid ?trace key d =
+  Printf.sprintf "decr %s %d%s%s\r\n" key d (rid_suffix rid)
+    (trace_suffix trace)
 let fmt_stats = "stats\r\n"
 let fmt_stats_telemetry = "stats telemetry\r\n"
 let quit = "quit\r\n"

@@ -35,6 +35,18 @@ type cmd =
   | Bad of string
 
 val parse : Vmem.Space.t -> addr:int -> len:int -> cmd
+(** A trailing [trace=<16 hex>] token on the request line — the causal
+    trace context, valid on any command — is stripped before dispatch;
+    read it with {!parse_trace}. *)
+
+val parse_trace : Vmem.Space.t -> addr:int -> len:int -> int64
+(** Trace id of the request's trailing [trace=] token ([0L] when absent
+    or malformed). Servers call this on arrival, before {!parse}, to
+    install the context for the request's whole handling. *)
+
+val trace_of_string : string -> int64
+(** {!parse_trace} over raw wire bytes — for decisions taken before the
+    request reaches simulated memory (load shedding). *)
 
 val max_key_len : int
 
@@ -56,8 +68,23 @@ val value_header : key:string -> flags:int -> len:int -> string
 
 (** {1 Request formatting (client side)} *)
 
-val fmt_get : string -> string
+val fmt_get : ?trace:int64 -> string -> string
+(** [?trace] (here and below) appends the causal-context token
+    [trace=<16 hex>] to the request line; [0L] appends nothing. *)
+
 val fmt_multi_get : string list -> string
+
+val fmt_storage :
+  string ->
+  ?rid:string ->
+  ?trace:int64 ->
+  key:string ->
+  flags:int ->
+  value:string ->
+  unit ->
+  string
+(** General storage-command formatter ([set]/[add]/[replace]) taking
+    both optional trailing tokens — what trace-propagating clients use. *)
 
 val fmt_set : key:string -> flags:int -> value:string -> string
 val fmt_add : key:string -> flags:int -> value:string -> string
@@ -78,9 +105,15 @@ val fmt_set_lying : key:string -> flags:int -> declared:int -> value:string -> s
 (** A [set] whose length field disagrees with the payload — the attack
     vector. *)
 
-val fmt_delete : ?rid:string -> string -> string
-val fmt_incr : ?rid:string -> string -> int -> string
-val fmt_decr : ?rid:string -> string -> int -> string
+val fmt_set_lying_traced :
+  trace:int64 -> key:string -> flags:int -> declared:int -> value:string -> string
+(** {!fmt_set_lying} with a trailing [trace=] token, so the fault the
+    attack triggers — and the rewind audit record behind it — can be
+    linked back to the offending request in forensics output. *)
+
+val fmt_delete : ?rid:string -> ?trace:int64 -> string -> string
+val fmt_incr : ?rid:string -> ?trace:int64 -> string -> int -> string
+val fmt_decr : ?rid:string -> ?trace:int64 -> string -> int -> string
 val fmt_stats : string
 val fmt_stats_telemetry : string
 val quit : string

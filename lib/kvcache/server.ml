@@ -486,12 +486,22 @@ and should_shed t ws ~arrival =
 
 and shed t c msg =
   Telemetry.Metrics.inc t.c_shed;
-  let busy =
-    if String.length msg > 0 && Char.code msg.[0] = Binproto.magic_request then
-      binary_wire.w_busy
-    else text_wire.w_busy
+  let binary =
+    String.length msg > 0 && Char.code msg.[0] = Binproto.magic_request
   in
-  Netsim.send c busy
+  (* Shedding happens before the request touches simulated memory, but
+     the dropped op still deserves a flight-recorder event carrying its
+     trace id — that is how the client's timeout shows up in forensics. *)
+  (match t.sd with
+  | Some sd ->
+      let trace =
+        if binary then Binproto.trace_of_string msg
+        else Proto.trace_of_string msg
+      in
+      Api.with_trace sd trace (fun () ->
+          Api.flight_event sd ~udi:(udi_for_conn t c) Checkpoint.Flight.Shed)
+  | None -> ());
+  Netsim.send c (if binary then binary_wire.w_busy else text_wire.w_busy)
 
 and drop_conn t ws c =
   Netsim.Waitset.remove ws c;
@@ -607,7 +617,13 @@ and replay_or t rid compute =
   | None -> compute ()
   | Some r -> (
       match Journal.find t.journal r with
-      | Some reply -> reply
+      | Some reply ->
+          (* A journal hit is a causal consequence of the original op's
+             earlier attempt: record it under the retry's trace id. *)
+          (match t.sd with
+          | Some sd -> Api.flight_event sd Checkpoint.Flight.Replay
+          | None -> ());
+          reply
       | None ->
           let reply = compute () in
           Journal.record t.journal r reply;
@@ -674,9 +690,17 @@ and handle_sdrad t ws c msg =
   let len = min (String.length msg) (t.cfg.conn_buf_size - 2) in
   Space.store_string space st.cbuf (String.sub msg 0 len);
   Telemetry.Metrics.inc t.c_served;
-  let w =
-    if Binproto.is_binary space ~addr:st.cbuf ~len then binary_wire else text_wire
+  let binary = Binproto.is_binary space ~addr:st.cbuf ~len in
+  let w = if binary then binary_wire else text_wire in
+  (* Install the request's causal trace context before anything else: the
+     admit decision, every domain switch, fault, replay and audit record
+     triggered by this request carries its id. *)
+  let trace =
+    if binary then Binproto.parse_trace space ~addr:st.cbuf ~len
+    else Proto.parse_trace space ~addr:st.cbuf ~len
   in
+  Api.set_trace sd trace;
+  Api.flight_event sd ~udi Checkpoint.Flight.Admit;
   let opts = { Types.default_options with heap_size = 64 * 1024 } in
   let on_rewind f =
     (* Abnormal exit: discard the event, close only this client. *)
@@ -751,13 +775,16 @@ and handle_sdrad t ws c msg =
         run sup ~udi ~opts ~on_rewind ~on_busy:(fun ~until:_ -> `Busy) body
     | None -> Api.run sd ~udi ~opts ~on_rewind body
   in
-  match result with
+  (match result with
   | `Busy ->
       Telemetry.Metrics.inc t.c_busy;
       Netsim.send c w.w_busy
   | `Rewound -> ()
   | `Reply (Some reply) -> Netsim.send c reply
-  | `Reply None -> drop_conn t ws c
+  | `Reply None -> drop_conn t ws c);
+  (* The context is per-request: clear it so later work on this worker
+     thread (or the next request) is not mis-attributed. *)
+  Api.set_trace sd 0L
 
 (* drive_machine (Figure 3 step 6), executing inside the nested domain:
    reads the DB read-only, allocates only in its own sub-heap, and stages

@@ -73,6 +73,7 @@ type t = {
   mutable n_budget_exhausted : int;
   c_retries : M.counter option;
   c_budget_exhausted : M.counter option;
+  h_latency : M.histogram option;
 }
 
 let create ?metrics ?budget:bgt ?(name = "client") policy ~rng =
@@ -95,6 +96,12 @@ let create ?metrics ?budget:bgt ?(name = "client") policy ~rng =
     c_budget_exhausted =
       counter "client_retry_budget_exhausted_total"
         "Calls failed because the retry budget ran dry";
+    h_latency =
+      Option.map
+        (fun m ->
+          M.histogram m "client_op_latency_cycles"
+            ~help:"Whole-call latency of logical client operations")
+        metrics;
   }
 
 let fresh_rid t =
@@ -118,15 +125,29 @@ let try_withdraw t =
       end
       else false
 
-let execute t f =
+let execute_ctx t f =
   let start = Sched.now () in
   let hard = start +. t.policy.overall_timeout in
   let rid = fresh_rid t in
+  (* The whole logical call shares one trace id, minted deterministically
+     from the idempotency key; each attempt is a distinct span ordinal.
+     Every retry, journal replay and server-side consequence of this op
+     is linked by the id. *)
+  let ctx = Telemetry.Context.root rid in
   t.n_calls <- t.n_calls + 1;
   deposit t;
+  let finish r =
+    (match t.h_latency with
+    | Some h ->
+        M.observe_exemplar h
+          (Sched.now () -. start)
+          ~exemplar:(Telemetry.Context.trace_hex ctx)
+    | None -> ());
+    r
+  in
   let rec attempt n prev_delay =
     let deadline = Float.min hard (Sched.now () +. t.policy.attempt_timeout) in
-    match f ~rid ~attempt:n ~deadline with
+    match f ~ctx:(Telemetry.Context.child ctx n) ~rid ~attempt:n ~deadline with
     | Ok v -> Ok v
     | Error (`Retry reason) ->
         if n + 1 >= t.policy.max_attempts then
@@ -155,7 +176,11 @@ let execute t f =
           attempt (n + 1) d
         end
   in
-  attempt 0 t.policy.backoff_base
+  finish (attempt 0 t.policy.backoff_base)
+
+let execute t f =
+  execute_ctx t (fun ~ctx:_ ~rid ~attempt ~deadline ->
+      f ~rid ~attempt ~deadline)
 
 let calls t = t.n_calls
 let retries t = t.n_retries

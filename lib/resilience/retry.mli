@@ -71,6 +71,24 @@ val execute :
     Returning [Error (`Retry reason)] triggers backoff and a retry,
     subject to attempts, deadline and budget. *)
 
+val execute_ctx :
+  t ->
+  (ctx:Telemetry.Context.t ->
+  rid:string ->
+  attempt:int ->
+  deadline:float ->
+  ('a, [ `Retry of string ]) result) ->
+  ('a, error) result
+(** Like {!execute}, and additionally hands each attempt its causal
+    trace context: the trace id is minted deterministically from the
+    call's [rid] (stable across retries), the span ordinal is the
+    attempt number. Thread it into the wire request (kvcache [trace=]
+    token, binary CAS field, httpd [traceparent] header) so server-side
+    flight-recorder events and audit records link back to this call.
+    When the engine has a [metrics] registry, the whole-call latency is
+    observed in [client_op_latency_cycles] with the trace id attached
+    as the bucket's exemplar. *)
+
 val calls : t -> int
 val retries : t -> int
 val budget_exhaustions : t -> int

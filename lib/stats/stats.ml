@@ -56,6 +56,32 @@ let summarize xs =
         p99 = percentile a 0.99;
       }
 
+(* Quantile over histogram buckets: [(upper bound, raw count)] pairs in
+   ascending bound order, e.g. from [Telemetry.Metrics.hist_buckets].
+   Linear interpolation within the winning bucket, taking the previous
+   bound (or 0 for the first bucket) as its lower edge — the standard
+   Prometheus histogram_quantile estimate. The rank is computed over the
+   listed counts only, so callers that saw samples above the last bound
+   should either append an explicit overflow bucket or accept the last
+   bound as a floor for high quantiles. *)
+let quantile_of_buckets buckets q =
+  if q < 0.0 || q > 1.0 || Float.is_nan q then
+    invalid_arg "Stats.quantile_of_buckets: q outside [0,1]";
+  let total = List.fold_left (fun acc (_, c) -> acc + c) 0 buckets in
+  if total = 0 then invalid_arg "Stats.quantile_of_buckets: empty histogram";
+  let rank = q *. float_of_int total in
+  let rec walk lo cum = function
+    | [] -> lo  (* rank beyond the listed counts: floor at the last bound *)
+    | (bound, c) :: rest ->
+        let cum' = cum +. float_of_int c in
+        if c > 0 && rank <= cum' then
+          (* interpolate within [lo, bound] by the rank's position in
+             this bucket's population *)
+          lo +. ((bound -. lo) *. ((rank -. cum) /. float_of_int c))
+        else walk bound cum' rest
+  in
+  walk 0.0 0.0 buckets
+
 module Welford = struct
   type t = { mutable n : int; mutable m : float; mutable m2 : float }
 

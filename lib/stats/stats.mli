@@ -29,6 +29,17 @@ val mean : float list -> float
 val stddev : float list -> float
 
 (** Streaming mean/variance (Welford's algorithm). *)
+val quantile_of_buckets : (float * int) list -> float -> float
+(** [quantile_of_buckets buckets q] estimates the [q]-quantile
+    ([0 <= q <= 1]) from [(ascending upper bound, raw per-bucket count)]
+    pairs — the shape {!Telemetry.Metrics.hist_buckets} returns — by
+    linear interpolation inside the winning bucket (lower edge = the
+    previous bound, 0 for the first), the standard
+    [histogram_quantile] estimate. Ranks beyond the listed counts floor
+    at the last bound.
+    @raise Invalid_argument on an all-zero histogram or [q] outside
+    [0, 1]. *)
+
 module Welford : sig
   type t
 

@@ -14,6 +14,8 @@ module Metrics = struct
     buckets : int array;  (* cumulative at exposition, raw here *)
     mutable sum : float;
     mutable hcount : int;
+    ex_id : string array;  (* per-bucket exemplar id (incl. +Inf); "" = none *)
+    ex_v : float array;  (* value the exemplar was observed with *)
   }
 
   type instrument =
@@ -105,25 +107,49 @@ module Metrics = struct
               buckets = Array.make (Array.length buckets) 0;
               sum = 0.0;
               hcount = 0;
+              ex_id = Array.make (Array.length buckets + 1) "";
+              ex_v = Array.make (Array.length buckets + 1) 0.0;
             })
     with
     | H h -> h
     | _ -> assert false
 
-  let observe h v =
+  (* Index of the bucket [v] lands in; [length bounds] is the implicit
+     +Inf bucket. *)
+  let bucket_index h v =
     let n = Array.length h.bounds in
-    let rec place i =
-      if i < n then
-        if v <= h.bounds.(i) then h.buckets.(i) <- h.buckets.(i) + 1
-        else place (i + 1)
-      (* above the last bound: lands only in the implicit +Inf bucket *)
-    in
-    place 0;
+    let rec place i = if i < n && v > h.bounds.(i) then place (i + 1) else i in
+    place 0
+
+  let observe_exemplar h v ~exemplar =
+    let i = bucket_index h v in
+    if i < Array.length h.bounds then h.buckets.(i) <- h.buckets.(i) + 1;
+    (* above the last bound: lands only in the implicit +Inf bucket *)
+    if exemplar <> "" then begin
+      h.ex_id.(i) <- exemplar;
+      h.ex_v.(i) <- v
+    end;
     h.sum <- h.sum +. v;
     h.hcount <- h.hcount + 1
 
+  let observe h v = observe_exemplar h v ~exemplar:""
   let hist_count h = h.hcount
   let hist_sum h = h.sum
+
+  (* Raw (non-cumulative) per-bucket counts with their finite upper
+     bounds; the implicit +Inf bucket is [hist_count] minus their sum. *)
+  let hist_buckets h =
+    Array.to_list (Array.mapi (fun i b -> (b, h.buckets.(i))) h.bounds)
+
+  let hist_exemplars h =
+    let n = Array.length h.bounds in
+    List.filter_map
+      (fun i ->
+        if h.ex_id.(i) = "" then None
+        else
+          let bound = if i < n then h.bounds.(i) else infinity in
+          Some (bound, h.ex_v.(i), h.ex_id.(i)))
+      (List.init (n + 1) Fun.id)
 
   let series_count t =
     Hashtbl.fold (fun _ f acc -> acc + List.length f.f_series) t.families 0
@@ -210,19 +236,30 @@ module Metrics = struct
                   (Printf.sprintf "%s%s %s\n" f.f_name (fmt_labels labels)
                      (fmt_value (fn ())))
             | H h ->
+                (* OpenMetrics-style exemplar suffix on bucket lines:
+                   [# {trace="<id>"} <value>]. Only buckets that saw an
+                   exemplar-carrying observation get one. *)
+                let exemplar bi =
+                  if h.ex_id.(bi) = "" then ""
+                  else
+                    Printf.sprintf " # {trace=\"%s\"} %s"
+                      (escape_label h.ex_id.(bi))
+                      (fmt_value h.ex_v.(bi))
+                in
                 let cum = ref 0 in
                 Array.iteri
                   (fun bi bound ->
                     cum := !cum + h.buckets.(bi);
                     Buffer.add_string b
-                      (Printf.sprintf "%s_bucket%s %d\n" f.f_name
+                      (Printf.sprintf "%s_bucket%s %d%s\n" f.f_name
                          (fmt_labels (labels @ [ ("le", fmt_bound bound) ]))
-                         !cum))
+                         !cum (exemplar bi)))
                   h.bounds;
                 Buffer.add_string b
-                  (Printf.sprintf "%s_bucket%s %d\n" f.f_name
+                  (Printf.sprintf "%s_bucket%s %d%s\n" f.f_name
                      (fmt_labels (labels @ [ ("le", "+Inf") ]))
-                     h.hcount);
+                     h.hcount
+                     (exemplar (Array.length h.bounds)));
                 Buffer.add_string b
                   (Printf.sprintf "%s_sum%s %s\n" f.f_name (fmt_labels labels)
                      (fmt_value h.sum));
@@ -232,6 +269,70 @@ module Metrics = struct
           sorted)
       families;
     Buffer.contents b
+end
+
+(* {1 Context} *)
+
+module Context = struct
+  type t = { trace : int64; span : int }
+
+  (* Ids are masked to 62 bits so they fit an OCaml int and round-trip
+     losslessly through the simulation's store64 words (flight-recorder
+     and audit-log slots). *)
+  let mask62 h = Int64.logand h 0x3FFF_FFFF_FFFF_FFFFL
+
+  (* FNV-1a, 64-bit. Deterministic and stable across runs — trace ids
+     derived from (client name, op sequence) strings are a golden-test
+     surface. *)
+  let hash64 s =
+    let prime = 0x100000001b3L in
+    let h = ref 0xcbf29ce484222325L in
+    String.iter
+      (fun c ->
+        h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) prime)
+      s;
+    let h = mask62 !h in
+    (* 0 is the wire encoding for "no context" (binproto zero field). *)
+    if h = 0L then 1L else h
+
+  let root op = { trace = hash64 op; span = 0 }
+  let child t n = { t with span = n }
+  let trace t = t.trace
+  let span t = t.span
+  let of_trace ?(span = 0) trace =
+    let trace = mask62 trace in
+    if trace = 0L then None else Some { trace; span }
+  let trace_hex t = Printf.sprintf "%016Lx" t.trace
+
+  let is_hex s =
+    s <> ""
+    && String.for_all
+         (function 'a' .. 'f' | '0' .. '9' -> true | _ -> false)
+         s
+
+  let of_trace_hex s =
+    if String.length s = 16 && is_hex s then
+      match Int64.of_string_opt ("0x" ^ s) with
+      | None -> None
+      | Some id -> of_trace id
+    else None
+
+  (* W3C-traceparent-shaped: version 00, 16-hex trace id (the spec's low
+     half), 8-hex span id, flags 01. *)
+  let to_traceparent t =
+    Printf.sprintf "00-%s-%08x-01" (trace_hex t) (t.span land 0xffffffff)
+
+  let of_traceparent s =
+    match String.split_on_char '-' s with
+    | [ "00"; tr; sp; _flags ]
+      when String.length tr = 16 && is_hex tr && String.length sp = 8
+           && is_hex sp -> (
+        match
+          (Int64.of_string_opt ("0x" ^ tr), int_of_string_opt ("0x" ^ sp))
+        with
+        | Some id, Some span -> of_trace ~span id
+        | _ -> None)
+    | _ -> None
 end
 
 (* {1 Trace} *)
@@ -251,6 +352,7 @@ module Trace = struct
     mutable ring : span array;  (* allocated lazily on first record *)
     mutable head : int;  (* next write slot *)
     mutable total : int;  (* spans ever recorded *)
+    mutable aborted : int;  (* spans ended by an exception unwinding *)
     mutable on : bool;
     depths : (int, int) Hashtbl.t;  (* tid -> current nesting depth *)
   }
@@ -262,6 +364,7 @@ module Trace = struct
       ring = [||];
       head = 0;
       total = 0;
+      aborted = 0;
       on = false;
       depths = Hashtbl.create 8;
     }
@@ -287,8 +390,13 @@ module Trace = struct
       in
       Hashtbl.replace t.depths tid (depth + 1);
       let t0 = now () in
-      let finish () =
+      let finish ~aborted =
         Hashtbl.replace t.depths tid depth;
+        (* A span closed by an exception — a fault unwinding into a
+           rewind — is marked so trace exports can tell it from a clean
+           return. *)
+        let args = if aborted then args @ [ ("aborted", "true") ] else args in
+        if aborted then t.aborted <- t.aborted + 1;
         record t
           {
             s_name = name;
@@ -301,10 +409,10 @@ module Trace = struct
       in
       match f () with
       | v ->
-          finish ();
+          finish ~aborted:false;
           v
       | exception e ->
-          finish ();
+          finish ~aborted:true;
           raise e
     end
 
@@ -325,6 +433,7 @@ module Trace = struct
         }
 
   let recorded t = t.total
+  let aborted_spans t = t.aborted
   let dropped t = max 0 (t.total - t.capacity)
 
   let spans t =
@@ -335,6 +444,7 @@ module Trace = struct
   let clear t =
     t.head <- 0;
     t.total <- 0;
+    t.aborted <- 0;
     Hashtbl.reset t.depths
 
   let aggregate t =
@@ -381,8 +491,13 @@ module Trace = struct
               ^ String.concat ","
                   (List.map
                      (fun (k, v) ->
-                       Printf.sprintf "\"%s\":\"%s\"" (json_escape k)
-                         (json_escape v))
+                       (* The aborted flag renders as a JSON boolean so
+                          trace viewers can filter on it. *)
+                       if k = "aborted" && (v = "true" || v = "false") then
+                         Printf.sprintf "\"%s\":%s" (json_escape k) v
+                       else
+                         Printf.sprintf "\"%s\":\"%s\"" (json_escape k)
+                           (json_escape v))
                      kvs)
               ^ "}"
         in

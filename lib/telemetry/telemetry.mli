@@ -13,7 +13,12 @@
     [vmem_pkru_writes_total], [kvcache_rewind_cycles_bucket{le="256"}].
     Subsystem prefixes in this repo: [sdrad_] (reference monitor),
     [vmem_] (simulated MPK hardware), [tlsf_] (allocators),
-    [supervisor_], [kvcache_], [httpd_]. *)
+    [supervisor_], [kvcache_], [httpd_], [client_] (retry/workload
+    clients), [sanitizer_] (heap-poison sanitizer), [trace_] (the span
+    tracer itself). Counters end in [_total]; histogram base names carry
+    at most a unit suffix — exposition appends [_bucket]/[_sum]/[_count].
+    The [metric-naming] repo-lint rule enforces this scheme at
+    registration call sites. *)
 
 (** Typed counters, gauges and log-bucketed histograms.
 
@@ -89,8 +94,27 @@ module Metrics : sig
       always appended. *)
 
   val observe : histogram -> float -> unit
+
+  val observe_exemplar : histogram -> float -> exemplar:string -> unit
+  (** Like {!observe}, but also attach [exemplar] (e.g. a trace id) to
+      the bucket the value lands in, replacing that bucket's previous
+      exemplar. Exposition renders it OpenMetrics-style
+      ([# {trace="<id>"} <value>]) after the bucket line. An empty
+      [exemplar] attaches nothing. *)
+
   val hist_count : histogram -> int
   val hist_sum : histogram -> float
+
+  val hist_buckets : histogram -> (float * int) list
+  (** Raw (non-cumulative) per-bucket counts paired with their finite
+      upper bounds, in ascending order. Samples above the last bound are
+      not listed: the implicit [+Inf] population is [hist_count] minus
+      the sum of these counts. The input to {!Stats.quantile_of_buckets}. *)
+
+  val hist_exemplars : histogram -> (float * float * string) list
+  (** [(upper bound, observed value, exemplar id)] for every bucket that
+      holds an exemplar, ascending; the implicit [+Inf] bucket reports
+      [infinity] as its bound. *)
 
   (** {1 Exposition} *)
 
@@ -108,6 +132,49 @@ module Metrics : sig
       [# TYPE] headers followed by one line per sample. Families are
       sorted by name and series by label set, so the output is
       deterministic. *)
+end
+
+(** Deterministic causal trace context.
+
+    A context is a 64-bit trace id (derived by hashing a stable
+    operation name, e.g. ["cli-3"], with FNV-1a — never from randomness
+    or wall clock, so identical runs mint identical ids) plus a small
+    span ordinal (the retry attempt number). It is carried on every
+    request: httpd as a [traceparent]-style header, kvcache text as a
+    trailing [trace=<16 hex>] token, binproto in the reserved header
+    bytes 16–23 — and links a client op to every server-side
+    consequence: retries, journal replays, domain switches, flight-
+    recorder events and rewind audit records. *)
+module Context : sig
+  type t
+
+  val root : string -> t
+  (** Mint a context for one logical operation. The trace id is the
+      FNV-1a hash of the argument, masked to 62 bits so it round-trips
+      losslessly through the simulation's OCaml-int-valued store64
+      words (hash 0 remapped to 1 — the zero id is the binary
+      protocol's "no context" encoding). *)
+
+  val child : t -> int -> t
+  (** Same trace id, span ordinal [n] — one per retry attempt. *)
+
+  val trace : t -> int64
+  val span : t -> int
+
+  val of_trace : ?span:int -> int64 -> t option
+  (** Rebuild a context from a wire-decoded 64-bit id; [None] for the
+      zero "no context" id. *)
+
+  val trace_hex : t -> string
+  (** 16 lowercase hex chars — the canonical rendering everywhere
+      (wire tokens, span args, flight-recorder dumps, exemplars). *)
+
+  val of_trace_hex : string -> t option
+
+  val to_traceparent : t -> string
+  (** [00-<trace 16 hex>-<span 8 hex>-01], the httpd header value. *)
+
+  val of_traceparent : string -> t option
 end
 
 (** Nested spans over virtual time, recorded into a bounded ring.
@@ -139,7 +206,10 @@ module Trace : sig
     t -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
   (** Run the body inside a span. The span is recorded when the body
       returns {e or raises} — a rewind unwinding through a span still
-      leaves its trace. No-op (identity) while disabled. *)
+      leaves its trace, with [("aborted", "true")] appended to its args
+      (rendered as the JSON boolean [{"aborted":true}] in Chrome
+      exports) so it is distinguishable from a clean return. No-op
+      (identity) while disabled. *)
 
   val instant : t -> ?args:(string * string) list -> string -> unit
   (** Record a zero-duration marker event (e.g. a breaker transition). *)
@@ -149,6 +219,10 @@ module Trace : sig
 
   val recorded : t -> int
   (** Total spans ever recorded, including dropped ones. *)
+
+  val aborted_spans : t -> int
+  (** Spans that ended by an exception unwinding (the
+      [trace_aborted_spans_total] source). *)
 
   val dropped : t -> int
   val clear : t -> unit

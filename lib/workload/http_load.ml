@@ -74,11 +74,14 @@ let launch sched net cfg ~on_done () =
               None)
       | Some eng -> (
           match
-            Retry.execute eng (fun ~rid ~attempt:_ ~deadline ->
+            Retry.execute_ctx eng (fun ~ctx ~rid ~attempt:_ ~deadline ->
                 let c = live () in
                 Netsim.send c
                   (request_with_headers ~path:cfg.path
-                     [ ("X-Request-Id", rid) ]);
+                     [
+                       ("X-Request-Id", rid);
+                       ("Traceparent", Telemetry.Context.to_traceparent ctx);
+                     ]);
                 match Netsim.recv_deadline c ~deadline with
                 | Some reply
                   when String.length reply >= 12

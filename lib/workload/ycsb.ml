@@ -102,12 +102,14 @@ let launch sched net cfg ~on_done () =
     in
     let issue mk_req =
       match eng with
-      | None -> request !conn (mk_req None)
+      | None -> request !conn (mk_req ~rid:None ~trace:0L)
       | Some eng -> (
           match
-            Retry.execute eng (fun ~rid ~attempt:_ ~deadline ->
+            Retry.execute_ctx eng (fun ~ctx ~rid ~attempt:_ ~deadline ->
                 let c = live () in
-                Netsim.send c (mk_req (Some rid));
+                Netsim.send c
+                  (mk_req ~rid:(Some rid)
+                     ~trace:(Telemetry.Context.trace ctx));
                 match Netsim.recv_deadline c ~deadline with
                 | Some r when r = Kvcache.Proto.server_error_busy ->
                     Error (`Retry "busy")
@@ -143,8 +145,12 @@ let launch sched net cfg ~on_done () =
       if k < hi then begin
         Sched.charge cfg.client_cycles;
         let value = value_for ~base:base_value ~value_size:cfg.value_size k in
-        (* Loads are idempotent (same key, same value), so no rid. *)
-        let req _rid = Kvcache.Proto.fmt_set ~key:(key_of k) ~flags:0 ~value in
+        (* Loads are idempotent (same key, same value), so no rid; the
+           trace token still links retried loads to their op. *)
+        let req ~rid:_ ~trace =
+          Kvcache.Proto.fmt_storage "set" ~trace ~key:(key_of k) ~flags:0
+            ~value ()
+        in
         match issue req with
         | Some r when Kvcache.Proto.parse_reply r = Kvcache.Proto.Stored ->
             go (k + 1)
@@ -188,16 +194,16 @@ let launch sched net cfg ~on_done () =
         let reply =
           if Rng.float rng < cfg.read_fraction then
             let key = key_of (pick ()) in
-            issue (fun _rid -> Kvcache.Proto.fmt_get key)
+            issue (fun ~rid:_ ~trace -> Kvcache.Proto.fmt_get ~trace key)
           else
             let target = if cfg.insert_new then fresh_key () else pick () in
             let key = key_of target in
             let value =
               value_for ~base:base_value ~value_size:cfg.value_size target
             in
-            issue (function
-              | Some rid -> Kvcache.Proto.fmt_set_rid ~rid ~key ~flags:0 ~value
-              | None -> Kvcache.Proto.fmt_set ~key ~flags:0 ~value)
+            issue (fun ~rid ~trace ->
+                Kvcache.Proto.fmt_storage "set" ?rid ~trace ~key ~flags:0
+                  ~value ())
         in
         samples := (Sched.now () -. t0) :: !samples;
         match reply with

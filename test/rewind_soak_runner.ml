@@ -110,7 +110,9 @@ let monitor_leg ~seed =
                 (Printf.sprintf "udi %d fully discarded" u)
                 (not (Api.is_initialized sd u)))
             (List.sort_uniq compare !used);
-          let footprint = Api.monitor_bytes sd - Api.audit_bytes sd in
+          let footprint =
+            Api.monitor_bytes sd - Api.audit_bytes sd - Api.flight_bytes sd
+          in
           match !baseline with
           | None -> baseline := Some footprint
           | Some b ->

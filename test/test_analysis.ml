@@ -604,6 +604,66 @@ let test_lint_tree_missing_mli_and_allowlist () =
   | exception Failure _ -> ());
   rmrf dir
 
+(* {2 Metric-naming rule}
+
+   Runs on raw source (the names it judges are string literals), so the
+   fixtures here are plain strings — no [bad] concatenation needed; test/
+   is outside the linted tree anyway. *)
+
+let test_lint_metric_naming_violations () =
+  let scan src = L.scan_metric_names ~file:"lib/kvcache/server.ml" src in
+  let one src needle =
+    match scan src with
+    | [ v ] ->
+        check string "rule" "metric-naming" v.L.v_rule;
+        check bool (needle ^ " in message") true (contains v.L.v_text needle)
+    | l ->
+        Alcotest.failf "%S: expected 1 violation, got %d" src (List.length l)
+  in
+  one "let c = M.counter m \"kvcache_oops\"\n" "must end in _total";
+  one "let c = M.counter m \"bogus_items_total\"\n" "no known subsystem prefix";
+  one "let h = M.histogram m \"kvcache_lat_total\"\n" "_total is for counters only";
+  one "let g = M.gauge m \"supervisor_depth_total\"\n" "_total is for counters only";
+  one
+    "let () =\n\
+    \  M.gauge_fn m \"vmem_mapped_bytes_count\"\n\
+    \    (fun () -> 0.0)\n"
+    "reserved for the histogram exposition";
+  one "let h = M.histogram m \"sdrad_rewind_cycles_bucket\"\n"
+    "reserved for the histogram exposition";
+  (* The violation is attributed to the registration line. *)
+  match scan "let x = 1\nlet c = M.counter m \"kvcache_oops\"\n" with
+  | [ v ] -> check int "line" 2 v.L.v_line
+  | _ -> Alcotest.fail "expected 1 violation"
+
+let test_lint_metric_naming_accepts () =
+  let scan src = L.scan_metric_names ~file:"lib/kvcache/server.ml" src in
+  let clean name src =
+    check int name 0 (List.length (scan src))
+  in
+  clean "conformant counter" "let c = M.counter m \"kvcache_requests_total\"\n";
+  clean "callback counter, parenthesized registry"
+    "let () =\n\
+    \  M.counter_fn (Api.metrics sd) \"sdrad_flight_events_total\"\n\
+    \    (fun () -> 0)\n";
+  clean "histogram with a unit suffix"
+    "let h = M.histogram m \"client_op_latency_cycles\"\n";
+  (* Computed names are the caller's contract, not the rule's. *)
+  clean "computed name skipped" "let c = M.counter m (prefix ^ \"_total\")\n";
+  (* Record fields and type mentions are not registration sites. *)
+  clean "type position skipped"
+    "type t = { served : Telemetry.Metrics.counter }\n";
+  clean "field access skipped" "let n = M.counter_value st.counter\n";
+  check bool "rule registered" true (List.mem "metric-naming" L.rule_names);
+  check bool "every known prefix ends in underscore" true
+    (List.for_all
+       (fun p -> String.length p > 1 && p.[String.length p - 1] = '_')
+       L.metric_prefixes);
+  (* The allowlist parser accepts the rule name. *)
+  check bool "allowlistable" true
+    (L.parse_allowlist "metric-naming lib/foo.ml\n" ~rule:"metric-naming"
+       ~file:"lib/foo.ml")
+
 let test_lint_repo_is_clean () =
   (* The acceptance bar behind `make lint`: lib/ has no violations under
      the committed allowlist. Locate the repo root from the build dir. *)
@@ -666,6 +726,10 @@ let () =
           Alcotest.test_case "strip" `Quick test_lint_strip_comments_and_strings;
           Alcotest.test_case "tree + allowlist" `Quick
             test_lint_tree_missing_mli_and_allowlist;
+          Alcotest.test_case "metric-naming +" `Quick
+            test_lint_metric_naming_violations;
+          Alcotest.test_case "metric-naming -" `Quick
+            test_lint_metric_naming_accepts;
           Alcotest.test_case "repo clean" `Quick test_lint_repo_is_clean;
         ] );
     ]

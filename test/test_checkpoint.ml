@@ -113,6 +113,7 @@ let test_incremental_no_changes () =
 module Api = Sdrad.Api
 module Dlock = Sdrad.Dlock
 module Rl = Checkpoint.Rewind_log
+module Fl = Checkpoint.Flight
 
 let run_rewind_scenario ~seed ~hook =
   let space = Space.create ~size_mib:32 () in
@@ -195,10 +196,19 @@ let run_rewind_scenario ~seed ~hook =
             (String.concat ","
                (List.map (fun (a, l) -> Printf.sprintf "%d:%d" a l) x.Rl.x_regions)))
         r.Rl.r_subtree;
-      Printf.bprintf b " ]\n")
+      Printf.bprintf b " ]";
+      (* The flight-recorder excerpt frozen at intent time is part of the
+         record, so it is part of the equivalence surface too. *)
+      List.iter
+        (fun e ->
+          Printf.bprintf b " {%s@%.0f u%d t%d a%d x%Lx}"
+            (Fl.kind_to_string e.Fl.e_kind)
+            e.Fl.e_at e.Fl.e_udi e.Fl.e_tid e.Fl.e_arg e.Fl.e_trace)
+        r.Rl.r_events;
+      Buffer.add_char b '\n')
     (Api.audit_records sd);
   Printf.bprintf b "bytes=%d pending=%b\n"
-    (Api.monitor_bytes sd - Api.audit_bytes sd)
+    (Api.monitor_bytes sd - Api.audit_bytes sd - Api.flight_bytes sd)
     (Api.audit_pending sd);
   Printf.bprintf b "lock poisoned=%b holder=%s\n" (Dlock.poisoned lock)
     (match Dlock.holder lock with
@@ -207,6 +217,20 @@ let run_rewind_scenario ~seed ~hook =
   List.iter
     (fun u -> Printf.bprintf b "live %d=%b\n" u (Api.is_initialized sd u))
     (List.sort_uniq compare !udis);
+  (* The live flight rings outlive the domains they describe; an
+     interrupted rewind must leave them exactly as an uninterrupted one
+     does. Event kinds only: post-rewind timestamps shift with the
+     virtual time an interrupt consumes, like the excluded time window. *)
+  List.iter
+    (fun u ->
+      Printf.bprintf b "flight %d:" u;
+      List.iter
+        (fun e -> Printf.bprintf b " %s" (Fl.kind_to_string e.Fl.e_kind))
+        (Api.flight_events sd ~udi:u);
+      Buffer.add_char b '\n')
+    (Api.flight_domains sd);
+  Printf.bprintf b "flight recorded=%d dropped=%d\n" (Api.flight_recorded sd)
+    (Api.flight_dropped sd);
   (Buffer.contents b, !consultations)
 
 let test_interrupted_rewind_differential () =
@@ -226,6 +250,143 @@ let test_interrupted_rewind_differential () =
       check Alcotest.string
         (Printf.sprintf "seed %d, interrupt storm" seed)
         base obs)
+    [ 11; 23; 37; 41; 53 ]
+
+(* {1 Flight recorder} *)
+
+(* A standalone ring over a fresh monitor-style heap: a mapped region
+   handed to TLSF, the shape [Api.create] wires up internally. *)
+let make_flight ?cap ?max_domains () =
+  let s = Space.create ~size_mib:8 () in
+  let heap = Tlsf.create s ~name:"flight-test" in
+  let len = 256 * 1024 in
+  let r = Space.mmap s ~len ~prot:Prot.rw ~pkey:0 in
+  Tlsf.add_region heap ~addr:r ~len;
+  (s, Fl.create s ~heap ?cap ?max_domains ())
+
+let test_flight_record_order_and_snapshot () =
+  in_thread (fun () ->
+      let _s, f = make_flight () in
+      check int "no rings yet" 0 (List.length (Fl.domains f));
+      check int "unknown domain reads empty" 0 (List.length (Fl.events f ~udi:3));
+      Fl.record f ~udi:3 ~tid:1 ~at:10.0 ~trace:42L ~arg:1 Fl.Admit;
+      Fl.record f ~udi:3 ~tid:1 ~at:11.0 ~trace:42L ~arg:2 Fl.Switch_in;
+      Fl.record f ~udi:3 ~tid:2 ~at:12.0 ~arg:3 Fl.Fault;
+      (match Fl.events f ~udi:3 with
+      | [ a; b; c ] ->
+          check bool "oldest first" true (a.Fl.e_kind = Fl.Admit);
+          check (Alcotest.float 0.0) "timestamp kept" 10.0 a.Fl.e_at;
+          check int "tid kept" 1 a.Fl.e_tid;
+          check int "owner udi kept" 3 a.Fl.e_udi;
+          check bool "trace carried" true (a.Fl.e_trace = 42L);
+          check bool "order" true
+            (b.Fl.e_kind = Fl.Switch_in && c.Fl.e_kind = Fl.Fault);
+          check bool "absent trace reads zero" true (c.Fl.e_trace = 0L)
+      | l -> Alcotest.failf "expected 3 events, got %d" (List.length l));
+      check (Alcotest.list int) "snapshot keeps the tail, oldest first" [ 2; 3 ]
+        (List.map (fun e -> e.Fl.e_arg) (Fl.snapshot f ~udi:3 ~n:2));
+      check (Alcotest.list int) "oversized snapshot is just the ring" [ 1; 2; 3 ]
+        (List.map (fun e -> e.Fl.e_arg) (Fl.snapshot f ~udi:3 ~n:99));
+      check int "recorded" 3 (Fl.recorded f);
+      check int "nothing dropped" 0 (Fl.dropped f);
+      check Alcotest.string "kind rendering" "switch-in"
+        (Fl.kind_to_string Fl.Switch_in))
+
+let test_flight_kind_codes_roundtrip () =
+  List.iter
+    (fun k ->
+      check bool (Fl.kind_to_string k) true (Fl.code_kind (Fl.kind_code k) = k))
+    [
+      Fl.Admit; Fl.Switch_in; Fl.Switch_out; Fl.Alloc_poison; Fl.Lock_acquire;
+      Fl.Fault; Fl.Shed; Fl.Replay;
+    ]
+
+let test_flight_ring_wrap_counts_drops () =
+  in_thread (fun () ->
+      let _s, f = make_flight ~cap:4 () in
+      for i = 1 to 6 do
+        Fl.record f ~udi:7 ~tid:0 ~at:(float_of_int i) ~arg:i Fl.Admit
+      done;
+      check (Alcotest.list int) "most recent four, oldest first" [ 3; 4; 5; 6 ]
+        (List.map (fun e -> e.Fl.e_arg) (Fl.events f ~udi:7));
+      check int "recorded counts everything" 6 (Fl.recorded f);
+      check int "wrap losses counted" 2 (Fl.dropped f))
+
+let test_flight_domain_eviction () =
+  in_thread (fun () ->
+      let _s, f = make_flight ~max_domains:2 () in
+      Fl.record f ~udi:1 ~tid:0 ~at:1.0 Fl.Admit;
+      Fl.record f ~udi:1 ~tid:0 ~at:2.0 Fl.Fault;
+      Fl.record f ~udi:2 ~tid:0 ~at:3.0 Fl.Admit;
+      Fl.record f ~udi:3 ~tid:0 ~at:4.0 Fl.Admit;
+      check (Alcotest.list int) "oldest ring evicted" [ 2; 3 ] (Fl.domains f);
+      check int "evicted events counted dropped" 2 (Fl.dropped f);
+      check int "evicted domain reads empty" 0
+        (List.length (Fl.events f ~udi:1)))
+
+let test_flight_store_load_roundtrip () =
+  in_thread (fun () ->
+      let s = Space.create ~size_mib:8 () in
+      let a = Space.mmap s ~len:4096 ~prot:Prot.rw ~pkey:0 in
+      let e =
+        {
+          Fl.e_at = 12345.0;
+          e_tid = 3;
+          e_kind = Fl.Replay;
+          e_udi = 9;
+          e_trace = 0x2fca9509bd23d4L;
+          e_arg = 17;
+        }
+      in
+      Fl.store s a e;
+      check int "six words" 48 Fl.stored_size;
+      check bool "round-trips" true (Fl.load s a = e))
+
+let test_flight_survives_rewind_with_trace () =
+  let space = Space.create ~size_mib:32 () in
+  let sd = Api.create space in
+  let trace = Telemetry.Context.trace (Telemetry.Context.root "op-1") in
+  in_thread (fun () ->
+      Api.with_trace sd trace (fun () ->
+          Api.run sd ~udi:5
+            ~on_rewind:(fun _ -> ())
+            (fun () ->
+              Api.flight_event sd ~udi:5 Fl.Admit;
+              Api.enter sd 5;
+              Api.abort sd "drill")));
+  (* The domain is discarded; its ring — monitor memory — is not. *)
+  check bool "ring survives the discard" true
+    (List.mem 5 (Api.flight_domains sd));
+  let events = Api.flight_events sd ~udi:5 in
+  let kinds = List.map (fun e -> e.Fl.e_kind) events in
+  check bool "admit, switch-in, fault retained" true
+    (List.mem Fl.Admit kinds
+    && List.mem Fl.Switch_in kinds
+    && List.mem Fl.Fault kinds);
+  List.iter
+    (fun e ->
+      check bool "every event carries the installed trace" true
+        (e.Fl.e_trace = trace))
+    events;
+  (* ...and the audit record froze the tail at intent time. *)
+  match Api.audit_records sd with
+  | [ r ] ->
+      check bool "snapshot nonempty" true (r.Rl.r_events <> []);
+      let last = List.nth r.Rl.r_events (List.length r.Rl.r_events - 1) in
+      check bool "fault is the last frozen event" true
+        (last.Fl.e_kind = Fl.Fault);
+      check bool "frozen event carries the trace" true (last.Fl.e_trace = trace)
+  | l -> Alcotest.failf "expected one audit record, got %d" (List.length l)
+
+(* Two identical seeded runs must render byte-identical audit + flight
+   dumps — the property behind the golden-tested forensics surfaces
+   ([sdrad_cli incident], [rollback-report]). *)
+let test_flight_dump_determinism () =
+  List.iter
+    (fun seed ->
+      let a, _ = run_rewind_scenario ~seed ~hook:(fun _ -> false) in
+      let b, _ = run_rewind_scenario ~seed ~hook:(fun _ -> false) in
+      check Alcotest.string (Printf.sprintf "seed %d byte-identical" seed) a b)
     [ 11; 23; 37; 41; 53 ]
 
 (* {1 Stats} *)
@@ -289,6 +450,23 @@ let () =
         [
           Alcotest.test_case "interrupted rewind is equivalent" `Quick
             test_interrupted_rewind_differential;
+        ] );
+      ( "flight-recorder",
+        [
+          Alcotest.test_case "record order and snapshot" `Quick
+            test_flight_record_order_and_snapshot;
+          Alcotest.test_case "kind codes roundtrip" `Quick
+            test_flight_kind_codes_roundtrip;
+          Alcotest.test_case "ring wrap counts drops" `Quick
+            test_flight_ring_wrap_counts_drops;
+          Alcotest.test_case "domain eviction" `Quick
+            test_flight_domain_eviction;
+          Alcotest.test_case "store/load roundtrip" `Quick
+            test_flight_store_load_roundtrip;
+          Alcotest.test_case "survives rewind with trace" `Quick
+            test_flight_survives_rewind_with_trace;
+          Alcotest.test_case "dump determinism" `Quick
+            test_flight_dump_determinism;
         ] );
       ( "stats",
         [

@@ -409,6 +409,59 @@ let test_binproto_reply_roundtrip () =
   | Proto.Failed _ -> ()
   | _ -> Alcotest.fail "expected Failed"
 
+(* {2 Causal-context carriage on both wire formats} *)
+
+let test_proto_trace_token () =
+  in_thread (fun () ->
+      let space = mk_space () in
+      let buf = Space.mmap space ~len:4096 ~prot:Prot.rw ~pkey:0 in
+      let id = Telemetry.Context.trace (Telemetry.Context.root "cli-9") in
+      let req = Proto.fmt_get ~trace:id "k" in
+      Space.store_string space buf req;
+      let len = String.length req in
+      check bool "token decoded from memory" true
+        (Proto.parse_trace space ~addr:buf ~len = id);
+      (match Proto.parse space ~addr:buf ~len with
+      | Proto.Get k -> check string "token stripped before dispatch" "k" k
+      | _ -> Alcotest.fail "expected Get");
+      check bool "string-side decoder agrees" true
+        (Proto.trace_of_string req = id);
+      let plain = Proto.fmt_get "k" in
+      check bool "absent token reads zero" true
+        (Proto.trace_of_string plain = 0L);
+      check bool "zero id appends nothing" true
+        (Proto.fmt_get ~trace:0L "k" = plain);
+      (* The attack vector carries context too, so the fault it triggers
+         links back to the request in forensics output. *)
+      let lying =
+        Proto.fmt_set_lying_traced ~trace:id ~key:"pwn" ~flags:0 ~declared:(-1)
+          ~value:"xy"
+      in
+      check bool "lying set carries the token" true
+        (Proto.trace_of_string lying = id))
+
+let test_binproto_trace_cas_field () =
+  in_thread (fun () ->
+      let space = mk_space () in
+      let buf = Space.mmap space ~len:8192 ~prot:Prot.rw ~pkey:0 in
+      let id = Telemetry.Context.trace (Telemetry.Context.root "bin-4") in
+      let req = Bin.req_get "k" in
+      let traced = Bin.with_trace req id in
+      check int "frame length unchanged" (String.length req)
+        (String.length traced);
+      check bool "cas field round-trips" true (Bin.trace_of_string traced = id);
+      check bool "untraced frame reads zero" true
+        (Bin.trace_of_string req = 0L);
+      check bool "zero id leaves the frame untouched" true
+        (Bin.with_trace req 0L = req);
+      (* Patching the CAS field must not disturb the command itself. *)
+      Space.store_string space buf traced;
+      (match Bin.parse space ~addr:buf ~len:(String.length traced) with
+      | Proto.Get k -> check string "still parses" "k" k
+      | _ -> Alcotest.fail "expected Get");
+      check bool "memory-side decoder agrees" true
+        (Bin.parse_trace space ~addr:buf ~len:(String.length traced) = id))
+
 let test_server_binary_ops () =
   let srv =
     run_server_test ~variant:Server.Sdrad ~vulnerable:false (fun _ net _ ->
@@ -859,12 +912,14 @@ let () =
         [
           Alcotest.test_case "parse" `Quick test_proto_parse;
           Alcotest.test_case "reply roundtrip" `Quick test_proto_reply_roundtrip;
+          Alcotest.test_case "trace token" `Quick test_proto_trace_token;
         ] );
       ( "binproto",
         [
           Alcotest.test_case "roundtrip" `Quick test_binproto_roundtrip;
           Alcotest.test_case "sign extension" `Quick test_binproto_sign_extension;
           Alcotest.test_case "reply roundtrip" `Quick test_binproto_reply_roundtrip;
+          Alcotest.test_case "trace cas field" `Quick test_binproto_trace_cas_field;
           Alcotest.test_case "server binary ops" `Quick test_server_binary_ops;
           Alcotest.test_case "mixed protocols" `Quick test_server_mixed_protocols;
           Alcotest.test_case "cve binary baseline" `Quick test_cve_binary_baseline_crashes;

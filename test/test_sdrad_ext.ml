@@ -729,9 +729,12 @@ let lifecycle_invariants =
           if sample "sdrad_execution_domains" <> 0.0 then ok := false;
           (* monitor + root keys only *)
           if sample "sdrad_pkeys_in_use" <> 2.0 then ok := false;
-          (* The audit log intentionally retains incident records in
-             monitor memory; everything else must return to baseline. *)
-          if Api.monitor_bytes sd - Api.audit_bytes sd <> baseline_monitor
+          (* The audit log and the flight-recorder rings intentionally
+             retain monitor memory; everything else must return to
+             baseline. *)
+          if
+            Api.monitor_bytes sd - Api.audit_bytes sd - Api.flight_bytes sd
+            <> baseline_monitor
           then ok := false);
       !ok)
 

@@ -13,6 +13,7 @@ module Supervisor = Resilience.Supervisor
 module Fault_inject = Resilience.Fault_inject
 module M = Telemetry.Metrics
 module Trace = Telemetry.Trace
+module Ctx = Telemetry.Context
 
 let check = Alcotest.check
 let int = Alcotest.int
@@ -117,6 +118,100 @@ let test_callback_instruments () =
   check bool "counter sampled at exposition" true (contains "cb_total 7");
   check bool "gauge sampled at exposition" true (contains "cb_gauge 14")
 
+let test_hist_buckets_and_quantiles () =
+  let m = M.create () in
+  let h = M.histogram m "lat_cycles" ~buckets:[| 10.0; 100.0; 1000.0 |] in
+  List.iter (M.observe h) [ 5.0; 50.0; 60.0; 500.0; 5000.0 ];
+  check bool "raw per-bucket counts, ascending" true
+    (M.hist_buckets h = [ (10.0, 1); (100.0, 2); (1000.0, 1) ]);
+  (* The implicit +Inf population is the count minus the listed ones. *)
+  check int "one sample above the last bound" 1
+    (M.hist_count h
+    - List.fold_left (fun a (_, c) -> a + c) 0 (M.hist_buckets h));
+  let q p = Stats.quantile_of_buckets (M.hist_buckets h) p in
+  check bool "p50 interpolated inside the 10-100 bucket" true
+    (q 0.5 > 10.0 && q 0.5 <= 100.0);
+  check (Alcotest.float 1e-9) "ranks past the counts floor at the last bound"
+    1000.0 (q 1.0);
+  check bool "q outside [0,1] refused" true (raises_invalid (fun () -> q 1.5));
+  check bool "all-zero histogram refused" true
+    (raises_invalid (fun () -> Stats.quantile_of_buckets [ (10.0, 0) ] 0.5))
+
+let test_exemplars_attached_and_rendered () =
+  let m = M.create () in
+  let h =
+    M.histogram m "client_op_latency_cycles" ~buckets:[| 10.0; 100.0 |]
+  in
+  M.observe_exemplar h 50.0 ~exemplar:"0d325a9509bd23d4";
+  (* An empty exemplar observes without attaching. *)
+  M.observe_exemplar h 5.0 ~exemplar:"";
+  check int "both observed" 2 (M.hist_count h);
+  (match M.hist_exemplars h with
+  | [ (bound, v, id) ] ->
+      check (Alcotest.float 0.0) "bucket bound" 100.0 bound;
+      check (Alcotest.float 0.0) "observed value" 50.0 v;
+      check string "exemplar id" "0d325a9509bd23d4" id
+  | l -> Alcotest.failf "expected one exemplar, got %d" (List.length l));
+  let text = M.expose m in
+  let contains needle =
+    let l = String.length needle and hlen = String.length text in
+    let rec go i = i + l <= hlen && (String.sub text i l = needle || go (i + 1)) in
+    go 0
+  in
+  check bool "OpenMetrics-style rendering" true
+    (contains "# {trace=\"0d325a9509bd23d4\"}");
+  (* A later exemplar in the same bucket replaces the earlier one. *)
+  M.observe_exemplar h 60.0 ~exemplar:"ffff000011112222";
+  match M.hist_exemplars h with
+  | [ (_, 60.0, id) ] -> check string "replaced" "ffff000011112222" id
+  | _ -> Alcotest.fail "replacement failed"
+
+(* {1 Causal trace context} *)
+
+let test_context_ids_deterministic () =
+  let a = Ctx.root "cli-3" and b = Ctx.root "cli-3" and c = Ctx.root "cli-4" in
+  check bool "same name, same id" true (Ctx.trace a = Ctx.trace b);
+  check bool "different name, different id" true (Ctx.trace a <> Ctx.trace c);
+  check bool "never the zero wire encoding" true (Ctx.trace a <> 0L);
+  check bool "masked to 62 bits" true
+    (Int64.shift_right_logical (Ctx.trace a) 62 = 0L);
+  check int "root span ordinal" 0 (Ctx.span a);
+  let kid = Ctx.child a 2 in
+  check bool "child keeps the trace" true (Ctx.trace kid = Ctx.trace a);
+  check int "child span ordinal" 2 (Ctx.span kid);
+  check bool "zero id means no context" true (Ctx.of_trace 0L = None);
+  match Ctx.of_trace (Ctx.trace a) with
+  | Some c' -> check bool "of_trace round-trips" true (Ctx.trace c' = Ctx.trace a)
+  | None -> Alcotest.fail "nonzero id rejected"
+
+let test_context_hex_roundtrip () =
+  let c = Ctx.root "kv-incident" in
+  let hex = Ctx.trace_hex c in
+  check int "16 chars" 16 (String.length hex);
+  String.iter
+    (fun ch ->
+      check bool "lowercase hex" true
+        ((ch >= '0' && ch <= '9') || (ch >= 'a' && ch <= 'f')))
+    hex;
+  (match Ctx.of_trace_hex hex with
+  | Some c' -> check bool "round-trips" true (Ctx.trace c' = Ctx.trace c)
+  | None -> Alcotest.fail "hex did not parse");
+  check bool "garbage rejected" true (Ctx.of_trace_hex "not-hex-at-all" = None)
+
+let test_context_traceparent_roundtrip () =
+  let c = Ctx.child (Ctx.root "web-7") 3 in
+  let tp = Ctx.to_traceparent c in
+  check int "fixed width" 31 (String.length tp);
+  check string "version prefix" "00-" (String.sub tp 0 3);
+  check string "sampled flag" "-01" (String.sub tp 28 3);
+  check string "trace id field" (Ctx.trace_hex c) (String.sub tp 3 16);
+  (match Ctx.of_traceparent tp with
+  | Some c' ->
+      check bool "trace round-trips" true (Ctx.trace c' = Ctx.trace c);
+      check int "span round-trips" 3 (Ctx.span c')
+  | None -> Alcotest.fail "traceparent did not parse");
+  check bool "garbage rejected" true (Ctx.of_traceparent "00-xyz" = None)
+
 (* {1 Span tracer} *)
 
 let test_trace_disabled_is_identity () =
@@ -182,6 +277,35 @@ let test_chrome_json_shape () =
       check bool "instant event" true (contains "\"ph\":\"i\"");
       check bool "args carried" true (contains "\"udi\":\"5\"");
       check bool "wrapper" true (contains "{\"traceEvents\":["))
+
+let test_aborted_span_flag () =
+  in_thread (fun () ->
+      let tr = Trace.create () in
+      Trace.set_enabled tr true;
+      Trace.with_span tr "clean" (fun () -> Sched.charge 1.0);
+      (try
+         Trace.with_span tr "doomed" (fun () ->
+             Sched.charge 1.0;
+             failwith "unwind")
+       with Failure _ -> ());
+      check int "one aborted span" 1 (Trace.aborted_spans tr);
+      (match Trace.spans tr with
+      | [ clean; doomed ] ->
+          check bool "clean span unflagged" true
+            (List.assoc_opt "aborted" clean.Trace.s_args = None);
+          check bool "aborted flag appended" true
+            (List.assoc_opt "aborted" doomed.Trace.s_args = Some "true")
+      | l -> Alcotest.failf "expected 2 spans, got %d" (List.length l));
+      let j = Trace.to_chrome_json tr in
+      let contains needle =
+        let l = String.length needle and hlen = String.length j in
+        let rec go i =
+          i + l <= hlen && (String.sub j i l = needle || go (i + 1))
+        in
+        go 0
+      in
+      check bool "JSON boolean in the chrome export" true
+        (contains "\"aborted\":true"))
 
 (* {1 Monitor wiring} *)
 
@@ -448,6 +572,18 @@ let () =
             test_labels_and_ordering;
           Alcotest.test_case "callback instruments" `Quick
             test_callback_instruments;
+          Alcotest.test_case "buckets and quantiles" `Quick
+            test_hist_buckets_and_quantiles;
+          Alcotest.test_case "exemplars" `Quick
+            test_exemplars_attached_and_rendered;
+        ] );
+      ( "context",
+        [
+          Alcotest.test_case "deterministic ids" `Quick
+            test_context_ids_deterministic;
+          Alcotest.test_case "hex roundtrip" `Quick test_context_hex_roundtrip;
+          Alcotest.test_case "traceparent roundtrip" `Quick
+            test_context_traceparent_roundtrip;
         ] );
       ( "trace",
         [
@@ -457,6 +593,7 @@ let () =
           Alcotest.test_case "nesting and durations" `Quick
             test_trace_nesting_and_durations;
           Alcotest.test_case "chrome json shape" `Quick test_chrome_json_shape;
+          Alcotest.test_case "aborted span flag" `Quick test_aborted_span_flag;
         ] );
       ( "monitor",
         [
