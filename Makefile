@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all check test lint chaos chaos-soak chaos-rewind-soak bench bench-r3 bench-r4 telemetry-report forensics-report clean
+.PHONY: all check test lint chaos chaos-soak chaos-rewind-soak bench bench-r3 bench-r4 bench-gate telemetry-report forensics-report clean
 
 all: check
 
@@ -64,6 +64,13 @@ bench-r3:
 # operation runs out of retries or faulted goodput drops below 0.6x.
 bench-r4:
 	dune exec bench/main.exe -- r4
+
+# Batched-gate switch benchmark: request-loop anatomy with elision
+# on/off and the kvcache YCSB overhead with batched gates; emits
+# BENCH_gate.json and fails if the batched PKRU share is not below the
+# 30% floor or the overhead does not improve on -3.7%/-6.6% run/load.
+bench-gate:
+	dune exec bench/main.exe -- gate
 
 clean:
 	dune clean

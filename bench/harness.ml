@@ -43,10 +43,11 @@ type mc_run = {
   mc_space : Space.t;
 }
 
-let run_memcached ?base_config ?(grant_cache = true) ~variant ~workers
-    ~records ~operations ~clients () =
+let run_memcached ?base_config ?(grant_cache = true) ?(gate_batch_limit = 0)
+    ?(elide = true) ~variant ~workers ~records ~operations ~clients () =
   let space = Space.create ~size_mib:192 () in
   Space.set_grant_cache space grant_cache;
+  if not elide then Space.set_pkru_elision space false;
   let sd =
     match variant with
     | Kvcache.Server.Sdrad -> Some (Api.create space)
@@ -54,7 +55,9 @@ let run_memcached ?base_config ?(grant_cache = true) ~variant ~workers
   in
   let sched = Sched.create () in
   let net = Netsim.create (Space.cost space) in
-  let cfg = { Kvcache.Server.default_config with variant; workers } in
+  let cfg =
+    { Kvcache.Server.default_config with variant; workers; gate_batch_limit }
+  in
   let base =
     Option.value base_config ~default:Workload.Ycsb.default_config
   in

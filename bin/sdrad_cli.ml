@@ -175,14 +175,15 @@ let switch_cmd =
           let p = Api.profile_switch sd in
           Printf.printf
             "enter+exit pair: %.0f cycles (%.2f us)\n\
-            \  wrpkru: %.0f cycles (%.0f%%)\n\
+            \  wrpkru: %.0f cycles (%.0f%%, %d writes, %d elided)\n\
             \  stack:  %.0f cycles\n\
             \  monitor bookkeeping: %.0f cycles\n"
             p.Api.total_cycles
             (Cost.us_of_cycles cost p.Api.total_cycles)
             p.Api.wrpkru_cycles
             (100.0 *. p.Api.wrpkru_cycles /. p.Api.total_cycles)
-            p.Api.stack_cycles p.Api.bookkeeping_cycles)
+            p.Api.wrpkru_writes p.Api.wrpkru_elided p.Api.stack_cycles
+            p.Api.bookkeeping_cycles)
     in
     Sched.run sched
   in

@@ -34,6 +34,7 @@ type config = {
   shed_wait_limit : float;
   nonblocking_admit : bool;
   verify_policy : bool;
+  gate_batch_limit : int;  (* requests coalesced per batched gate; 0 = off *)
 }
 
 let default_config =
@@ -57,6 +58,7 @@ let default_config =
     shed_wait_limit = 0.0;
     nonblocking_admit = false;
     verify_policy = false;
+    gate_batch_limit = 0;
   }
 
 let uri_dst_cap = 2048
@@ -386,11 +388,13 @@ let handle_sdrad t slot sd c ~cbuf ~len =
     `Close_faulted
   in
   let body () =
-      (* [dst] first so it sits at the bottom of the domain sub-heap:
-         the underflow exits the domain instead of finding stale '/'
-         bytes. *)
-      let dst = Api.malloc sd ~udi uri_dst_cap in
-      let copy = Api.malloc sd ~udi (len + 8) in
+      (* [dst] first (slot 0) so it sits at the bottom of the domain
+         sub-heap: the underflow exits the domain instead of finding
+         stale '/' bytes. Both are cached marshalling buffers — the
+         persistent parser domain keeps them across requests, so steady
+         state pays no malloc/free pair per request. *)
+      let dst = Api.gate_buffer sd ~slot:0 ~udi uri_dst_cap in
+      let copy = Api.gate_buffer sd ~slot:1 ~udi (t.cfg.conn_buf_size + 8) in
       Space.blit t.space ~src:cbuf ~dst:copy ~len;
       (* One domain transition per parser phase. A memory fault inside a
          phase must propagate to the rewind machinery with the domain
@@ -450,8 +454,6 @@ let handle_sdrad t slot sd c ~cbuf ~len =
                         headers,
                         (body_rel, body_len) )))
       in
-      Api.free sd ~udi copy;
-      Api.free sd ~udi dst;
       Api.deinit sd udi;
       parsed
   in
@@ -655,67 +657,92 @@ and should_shed t slot ~arrival =
      && Sched.now () -. arrival > t.cfg.shed_wait_limit)
 
 and worker t slot =
+  let batching = t.cfg.gate_batch_limit > 0 && t.cfg.variant = Sdrad in
+  let drop c =
+    Netsim.Waitset.remove slot.ws c;
+    Netsim.close c;
+    slot.live_conns <- List.filter (fun x -> not (x == c)) slot.live_conns
+  in
+  let serve c msg arrival =
+    if should_shed t slot ~arrival then begin
+      (* Overload: answer the retryable 503 before any parsing or
+         domain switch is spent on this request. *)
+      Sched.charge (Space.cost t.space).Cost.syscall;
+      Telemetry.Metrics.inc t.c_shed;
+      (match t.sd with
+      | Some sd ->
+          Api.with_trace sd (trace_of_msg msg) (fun () ->
+              Api.flight_event sd ~udi:(slot_udi t slot)
+                Checkpoint.Flight.Shed)
+      | None -> ());
+      Netsim.send c http_503
+    end
+    else begin
+      Sched.charge (Space.cost t.space).Cost.syscall;
+      Sched.charge t.cfg.proc_cycles;
+      Telemetry.Metrics.inc t.c_served;
+      let cbuf = Hashtbl.find t.conns (Netsim.id c) in
+      let len = min (String.length msg) (t.cfg.conn_buf_size - 2) in
+      Space.store_string t.space cbuf (String.sub msg 0 len);
+      (* Install the request's trace context for its whole
+         handling: parse-phase switches, faults, replays and audit
+         records all inherit it. *)
+      (match (t.cfg.variant, t.sd) with
+      | Sdrad, Some sd ->
+          Api.set_trace sd (trace_of_msg msg);
+          Api.flight_event sd ~udi:(slot_udi t slot)
+            Checkpoint.Flight.Admit
+      | _ -> ());
+      let verdict =
+        match (t.cfg.variant, t.sd) with
+        | Sdrad, Some sd -> handle_sdrad t slot sd c ~cbuf ~len
+        | _ -> handle_plain t slot c ~cbuf ~len
+      in
+      (match t.sd with
+      | Some sd -> Api.set_trace sd 0L
+      | None -> ());
+      (match verdict with
+      | `Keep -> ()
+      | (`Close | `Close_graceful) as v ->
+          drop c;
+          if v = `Close then Telemetry.Metrics.inc t.c_dropped);
+      (* Scheduler-level chaos: lose this worker "process" between
+         requests; the master observes the death and respawns. *)
+      match t.faults with
+      | Some fi ->
+          ignore
+            (Fault_inject.maybe_kill fi ~site:"httpd.worker"
+               ~sched:t.sched ~tid:slot.tid)
+      | None -> ()
+    end
+  in
+  (* Coalesce whatever is already deliverable into the same open gate
+     (a zero-deadline wait is a poll), up to the batch limit. *)
+  let rec drain n =
+    if n < t.cfg.gate_batch_limit then
+      match Netsim.Waitset.wait_deadline slot.ws ~deadline:(Sched.now ()) with
+      | None -> ()
+      | Some c -> (
+          match Netsim.recv_with_arrival c with
+          | None ->
+              drop c;
+              drain n
+          | Some (msg, arrival) ->
+              serve c msg arrival;
+              drain (n + 1))
+  in
   let rec loop () =
     match Netsim.Waitset.wait slot.ws with
     | None -> ()
     | Some c ->
         (match Netsim.recv_with_arrival c with
-        | None ->
-            Netsim.Waitset.remove slot.ws c;
-            Netsim.close c;
-            slot.live_conns <- List.filter (fun x -> not (x == c)) slot.live_conns
-        | Some (msg, arrival) when should_shed t slot ~arrival ->
-            (* Overload: answer the retryable 503 before any parsing or
-               domain switch is spent on this request. *)
-            Sched.charge (Space.cost t.space).Cost.syscall;
-            Telemetry.Metrics.inc t.c_shed;
-            (match t.sd with
-            | Some sd ->
-                Api.with_trace sd (trace_of_msg msg) (fun () ->
-                    Api.flight_event sd ~udi:(slot_udi t slot)
-                      Checkpoint.Flight.Shed)
-            | None -> ());
-            Netsim.send c http_503
-        | Some (msg, _arrival) ->
-            Sched.charge (Space.cost t.space).Cost.syscall;
-            Sched.charge t.cfg.proc_cycles;
-            Telemetry.Metrics.inc t.c_served;
-            let cbuf = Hashtbl.find t.conns (Netsim.id c) in
-            let len = min (String.length msg) (t.cfg.conn_buf_size - 2) in
-            Space.store_string t.space cbuf (String.sub msg 0 len);
-            (* Install the request's trace context for its whole
-               handling: parse-phase switches, faults, replays and audit
-               records all inherit it. *)
-            (match (t.cfg.variant, t.sd) with
-            | Sdrad, Some sd ->
-                Api.set_trace sd (trace_of_msg msg);
-                Api.flight_event sd ~udi:(slot_udi t slot)
-                  Checkpoint.Flight.Admit
-            | _ -> ());
-            let verdict =
-              match (t.cfg.variant, t.sd) with
-              | Sdrad, Some sd -> handle_sdrad t slot sd c ~cbuf ~len
-              | _ -> handle_plain t slot c ~cbuf ~len
-            in
-            (match t.sd with
-            | Some sd -> Api.set_trace sd 0L
-            | None -> ());
-            (match verdict with
-            | `Keep -> ()
-            | (`Close | `Close_graceful) as v ->
-                Netsim.Waitset.remove slot.ws c;
-                Netsim.close c;
-                if v = `Close then Telemetry.Metrics.inc t.c_dropped;
-                slot.live_conns <-
-                  List.filter (fun x -> not (x == c)) slot.live_conns);
-            (* Scheduler-level chaos: lose this worker "process" between
-               requests; the master observes the death and respawns. *)
-            match t.faults with
-            | Some fi ->
-                ignore
-                  (Fault_inject.maybe_kill fi ~site:"httpd.worker"
-                     ~sched:t.sched ~tid:slot.tid)
-            | None -> ());
+        | None -> drop c
+        | Some (msg, arrival) ->
+            if batching then
+              Api.with_gate (Option.get t.sd) (fun () ->
+                  serve c msg arrival;
+                  drain 1)
+            else serve c msg arrival);
         (* §VI mitigation: after too many rewinds, re-exec voluntarily to
            re-randomize the address space. *)
         match t.cfg.rewind_limit with

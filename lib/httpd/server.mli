@@ -65,6 +65,12 @@ type config = {
           run the {!Analysis.Policy} verifier over a snapshot of the
           monitor and raise {!Analysis.Policy.Rejected} on any
           error-severity finding. Off by default. *)
+  gate_batch_limit : int;
+      (** {!Sdrad} variant only: coalesce up to this many consecutive
+          ready requests into one {!Core.Api.open_gate} batched-gate
+          section per worker wakeup, eliding per-request monitor
+          call-gate WRPKRU writes (supervision, flight events and fault
+          isolation are unchanged). 0 disables batching (the default). *)
 }
 
 val default_config : config

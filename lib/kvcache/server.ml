@@ -34,6 +34,7 @@ type config = {
   shed_wait_limit : float;  (* shed when queueing delay exceeds this; 0 = off *)
   nonblocking_admit : bool;  (* turn supervisor backoff waits into busy *)
   verify_policy : bool;  (* run the static policy verifier after setup *)
+  gate_batch_limit : int;  (* requests coalesced per batched gate; 0 = off *)
 }
 
 let default_config =
@@ -57,6 +58,7 @@ let default_config =
     shed_wait_limit = 0.0;
     nonblocking_admit = false;
     verify_policy = false;
+    gate_batch_limit = 0;
   }
 
 type conn_state = { cbuf : int; mutable outstanding : bool }
@@ -457,18 +459,41 @@ and dispatcher t =
 
 and worker t i =
   let ws = t.waitsets.(i) in
+  let batching = t.cfg.gate_batch_limit > 0 && t.cfg.variant = Sdrad in
+  let serve c msg arrival =
+    Sched.charge (Space.cost t.space).Cost.syscall;
+    (* epoll_wait + read(2) *)
+    if should_shed t ws ~arrival then shed t c msg
+    else handle_event t ws c msg
+  in
+  (* Pull whatever else is already deliverable into the same open gate
+     (a zero-deadline wait is a poll), up to the batch limit — the
+     gate's privilege raise/drop then amortizes over the batch. *)
+  let rec drain n =
+    if n < t.cfg.gate_batch_limit then
+      match Netsim.Waitset.wait_deadline ws ~deadline:(Sched.now ()) with
+      | None -> ()
+      | Some c -> (
+          match Netsim.recv_with_arrival c with
+          | None ->
+              drop_conn t ws c;
+              drain n
+          | Some (msg, arrival) ->
+              serve c msg arrival;
+              drain (n + 1))
+  in
   let rec loop () =
     match Netsim.Waitset.wait ws with
     | None -> ()
     | Some c ->
         (match Netsim.recv_with_arrival c with
-        | None ->
-            drop_conn t ws c
+        | None -> drop_conn t ws c
         | Some (msg, arrival) ->
-            Sched.charge (Space.cost t.space).Cost.syscall;
-            (* epoll_wait + read(2) *)
-            if should_shed t ws ~arrival then shed t c msg
-            else handle_event t ws c msg);
+            if batching then
+              Api.with_gate (Option.get t.sd) (fun () ->
+                  serve c msg arrival;
+                  drain 1)
+            else serve c msg arrival);
         loop ()
   in
   try loop () with e -> crash_cleanup t; raise e
@@ -715,8 +740,11 @@ and handle_sdrad t ws c msg =
     `Rewound
   in
   let body () =
-    (* Deep copy of the connection buffer into the domain (step 4). *)
-    let dbuf = Api.malloc sd ~udi (len + 8) in
+    (* Deep copy of the connection buffer into the domain (step 4),
+       through the cached per-(caller, callee) marshalling buffer: the
+       persistent sub-heap keeps it across events, so steady state does
+       no malloc/free per request. *)
+    let dbuf = Api.gate_buffer sd ~udi (t.cfg.conn_buf_size + 8) in
     Space.blit space ~src:st.cbuf ~dst:dbuf ~len;
     Api.enter sd udi;
     (match t.faults with
@@ -756,9 +784,8 @@ and handle_sdrad t ws c msg =
           Option.iter (fun p -> Api.free sd ~udi p) staged;
           r
     in
-    (* The paper reuses the domain's buffers across events: release
-       them so the persistent sub-heap stays flat. *)
-    Api.free sd ~udi dbuf;
+    (* The marshalling buffer is cache-owned and reused by the next
+       event; only the saved context is dropped here. *)
     Api.deinit sd udi;
     `Reply reply
   in

@@ -70,6 +70,12 @@ type config = {
           and raise {!Analysis.Policy.Rejected} if any error-severity
           finding (overlapping keys, unintended cross-domain visibility,
           unreadable gate buffers) is present. Off by default. *)
+  gate_batch_limit : int;
+      (** {!Sdrad} variant only: coalesce up to this many consecutive
+          ready requests into one {!Core.Api.open_gate} batched-gate
+          section per worker wakeup, eliding the per-request monitor
+          call-gate WRPKRU writes (supervision, flight events and fault
+          isolation are unchanged). 0 disables batching (the default). *)
 }
 
 val default_config : config

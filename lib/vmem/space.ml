@@ -55,6 +55,7 @@ type tlb = {
   tags : int array;  (* slot -> epoch at fill time; 0 = invalid *)
   masks : Bytes.t;  (* slot -> granted access bits ({!Prot} bits) *)
   mutable epoch : int;  (* epoch of the thread's current PKRU value *)
+  mutable epoch_pkru : int;  (* the PKRU value [epoch] belongs to *)
   mutable next_epoch : int;
   epoch_of_pkru : (int, int) Hashtbl.t;
 }
@@ -77,6 +78,8 @@ type t = {
   allocs : (int, int * int) Hashtbl.t;  (* base addr -> (total_pages, usable_pages) *)
   mutable fault_count : int;
   mutable wrpkru_count : int;
+  mutable pkru_elide : bool;  (* skip WRPKRU when the value is current *)
+  mutable pkru_elided_count : int;
   mutable syscall_hook : (string -> unit) option;
   (* access-grant cache state *)
   mutable tlb_enabled : bool;
@@ -103,6 +106,7 @@ let fresh_tlb pages =
     tags = Array.make (tlb_ways * pages) 0;
     masks = Bytes.make (tlb_ways * pages) '\000';
     epoch = 0;
+    epoch_pkru = Pkru.all_access;
     next_epoch = 1;
     epoch_of_pkru = Hashtbl.create 8;
   }
@@ -129,6 +133,8 @@ let create ?(size_mib = 64) ?(cost = Cost.default) () =
     allocs = Hashtbl.create 64;
     fault_count = 0;
     wrpkru_count = 0;
+    pkru_elide = true;
+    pkru_elided_count = 0;
     syscall_hook = None;
     tlb_enabled = true;
     tlbs = Hashtbl.create 16;
@@ -181,14 +187,24 @@ let cur_pkru t =
    recycled table can never resurrect a stale tag). *)
 let tlb_set_epoch tlb pkru =
   match Hashtbl.find_opt tlb.epoch_of_pkru pkru with
-  | Some e -> tlb.epoch <- e
+  | Some e ->
+      tlb.epoch <- e;
+      tlb.epoch_pkru <- pkru
   | None ->
-      if Hashtbl.length tlb.epoch_of_pkru > 128 then
+      if Hashtbl.length tlb.epoch_of_pkru > 128 then begin
         Hashtbl.reset tlb.epoch_of_pkru;
+        (* Re-seed the value we are switching *away from*: its entries
+           are the ones still hot in the arrays, and the usual reason to
+           overflow is a monitor bracket minting value #129 — without
+           this the bracketed thread comes back to a spurious full cold
+           miss. *)
+        Hashtbl.replace tlb.epoch_of_pkru tlb.epoch_pkru tlb.epoch
+      end;
       let e = tlb.next_epoch in
       tlb.next_epoch <- e + 1;
       Hashtbl.replace tlb.epoch_of_pkru pkru e;
-      tlb.epoch <- e
+      tlb.epoch <- e;
+      tlb.epoch_pkru <- pkru
 
 let cur_tlb t =
   let tid = cur_tid () in
@@ -256,14 +272,23 @@ let rdpkru t =
   charge t t.cost.rdpkru;
   cur_pkru t
 
+(* Checked install: writing the value already in the register is a
+   no-op on real hardware too, so the elided path skips the pipeline
+   flush charge *and* the grant-cache epoch switch (the epoch already
+   belongs to this value). Elisions are counted separately so the
+   telemetry story stays honest. *)
 let wrpkru t v =
-  charge t t.cost.wrpkru;
-  t.wrpkru_count <- t.wrpkru_count + 1;
-  let tid = cur_tid () in
-  Hashtbl.replace t.pkru_tbl tid v;
-  t.cached_tid <- tid;
-  t.cached_pkru <- v;
-  if t.tlb_enabled then tlb_set_epoch (cur_tlb t) v
+  if t.pkru_elide && v = cur_pkru t then
+    t.pkru_elided_count <- t.pkru_elided_count + 1
+  else begin
+    charge t t.cost.wrpkru;
+    t.wrpkru_count <- t.wrpkru_count + 1;
+    let tid = cur_tid () in
+    Hashtbl.replace t.pkru_tbl tid v;
+    t.cached_tid <- tid;
+    t.cached_pkru <- v;
+    if t.tlb_enabled then tlb_set_epoch (cur_tlb t) v
+  end
 
 let pkey_alloc t =
   syscall_gate t "pkey_alloc";
@@ -856,6 +881,12 @@ let rss_bytes t = t.rss_pages lsl page_shift
 let max_rss_bytes t = t.max_rss_pages lsl page_shift
 let fault_count t = t.fault_count
 let wrpkru_writes t = t.wrpkru_count
+
+(* {1 PKRU write elision} *)
+
+let set_pkru_elision t on = t.pkru_elide <- on
+let pkru_elision_enabled t = t.pkru_elide
+let pkru_elided t = t.pkru_elided_count
 
 (* {1 Grant-cache control and counters} *)
 

@@ -57,7 +57,11 @@ val rdpkru : t -> int
 (** Current thread's PKRU value. Threads start with {!Pkru.all_access}. *)
 
 val wrpkru : t -> int -> unit
-(** Set the current thread's PKRU. Charges the pipeline-flush cost. *)
+(** Set the current thread's PKRU. A {e checked} install: when write
+    elision is on (the default) and the value is already current, the
+    write is skipped entirely — no pipeline-flush charge, no write
+    count, no grant-cache epoch switch — and {!pkru_elided} is bumped
+    instead. Otherwise charges the pipeline-flush cost. *)
 
 val set_syscall_hook : t -> (string -> unit) option -> unit
 (** Install a callback invoked at the entry of every "system call"
@@ -229,6 +233,23 @@ val max_rss_bytes : t -> int
 val fault_count : t -> int
 
 val wrpkru_writes : t -> int
-(** Total WRPKRU instructions executed across all threads — the raw
-    material for the switch-cost anatomy (each domain switch performs
-    exactly two). *)
+(** Total WRPKRU instructions actually executed across all threads —
+    the raw material for the switch-cost anatomy. Elided installs (see
+    {!wrpkru}) are {e not} counted here; a plain enter/exit pair
+    performs two, batched gates amortize further. *)
+
+(** {1 PKRU write elision}
+
+    ERIM-style gate thinning: installing the PKRU value that is already
+    current is skipped at the {!wrpkru} layer. On by default; the bench
+    harness turns it off to measure the always-write baseline, and the
+    gate differential test proves the two modes behaviourally
+    identical. *)
+
+val set_pkru_elision : t -> bool -> unit
+(** Enable/disable elision of redundant WRPKRU installs. *)
+
+val pkru_elision_enabled : t -> bool
+
+val pkru_elided : t -> int
+(** WRPKRU installs skipped because the value was already current. *)
