@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all check test lint chaos chaos-soak chaos-rewind-soak bench bench-r3 bench-r4 bench-gate telemetry-report forensics-report clean
+.PHONY: all check test lint chaos chaos-soak chaos-rewind-soak bench bench-r3 bench-r4 bench-r5 bench-gate telemetry-report forensics-report clean
 
 all: check
 
@@ -64,6 +64,13 @@ bench-r3:
 # operation runs out of retries or faulted goodput drops below 0.6x.
 bench-r4:
 	dune exec bench/main.exe -- r4
+
+# Cluster scaling benchmark: aggregate goodput and p99 vs shard count
+# with an open-loop fleet of 10^4 clients behind the consistent-hash
+# router; emits BENCH_r5.json and fails if 4-shard aggregate goodput is
+# below 2.8x the 1-shard figure.
+bench-r5:
+	dune exec bench/main.exe -- r5
 
 # Batched-gate switch benchmark: request-loop anatomy with elision
 # on/off and the kvcache YCSB overhead with batched gates; emits

@@ -28,6 +28,7 @@ let all : (string * (unit -> unit)) list =
     ("r2", Experiments.r2);
     ("r3", Experiments.r3);
     ("r4", Experiments.r4);
+    ("r5", Experiments.r5);
     ("gate", Experiments.gate);
     ("micro", Micro.run);
   ]

@@ -555,20 +555,76 @@ let run_metrics_scenario ?(interrupts = 0) ~seed () =
   Sched.run sched;
   sd
 
+(* A fixed two-shard fleet scenario for [metrics --aggregate]: a batch
+   of rid-carrying sets and reads through the router, then a planned
+   drain of shard 0 so the failover / re-seed series are populated. No
+   RNG-driven timing, so the merged exposition is byte-stable. *)
+let run_cluster_metrics_scenario () =
+  let sched = Sched.create () in
+  let net = Netsim.create Simkern.Cost.default in
+  let cfg =
+    { Cluster.Fleet.default_config with shards = 2; router_workers = 2 }
+  in
+  let fleet = ref None in
+  let _ =
+    Sched.spawn sched ~name:"cli-cluster" (fun () ->
+        let t = Cluster.Fleet.start sched net cfg in
+        fleet := Some t;
+        let c = Netsim.connect net ~port:cfg.router_port in
+        for i = 1 to 16 do
+          Sched.sleep 4_000.0;
+          Netsim.send c
+            (Kvcache.Proto.fmt_storage "set"
+               ~rid:(Printf.sprintf "agg-%d" i)
+               ~key:(Printf.sprintf "k%d" i)
+               ~flags:0 ~value:"v" ());
+          ignore (Netsim.recv c)
+        done;
+        (* Planned failover: drain shard 0 and re-seed its acked writes
+           onto the survivor, then read everything back through the
+           shrunken ring so the re-routed path shows up in the series. *)
+        Cluster.Fleet.drain_shard t 0;
+        for i = 1 to 16 do
+          Sched.sleep 2_000.0;
+          Netsim.send c (Kvcache.Proto.fmt_get (Printf.sprintf "k%d" i));
+          ignore (Netsim.recv c)
+        done;
+        Netsim.close c;
+        Cluster.Fleet.stop t)
+  in
+  Sched.run sched;
+  Option.get !fleet
+
 let metrics_cmd =
   let doc =
     "Run a deterministic supervised attack scenario against the key-value \
      cache and print every registered metric in Prometheus text exposition \
      format (monitor, allocator, memory, server and supervisor series share \
-     one registry)."
+     one registry). With $(b,--aggregate), run a two-shard cluster scenario \
+     with a planned failover instead and print the fleet-wide exposition: \
+     every shard's registry folded into the router's (counters summed, \
+     histograms merged bucket-by-bucket)."
   in
   let seed = Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED") in
-  let run verbose seed =
-    setup_logging verbose;
-    let sd = run_metrics_scenario ~seed () in
-    print_string (Telemetry.Metrics.expose (Api.metrics sd))
+  let aggregate =
+    Arg.(
+      value & flag
+      & info [ "aggregate" ]
+          ~doc:
+            "Print one merged exposition for a whole shard fleet instead of \
+             a single monitor's registry.")
   in
-  Cmd.v (Cmd.info "metrics" ~doc) Term.(const run $ verbose_arg $ seed)
+  let run verbose seed aggregate =
+    setup_logging verbose;
+    if aggregate then
+      let t = run_cluster_metrics_scenario () in
+      print_string
+        (Telemetry.Metrics.expose (Cluster.Fleet.aggregate_metrics t))
+    else
+      let sd = run_metrics_scenario ~seed () in
+      print_string (Telemetry.Metrics.expose (Api.metrics sd))
+  in
+  Cmd.v (Cmd.info "metrics" ~doc) Term.(const run $ verbose_arg $ seed $ aggregate)
 
 (* {1 rollback-report} *)
 

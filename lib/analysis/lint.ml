@@ -179,7 +179,7 @@ let scan_source ~file src =
 let metric_prefixes =
   [
     "sdrad_"; "vmem_"; "tlsf_"; "sanitizer_"; "supervisor_"; "kvcache_";
-    "httpd_"; "client_"; "trace_"; "gate_";
+    "httpd_"; "client_"; "trace_"; "gate_"; "cluster_";
   ]
 
 let metric_ctors =

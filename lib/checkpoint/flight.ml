@@ -29,6 +29,8 @@ type kind =
   | Fault  (* the fault that triggered a rewind *)
   | Shed  (* request shed before the domain switch *)
   | Replay  (* journal replay served instead of re-executing *)
+  | Route  (* cluster router forwarded a request to this shard *)
+  | Failover  (* shard received re-routed traffic / a journal re-seed *)
 
 type event = {
   e_at : float;  (* virtual cycles *)
@@ -48,6 +50,8 @@ let kind_code = function
   | Fault -> 5
   | Shed -> 6
   | Replay -> 7
+  | Route -> 8
+  | Failover -> 9
 
 let code_kind = function
   | 0 -> Admit
@@ -57,6 +61,8 @@ let code_kind = function
   | 4 -> Lock_acquire
   | 5 -> Fault
   | 6 -> Shed
+  | 8 -> Route
+  | 9 -> Failover
   | _ -> Replay
 
 let kind_to_string = function
@@ -68,6 +74,8 @@ let kind_to_string = function
   | Fault -> "fault"
   | Shed -> "shed"
   | Replay -> "replay"
+  | Route -> "route"
+  | Failover -> "failover"
 
 (* {1 Memory layout}
 

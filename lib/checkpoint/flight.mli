@@ -24,6 +24,12 @@ type kind =
   | Fault  (** the fault that triggered a rewind *)
   | Shed  (** request shed before the domain switch *)
   | Replay  (** journal replay served instead of re-executing *)
+  | Route
+      (** the cluster router forwarded a request into this shard — the
+          cross-shard hop of a causal chain (arg = shard index) *)
+  | Failover
+      (** the shard absorbed a failover: re-routed traffic or a replay-
+          journal re-seed from a drained peer (arg = sick shard index) *)
 
 type event = {
   e_at : float;  (** virtual cycles *)

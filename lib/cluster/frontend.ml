@@ -1,0 +1,371 @@
+(* Front-tier load balancer over N httpd monitor instances.
+
+   Simpler than the kvcache router on purpose: HTTP backends here are
+   stateless (every backend serves the same document tree), so failover
+   needs no drain and no re-seed — just rotation changes and a one-shot
+   retry of the failed forward. What it shares with the kvcache tier is
+   the observability contract: Route/Failover flight events under the
+   client's trace id, and cluster_* series on one registry. *)
+
+module Sched = Simkern.Sched
+module Space = Vmem.Space
+module Api = Sdrad.Api
+module Supervisor = Resilience.Supervisor
+module Fi = Resilience.Fault_inject
+module Metrics = Telemetry.Metrics
+module Flight = Checkpoint.Flight
+
+type config = {
+  backends : int;
+  base_port : int;
+  lb_port : int;
+  lb_workers : int;
+  forward_timeout : float;
+  check_interval : float;
+  space_mib : int;
+  docs : (string * int) list;
+  http : Httpd.Server.config;
+  supervisor_policy : Supervisor.policy;
+}
+
+let default_config =
+  {
+    backends = 3;
+    base_port = 8100;
+    lb_port = 8080;
+    lb_workers = 2;
+    forward_timeout = 200_000.0;
+    check_interval = 50_000.0;
+    space_mib = 64;
+    docs = [ ("/index.html", 1024) ];
+    http = { Httpd.Server.default_config with variant = Httpd.Server.Sdrad };
+    supervisor_policy = Supervisor.default_policy;
+  }
+
+let lb_flight_udi = 9
+
+type backend = {
+  b_idx : int;
+  b_port : int;
+  b_sd : Api.t;
+  b_sup : Supervisor.t;
+  b_server : Httpd.Server.t;
+  mutable b_health : string;
+  mutable b_up : bool;  (* in rotation *)
+  mutable b_crashed : bool;
+}
+
+type t = {
+  cfg : config;
+  net : Netsim.t;
+  faults : Fi.t option;
+  m : Metrics.t;
+  backends : backend array;
+  listener : Netsim.listener;
+  worker_sets : Netsim.Waitset.ws array;
+  mutable rr : int;  (* round-robin cursor *)
+  mutable running : bool;
+  c_requests : Metrics.counter;
+  c_routed : Metrics.counter;
+  c_reroutes : Metrics.counter;
+  c_unavailable : Metrics.counter;
+}
+
+let reply_503 = "HTTP/1.1 503 Service Unavailable\r\nContent-Length: 0\r\n\r\n"
+
+(* The trace id of a request's Traceparent header (0L when absent), so
+   the balancer's flight events join the client's causal chain. *)
+let trace_of_request req =
+  let lower = String.lowercase_ascii req in
+  let tag = "traceparent:" in
+  match
+    (* Headers start after the first CRLF; a simple substring scan is
+       enough for the generator's canonical formatting. *)
+    String.index_opt lower '\r'
+  with
+  | None -> 0L
+  | Some _ -> (
+      let rec find from =
+        if from + String.length tag > String.length lower then None
+        else if String.sub lower from (String.length tag) = tag then
+          Some (from + String.length tag)
+        else
+          match String.index_from_opt lower from '\n' with
+          | None -> None
+          | Some nl -> find (nl + 1)
+      in
+      match find 0 with
+      | None -> 0L
+      | Some pos -> (
+          let stop =
+            match String.index_from_opt req pos '\r' with
+            | Some i -> i
+            | None -> String.length req
+          in
+          let v = String.trim (String.sub req pos (stop - pos)) in
+          match Telemetry.Context.of_traceparent v with
+          | Some ctx -> Telemetry.Context.trace ctx
+          | None -> 0L))
+
+let worst_breaker sup =
+  let rank = function
+    | Supervisor.Closed -> 0
+    | Supervisor.Half_open -> 1
+    | Supervisor.Backoff -> 2
+    | Supervisor.Quarantined -> 3
+  in
+  List.fold_left
+    (fun acc (_, b) -> if rank b > rank acc then b else acc)
+    Supervisor.Closed (Supervisor.states sup)
+
+(* {2 Health sampling} *)
+
+let crash_backend b =
+  if not b.b_crashed then begin
+    b.b_crashed <- true;
+    Httpd.Server.stop b.b_server
+  end
+
+let sample_health t =
+  Array.iter
+    (fun b ->
+      (match t.faults with
+      | Some fi -> (
+          match Fi.decide fi ~site:"cluster.backend" with
+          | Some Fi.Shard_crash -> crash_backend b
+          | _ -> ())
+      | None -> ());
+      let breaker = worst_breaker b.b_sup in
+      b.b_health <-
+        (if b.b_crashed then "down" else Supervisor.breaker_to_string breaker);
+      (* Rewind-aware rotation: quarantine ejects, recovery through
+         half-open/closed re-admits. *)
+      b.b_up <- (not b.b_crashed) && breaker <> Supervisor.Quarantined)
+    t.backends
+
+let health_ticker t () =
+  let rec loop () =
+    if t.running then begin
+      Sched.sleep t.cfg.check_interval;
+      sample_health t;
+      loop ()
+    end
+  in
+  loop ()
+
+(* {2 Data path} *)
+
+let pick_backend t ~avoid =
+  let n = Array.length t.backends in
+  let rec go tries =
+    if tries >= n then None
+    else begin
+      let b = t.backends.(t.rr mod n) in
+      t.rr <- t.rr + 1;
+      if b.b_up && b.b_idx <> avoid then Some b else go (tries + 1)
+    end
+  in
+  go 0
+
+let forward t backends_tbl b msg =
+  let bc =
+    match Hashtbl.find_opt backends_tbl b.b_idx with
+    | Some c when Netsim.is_open c && not (Netsim.peer_closed c) -> c
+    | other ->
+        (match other with
+        | Some stale ->
+            Netsim.close stale;
+            Hashtbl.remove backends_tbl b.b_idx
+        | None -> ());
+        let c = Netsim.connect t.net ~port:b.b_port in
+        Hashtbl.replace backends_tbl b.b_idx c;
+        c
+  in
+  Netsim.send bc msg;
+  match
+    Netsim.recv_deadline bc ~deadline:(Sched.now () +. t.cfg.forward_timeout)
+  with
+  | Some r -> Some r
+  | None ->
+      Netsim.close bc;
+      Hashtbl.remove backends_tbl b.b_idx;
+      None
+
+let handle_request t backends_tbl c msg =
+  Metrics.inc t.c_requests;
+  let trace = trace_of_request msg in
+  let route_event b kind ~arg =
+    Api.with_trace b.b_sd trace (fun () ->
+        Api.flight_event b.b_sd ~udi:lb_flight_udi ~arg kind)
+  in
+  match pick_backend t ~avoid:(-1) with
+  | None ->
+      Metrics.inc t.c_unavailable;
+      Netsim.send c reply_503
+  | Some b -> (
+      route_event b Flight.Route ~arg:b.b_idx;
+      Metrics.inc t.c_routed;
+      match forward t backends_tbl b msg with
+      | Some r -> Netsim.send c r
+      | None -> (
+          (* Mid-flight failure: one retry on the next healthy backend.
+             GETs are idempotent and retried requests keep their
+             X-Request-Id, so a backend journal replay (not the
+             balancer) guards against double application. *)
+          sample_health t;
+          match pick_backend t ~avoid:b.b_idx with
+          | None ->
+              Metrics.inc t.c_unavailable;
+              Netsim.send c reply_503
+          | Some b2 -> (
+              Metrics.inc t.c_reroutes;
+              route_event b2 Flight.Failover ~arg:b.b_idx;
+              Metrics.inc t.c_routed;
+              match forward t backends_tbl b2 msg with
+              | Some r -> Netsim.send c r
+              | None ->
+                  Metrics.inc t.c_unavailable;
+                  Netsim.send c reply_503)))
+
+let worker t widx () =
+  let ws = t.worker_sets.(widx) in
+  let backends_tbl : (int, Netsim.conn) Hashtbl.t = Hashtbl.create 8 in
+  let rec loop () =
+    match Netsim.Waitset.wait ws with
+    | None -> ()
+    | Some c ->
+        (match Netsim.try_recv c with
+        | Some msg -> handle_request t backends_tbl c msg
+        | None ->
+            if Netsim.peer_closed c then begin
+              Netsim.Waitset.remove ws c;
+              Netsim.close c
+            end);
+        loop ()
+  in
+  loop ();
+  Hashtbl.iter (fun _ c -> Netsim.close c) backends_tbl
+
+let dispatcher t () =
+  let next = ref 0 in
+  let rec loop () =
+    match Netsim.accept t.listener with
+    | None -> ()
+    | Some c ->
+        Netsim.Waitset.add t.worker_sets.(!next mod t.cfg.lb_workers) c;
+        incr next;
+        loop ()
+  in
+  loop ()
+
+(* {2 Bring-up} *)
+
+let health_states = [ "closed"; "backoff"; "half-open"; "quarantined"; "down" ]
+
+let make_backend (cfg : config) sched ?faults net i =
+  let space = Space.create ~size_mib:cfg.space_mib () in
+  let sd = Api.create ~virtual_keys:true space in
+  let sup = Supervisor.attach ~policy:cfg.supervisor_policy sd in
+  let fs = Httpd.Fs.create space in
+  List.iter (fun (path, size) -> Httpd.Fs.add fs ~path ~size) cfg.docs;
+  let http_cfg = { cfg.http with Httpd.Server.port = cfg.base_port + i } in
+  let sdrad =
+    if http_cfg.Httpd.Server.variant = Httpd.Server.Sdrad then Some sd
+    else None
+  in
+  let server =
+    Httpd.Server.start sched space ?sdrad ~supervisor:sup ?faults net ~fs
+      http_cfg
+  in
+  {
+    b_idx = i;
+    b_port = cfg.base_port + i;
+    b_sd = sd;
+    b_sup = sup;
+    b_server = server;
+    b_health = "closed";
+    b_up = true;
+    b_crashed = false;
+  }
+
+let start sched ?faults ?metrics net (cfg : config) =
+  if cfg.backends <= 0 then
+    invalid_arg "Frontend.start: backends must be positive";
+  if cfg.lb_workers <= 0 then
+    invalid_arg "Frontend.start: lb_workers must be positive";
+  let m = match metrics with Some m -> m | None -> Metrics.create () in
+  let backends =
+    Array.init cfg.backends (fun i -> make_backend cfg sched ?faults net i)
+  in
+  let t =
+    {
+      cfg;
+      net;
+      faults;
+      m;
+      backends;
+      listener = Netsim.listen net ~port:cfg.lb_port;
+      worker_sets =
+        Array.init cfg.lb_workers (fun _ -> Netsim.Waitset.create ());
+      rr = 0;
+      running = true;
+      c_requests =
+        Metrics.counter m ~help:"Requests accepted by the load balancer"
+          "cluster_lb_requests_total";
+      c_routed =
+        Metrics.counter m ~help:"Forwards to httpd backends"
+          "cluster_lb_forwards_total";
+      c_reroutes =
+        Metrics.counter m
+          ~help:"Forwards retried on another backend after a failure"
+          "cluster_lb_reroutes_total";
+      c_unavailable =
+        Metrics.counter m
+          ~help:"Requests answered 503 with no backend available"
+          "cluster_lb_unavailable_total";
+    }
+  in
+  Array.iter
+    (fun b ->
+      List.iter
+        (fun st ->
+          Metrics.gauge_fn m
+            ~help:"1 when the balancer samples this health state"
+            ~labels:[ ("backend", string_of_int b.b_idx); ("state", st) ]
+            "cluster_lb_backend_health"
+            (fun () -> if b.b_health = st then 1.0 else 0.0))
+        health_states)
+    t.backends;
+  ignore (Sched.spawn sched ~name:"lb.dispatcher" (dispatcher t));
+  Array.iteri
+    (fun i _ ->
+      ignore
+        (Sched.spawn sched ~name:(Printf.sprintf "lb.worker-%d" i) (worker t i)))
+    t.worker_sets;
+  ignore (Sched.spawn sched ~name:"lb.health" (health_ticker t));
+  t
+
+let stop t =
+  if t.running then begin
+    t.running <- false;
+    Netsim.close_listener t.listener;
+    Array.iter Netsim.Waitset.close t.worker_sets;
+    Array.iter
+      (fun b -> if not b.b_crashed then Httpd.Server.stop b.b_server)
+      t.backends
+  end
+
+(* {2 Introspection} *)
+
+let backend_count t = Array.length t.backends
+let backend_server t i = t.backends.(i).b_server
+let backend_sd t i = t.backends.(i).b_sd
+let backend_supervisor t i = t.backends.(i).b_sup
+let backend_health t i = t.backends.(i).b_health
+
+let in_rotation t =
+  Array.fold_left (fun acc b -> if b.b_up then acc + 1 else acc) 0 t.backends
+
+let routed t = Metrics.counter_value t.c_routed
+let reroutes t = Metrics.counter_value t.c_reroutes
+let metrics t = t.m

@@ -1,0 +1,83 @@
+(** Front-tier load balancer for the httpd fleet — the web half of the
+    cluster (ROADMAP item 1).
+
+    [start] brings up [backends] complete httpd monitor instances (each
+    with its own {!Vmem.Space}, {!Sdrad.Api}, supervisor and document
+    tree) and a round-robin load balancer in front of them. Clients
+    speak ordinary HTTP to the balancer port; requests are forwarded
+    verbatim — [Traceparent] headers included, so the trace id minted by
+    the client links balancer → backend, and the balancer's
+    {!Checkpoint.Flight.Route} / [Failover] events land in the backend's
+    flight recorder under it.
+
+    {2 Health and rotation}
+
+    Unlike the kvcache tier (whose shards heartbeat over the network),
+    the balancer colocates with its backends and samples each
+    supervisor's worst breaker state directly every [check_interval].
+    A backend leaves the rotation while quarantined (or crashed — the
+    ["cluster.backend"] chaos site arms
+    {!Resilience.Fault_inject.Shard_crash} here) and {e re-enters} it
+    when the breaker recovers through half-open: rewind-aware rotation,
+    not permanent ejection, because an httpd backend holds no keyed
+    state that would need re-seeding.
+
+    A forward that dies mid-flight (timeout, backend crash) is retried
+    once on the next healthy backend — recorded as a
+    {!Checkpoint.Flight.Failover} event — before the balancer gives up
+    and answers [503]. *)
+
+type config = {
+  backends : int;
+  base_port : int;  (** backend [i] listens on [base_port + i] *)
+  lb_port : int;
+  lb_workers : int;
+  forward_timeout : float;
+  check_interval : float;  (** health-sampling period, cycles *)
+  space_mib : int;
+  docs : (string * int) list;  (** (path, bytes) served by every backend *)
+  http : Httpd.Server.config;
+      (** per-backend server template; [port] is overridden per backend *)
+  supervisor_policy : Resilience.Supervisor.policy;
+}
+
+val default_config : config
+(** 3 Sdrad-variant backends on ports 8100+, balancer on 8080 (where
+    single-server {!Workload.Http_load} clients already point). *)
+
+type t
+
+val lb_flight_udi : int
+(** The udi under which the balancer records its [Route]/[Failover]
+    events in a backend's flight recorder. *)
+
+val start :
+  Simkern.Sched.t ->
+  ?faults:Resilience.Fault_inject.t ->
+  ?metrics:Telemetry.Metrics.t ->
+  Netsim.t ->
+  config ->
+  t
+(** Call from inside the simulation. [faults] arms ["cluster.backend"];
+    [metrics] receives the [cluster_lb_*] series.
+    @raise Invalid_argument when [backends] is non-positive. *)
+
+val stop : t -> unit
+
+val backend_count : t -> int
+val backend_server : t -> int -> Httpd.Server.t
+val backend_sd : t -> int -> Sdrad.Api.t
+val backend_supervisor : t -> int -> Resilience.Supervisor.t
+
+val backend_health : t -> int -> string
+(** Last sampled health: a breaker state or ["down"]. Exported as
+    [cluster_lb_backend_health{backend,state}]. *)
+
+val in_rotation : t -> int
+(** Backends currently eligible for new requests. *)
+
+val routed : t -> int
+val reroutes : t -> int
+(** Forwards retried on another backend after a mid-flight failure. *)
+
+val metrics : t -> Telemetry.Metrics.t

@@ -29,10 +29,14 @@ and waitset = {
 
 type conn = endpoint
 
+(* Multiple acceptors may block in [accept] on one listener (the
+   SO_REUSEPORT / acceptor-thread-pool pattern); each connect wakes one,
+   and a woken acceptor that finds the backlog already drained simply
+   parks again. *)
 type listener = {
   l_cost : Cost.t;
   backlog : endpoint Queue.t;
-  mutable l_waiter : Sched.wake option;
+  l_waiters : Sched.wake Queue.t;
   mutable l_closed : bool;
 }
 
@@ -55,7 +59,12 @@ let set_fault_hook t h = t.n_hooks.on_send <- h
 
 let listen t ~port =
   let l =
-    { l_cost = t.n_cost; backlog = Queue.create (); l_waiter = None; l_closed = false }
+    {
+      l_cost = t.n_cost;
+      backlog = Queue.create ();
+      l_waiters = Queue.create ();
+      l_closed = false;
+    }
   in
   Hashtbl.replace t.ports port l;
   l
@@ -107,10 +116,8 @@ let connect ?src t ~port =
       server.peer <- client;
       Sched.charge t.n_cost.Cost.net_msg;
       Queue.add server l.backlog;
-      (match l.l_waiter with
-      | Some w ->
-          l.l_waiter <- None;
-          w ~at:(Sched.now ())
+      (match Queue.take_opt l.l_waiters with
+      | Some w -> w ~at:(Sched.now ())
       | None -> ());
       client
 
@@ -122,17 +129,14 @@ let rec accept l =
   | None ->
       if l.l_closed then None
       else begin
-        Sched.suspend (fun wake -> l.l_waiter <- Some wake);
+        Sched.suspend (fun wake -> Queue.add wake l.l_waiters);
         accept l
       end
 
 let close_listener l =
   l.l_closed <- true;
-  match l.l_waiter with
-  | Some w ->
-      l.l_waiter <- None;
-      w ~at:(Sched.now ())
-  | None -> ()
+  Queue.iter (fun w -> w ~at:(Sched.now ())) l.l_waiters;
+  Queue.clear l.l_waiters
 
 let latency cost len =
   cost.Cost.net_msg +. (cost.Cost.net_byte *. float_of_int len)
@@ -283,69 +287,68 @@ module Waitset = struct
 
   let size ws = List.length ws.watched
 
+  (* Among ready connections, serve the one whose head-of-line message
+     has the earliest delivery time (a closed peer reports immediately).
+     First-ready-from-a-cursor round-robin is NOT equivalent: picking a
+     later conn whose message arrives in the future advances the
+     caller's clock past it, so the skipped earlier messages accrue
+     phantom queueing delay they never actually suffered — an idle
+     server would appear to answer old requests late. Arrival order is
+     FIFO across the whole set; the cursor breaks ties so same-time
+     events still rotate fairly. *)
+  let pick_earliest ws =
+    match ws.watched with
+    | [] -> None
+    | watched ->
+        let n = List.length watched in
+        let arr = Array.of_list watched in
+        let best = ref None in
+        for i = 0 to n - 1 do
+          let idx = (ws.cursor + i) mod n in
+          let c = arr.(idx) in
+          if ready c then begin
+            let key =
+              match Queue.peek_opt c.inbox with
+              | Some (arrival, _) -> arrival
+              | None -> neg_infinity (* closed peer: reportable now *)
+            in
+            match !best with
+            | Some (bkey, _, _) when bkey <= key -> ()
+            | _ -> best := Some (key, idx, c)
+          end
+        done;
+        (match !best with
+        | Some (_, idx, _) -> ws.cursor <- (idx + 1) mod n
+        | None -> ());
+        !best
+
   let rec wait ws =
     if ws.ws_closed then None
     else
-      match ws.watched with
-      | [] ->
+      match pick_earliest ws with
+      | Some (_, _, c) ->
+          (* If the message arrives in the future, wait for it so the
+             caller's recv does not under-account time. *)
+          (match deliverable c with
+          | Some arrival -> Sched.wait_until arrival
+          | None -> ());
+          Some c
+      | None ->
           Sched.suspend (fun wake -> ws.ws_waiter <- Some wake);
           wait ws
-      | watched ->
-        let n = List.length watched in
-        let arr = Array.of_list watched in
-        let found = ref None in
-        (* Round-robin scan for fairness between connections. *)
-        let i = ref 0 in
-        while !found = None && !i < n do
-          let c = arr.((ws.cursor + !i) mod n) in
-          if ready c then found := Some c;
-          incr i
-        done;
-        (match !found with
-        | Some c ->
-            ws.cursor <- (ws.cursor + !i) mod n;
-            (* If the only pending message arrives in the future, wait for
-               it so the caller's recv does not under-account time. *)
-            (match deliverable c with
-            | Some arrival -> Sched.wait_until arrival
-            | None -> ())
-        | None -> ());
-        (match !found with
-        | Some c -> Some c
-        | None ->
-            Sched.suspend (fun wake -> ws.ws_waiter <- Some wake);
-            wait ws)
 
   let backlog ws =
     List.fold_left (fun acc c -> acc + Queue.length c.inbox) 0 ws.watched
 
   (* Timed [wait], built like [recv_deadline]: a timer thread provides
-     the deadline wake; readiness picks the same round-robin winner as
-     [wait], but a winner whose head-of-line message arrives after the
-     deadline counts as a timeout. *)
+     the deadline wake; readiness picks the same earliest-arrival winner
+     as [wait], but a winner whose head-of-line message arrives after
+     the deadline counts as a timeout. *)
   let rec wait_deadline ws ~deadline =
     if ws.ws_closed then None
     else
-      let pick () =
-        match ws.watched with
-        | [] -> None
-        | watched ->
-            let n = List.length watched in
-            let arr = Array.of_list watched in
-            let found = ref None in
-            let i = ref 0 in
-            while !found = None && !i < n do
-              let c = arr.((ws.cursor + !i) mod n) in
-              if ready c then begin
-                found := Some c;
-                ws.cursor <- (ws.cursor + !i + 1) mod n
-              end;
-              incr i
-            done;
-            !found
-      in
-      match pick () with
-      | Some c -> (
+      match pick_earliest ws with
+      | Some (_, _, c) -> (
           match deliverable c with
           | Some arrival when arrival <= deadline ->
               Sched.wait_until arrival;

@@ -27,6 +27,8 @@ type kind =
   | Heap_overflow  (* write one byte past an allocation's usable size *)
   | Use_after_free  (* read a block after freeing it *)
   | Rewind_interrupt  (* second fault arriving mid-rewind (two-phase path) *)
+  | Shard_crash  (* whole monitor instance lost (cluster tier) *)
+  | Net_partition of float  (* shard unreachable for this many cycles *)
 
 let kind_to_string = function
   | Alloc_fail -> "alloc-fail"
@@ -40,6 +42,8 @@ let kind_to_string = function
   | Heap_overflow -> "heap-overflow"
   | Use_after_free -> "use-after-free"
   | Rewind_interrupt -> "rewind-interrupt"
+  | Shard_crash -> "shard-crash"
+  | Net_partition d -> Printf.sprintf "net-partition(%.0f)" d
 
 type rule = {
   site : string;
@@ -149,7 +153,7 @@ let fire_in_domain t ~site ~sd ~buf ~len =
       | Heap_overflow -> heap_overflow sd ~buf ~len
       | Use_after_free -> use_after_free sd
       | Alloc_fail | Net_drop | Net_truncate | Net_delay _ | Kill_thread
-      | Rewind_interrupt ->
+      | Rewind_interrupt | Shard_crash | Net_partition _ ->
           ());
       Some k
 

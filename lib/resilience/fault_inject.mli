@@ -28,6 +28,15 @@ type kind =
       (** second fault arriving while a multi-domain rewind is in
           flight; exercises the two-phase intent/commit protocol (the
           monitor resumes the discard from the durable intent record) *)
+  | Shard_crash
+      (** cluster tier: a whole monitor instance (shard) is lost —
+          its listener and worker waitsets close mid-flight, so routed
+          requests time out and the router must fail over *)
+  | Net_partition of float
+      (** cluster tier: the shard is unreachable (heartbeats and
+          replies suppressed) for the given number of cycles, then the
+          link heals; the router must declare it down on missed
+          heartbeats and fail over in the meantime *)
 
 val kind_to_string : kind -> string
 

@@ -277,11 +277,20 @@ let outcomes t =
 let horizon t =
   Hashtbl.fold (fun _ th acc -> Float.max acc th.clock) t.threads t.horizon
 
+(* Advancing virtual time is a scheduling point: the thread re-queues at
+   the target clock so every runnable thread at an earlier virtual time
+   runs first. Without the yield, a thread that waits to a far deadline
+   teleports past its contemporaries and acts (e.g. fires a timeout
+   wake-up) before events that happen earlier in virtual time — a timed
+   receive would then charge its full deadline even when the reply was
+   already in flight. Once no runnable thread sits below [at], nothing
+   can create an earlier event, so resuming is safe. *)
 let wait_until at =
   let th = current_thread () in
   if at > th.clock then begin
     th.waited <- th.waited +. (at -. th.clock);
-    th.clock <- at
+    th.clock <- at;
+    perform Yield_eff
   end
 
 let thread_clock t tid =

@@ -169,6 +169,71 @@ module Metrics = struct
         | Some (Gfn fn) -> Some (fn ())
         | Some (H _) | None -> None)
 
+  (* Fold every series of [src] into [dst], summing with whatever the
+     same (name, labels) series already holds there: counters add their
+     current value (callback-backed ones are sampled and materialize as
+     plain counters), gauges sum, histograms merge bucket-by-bucket
+     (first exemplar wins). This is the cluster-aggregation primitive:
+     merging each shard's registry into a fresh one yields a single
+     fleet-wide scrape surface whose exposition is deterministic, since
+     [expose] sorts families and series. Histograms with differing
+     bucket layouts for one series name cannot be summed meaningfully
+     and are skipped. *)
+  let merge_into ~dst src =
+    Hashtbl.iter
+      (fun name sf ->
+        let df = family dst ~kind:sf.f_kind ~help:sf.f_help name in
+        List.iter
+          (fun (labels, inst) ->
+            match inst with
+            | C _ | Cfn _ -> (
+                let v = match inst with
+                  | C c -> c.c
+                  | Cfn fn -> fn ()
+                  | _ -> 0
+                in
+                match series df labels (fun () -> C { c = 0 }) with
+                | C dc -> dc.c <- dc.c + v
+                | _ -> ())
+            | G _ | Gfn _ -> (
+                let v = match inst with
+                  | G g -> g.g
+                  | Gfn fn -> fn ()
+                  | _ -> 0.0
+                in
+                match series df labels (fun () -> G { g = 0.0 }) with
+                | G dg -> dg.g <- dg.g +. v
+                | _ -> ())
+            | H h -> (
+                match
+                  series df labels (fun () ->
+                      H
+                        {
+                          bounds = Array.copy h.bounds;
+                          buckets = Array.make (Array.length h.bounds) 0;
+                          sum = 0.0;
+                          hcount = 0;
+                          ex_id = Array.make (Array.length h.bounds + 1) "";
+                          ex_v = Array.make (Array.length h.bounds + 1) 0.0;
+                        })
+                with
+                | H dh when dh.bounds = h.bounds ->
+                    Array.iteri
+                      (fun i v -> dh.buckets.(i) <- dh.buckets.(i) + v)
+                      h.buckets;
+                    dh.sum <- dh.sum +. h.sum;
+                    dh.hcount <- dh.hcount + h.hcount;
+                    Array.iteri
+                      (fun i id ->
+                        if id <> "" && dh.ex_id.(i) = "" then begin
+                          dh.ex_id.(i) <- id;
+                          dh.ex_v.(i) <- h.ex_v.(i)
+                        end)
+                      h.ex_id
+                | _ -> ()))
+          sf.f_series)
+      src.families
+
   (* {2 Exposition} *)
 
   let escape_label v =

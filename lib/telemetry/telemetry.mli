@@ -15,7 +15,8 @@
     [vmem_] (simulated MPK hardware), [tlsf_] (allocators),
     [supervisor_], [kvcache_], [httpd_], [client_] (retry/workload
     clients), [sanitizer_] (heap-poison sanitizer), [trace_] (the span
-    tracer itself). Counters end in [_total]; histogram base names carry
+    tracer itself), [cluster_] (the sharded multi-monitor tier).
+    Counters end in [_total]; histogram base names carry
     at most a unit suffix — exposition appends [_bucket]/[_sum]/[_count].
     The [metric-naming] repo-lint rule enforces this scheme at
     registration call sites. *)
@@ -126,6 +127,19 @@ module Metrics : sig
   (** Current value of one counter or gauge series (callback-backed ones
       are invoked); [None] for unknown names, unregistered label sets, and
       histograms. The point-read primitive for operator surfaces. *)
+
+  val merge_into : dst:t -> t -> unit
+  (** Fold every series of the source registry into [dst], summing with
+      whatever the same (name, labels) series already holds there:
+      counters add their current value (callback-backed series are
+      sampled and materialize as plain instruments in [dst]), gauges
+      sum, histograms merge bucket-by-bucket ([dst]'s exemplar wins).
+      Merging each shard's registry of a cluster into one fresh registry
+      yields a single fleet-wide scrape surface; {!expose} of the result
+      is deterministic. Histograms whose bucket bounds disagree with the
+      series already in [dst] are skipped.
+      @raise Invalid_argument when a family name is registered with a
+      different instrument kind in [dst]. *)
 
   val expose : t -> string
   (** Prometheus text exposition format, version 0.0.4: [# HELP] /

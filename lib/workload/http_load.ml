@@ -10,6 +10,7 @@ type config = {
   client_cycles : float;
   retry : Retry.policy option;
   seed : int;
+  arrival_interval : float;
 }
 
 let default_config =
@@ -21,6 +22,7 @@ let default_config =
     client_cycles = 1_500.0;
     retry = None;
     seed = 7;
+    arrival_interval = 0.0;
   }
 
 type results = { ok : int; failures : int; retries : int; cycles : float }
@@ -97,7 +99,17 @@ let launch sched net cfg ~on_done () =
           | Ok r -> Some r
           | Error _ -> None)
     in
-    for _ = 1 to cfg.requests_per_conn do
+    for k = 1 to cfg.requests_per_conn do
+      (* Open-loop: requests fire on a fleet-wide pre-scheduled grid
+         instead of back-to-back (see {!Ycsb} for the rationale). *)
+      if cfg.arrival_interval > 0.0 then begin
+        let slot =
+          cfg.arrival_interval
+          *. float_of_int (((k - 1) * cfg.connections) + i)
+        in
+        let now = Sched.now () in
+        if slot > now then Sched.sleep (slot -. now)
+      end;
       Sched.charge cfg.client_cycles;
       match issue () with
       | Some reply when is_200 reply ->

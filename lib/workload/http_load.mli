@@ -17,6 +17,12 @@ type config = {
           request so server-side replay journaling applies. 503 replies
           (quarantine backoff or load shedding) are retried. *)
   seed : int;  (** jitter seed for the retry engines *)
+  arrival_interval : float;
+      (** [> 0.0]: open-loop arrivals — requests fire on a fleet-wide
+          pre-scheduled grid with this inter-arrival gap in cycles rather
+          than back-to-back per connection, so offered load is independent
+          of server responsiveness (see {!Ycsb.config.arrival_interval}).
+          [0.0] (default): ApacheBench's closed-loop behaviour. *)
 }
 
 val default_config : config

@@ -17,6 +17,7 @@ type config = {
   seed : int;
   client_cycles : float;
   retry : Retry.policy option;
+  arrival_interval : float;
 }
 
 let default_config =
@@ -33,6 +34,7 @@ let default_config =
     seed = 42;
     client_cycles = 2_000.0;
     retry = None;
+    arrival_interval = 0.0;
   }
 
 let workload_a = { default_config with read_fraction = 0.5 }
@@ -82,7 +84,12 @@ let launch sched net cfg ~on_done () =
      idempotency key so every retry of one logical op reuses the same
      rid. *)
   let client_io ~name ~salt i =
-    let conn = ref (Netsim.connect net ~port:cfg.port) in
+    (* The connection is made lazily, on first use: a fleet of 10⁴
+       clients connecting the instant the run phase opens would herd
+       every setup into one burst, and the requests already sent behind
+       that burst age out before any server worker sees the connection.
+       Deferring to first issue spreads setup across the arrival grid. *)
+    let conn = ref None in
     let eng =
       Option.map
         (fun policy ->
@@ -92,17 +99,17 @@ let launch sched net cfg ~on_done () =
         cfg.retry
     in
     let live () =
-      let c = !conn in
-      if Netsim.is_open c && not (Netsim.peer_closed c) then c
-      else begin
-        Netsim.close c;
-        conn := Netsim.connect net ~port:cfg.port;
-        !conn
-      end
+      match !conn with
+      | Some c when Netsim.is_open c && not (Netsim.peer_closed c) -> c
+      | prev ->
+          Option.iter Netsim.close prev;
+          let c = Netsim.connect net ~port:cfg.port in
+          conn := Some c;
+          c
     in
     let issue mk_req =
       match eng with
-      | None -> request !conn (mk_req ~rid:None ~trace:0L)
+      | None -> request (live ()) (mk_req ~rid:None ~trace:0L)
       | Some eng -> (
           match
             Retry.execute_ctx eng (fun ~ctx ~rid ~attempt:_ ~deadline ->
@@ -132,7 +139,7 @@ let launch sched net cfg ~on_done () =
           Sched.Mutex.with_lock fail_lock (fun () ->
               retry_total := !retry_total + Retry.retries e)
       | None -> ());
-      Netsim.close !conn
+      Option.iter Netsim.close !conn
     in
     (issue, finish, eng <> None)
   in
@@ -166,6 +173,13 @@ let launch sched net cfg ~on_done () =
   (* Highest key inserted so far, shared between clients (workload D). *)
   let key_count = ref cfg.records in
   let key_lock = Sched.Mutex.create () in
+  (* Open-loop mode: the run phase's arrivals are pre-scheduled on a
+     fleet-wide grid (client [i]'s op [k] fires at
+     [run_start + interval * (k * clients + i)]), and latency is measured
+     from the {e scheduled} arrival — a late reply delays nothing and
+     hides nothing (no coordinated omission), which is what makes p99
+     honest when a shard is draining. *)
+  let run_start = ref 0.0 in
   let run_client i () =
     let rng = Rng.create (cfg.seed + (1000 * i) + 7) in
     let zipf = Zipf.create rng ~n:cfg.records ~theta:cfg.zipf_theta in
@@ -189,8 +203,20 @@ let launch sched net cfg ~on_done () =
     let samples = latencies.(i) in
     let rec go k =
       if k < per then begin
+        let t0 =
+          if cfg.arrival_interval > 0.0 then begin
+            let slot =
+              !run_start
+              +. (cfg.arrival_interval
+                 *. float_of_int ((k * cfg.clients) + i))
+            in
+            let now = Sched.now () in
+            if slot > now then Sched.sleep (slot -. now);
+            slot
+          end
+          else Sched.now ()
+        in
         Sched.charge cfg.client_cycles;
-        let t0 = Sched.now () in
         let reply =
           if Rng.float rng < cfg.read_fraction then
             let key = key_of (pick ()) in
@@ -232,6 +258,7 @@ let launch sched net cfg ~on_done () =
     in
     spawn_phase load_client;
     let t_load = Sched.now () in
+    run_start := t_load;
     spawn_phase run_client;
     let t_all = Sched.now () in
     on_done ();

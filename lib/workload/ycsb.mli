@@ -6,10 +6,12 @@
     distribution and a configurable read/update mix (the paper uses 1 KiB
     values, 95/5 read/update, and measures both phases).
 
-    Clients are closed-loop: each waits for the reply before issuing the
-    next request, so with enough server threads the client fleet becomes
-    the bottleneck — reproducing the paper's observation that SDRaD's
-    overhead shrinks as worker threads are added. *)
+    Clients are closed-loop by default: each waits for the reply before
+    issuing the next request, so with enough server threads the client
+    fleet becomes the bottleneck — reproducing the paper's observation
+    that SDRaD's overhead shrinks as worker threads are added. Setting
+    [arrival_interval] switches the run phase to open-loop arrivals (see
+    the field) for cluster-scale experiments with 10⁴+ clients. *)
 
 type distribution =
   | Zipfian
@@ -38,6 +40,18 @@ type config = {
           carry an idempotency key ([id=...]) so a retried update that
           already committed is answered from the server's replay journal
           instead of applying twice. *)
+  arrival_interval : float;
+      (** [> 0.0] switches the run phase from closed-loop to {e open-loop}
+          (partly-open) arrivals: operations fire on a fleet-wide
+          pre-scheduled grid with this inter-arrival gap in cycles —
+          offered load is [1/arrival_interval] ops per cycle regardless of
+          how fast the server answers — and each operation's latency is
+          measured from its {e scheduled} arrival, so queueing delay
+          during a stall (e.g. a failover drain) lands in the tail instead
+          of being absorbed by the client's think time (no coordinated
+          omission). With tens of thousands of [clients], each client is
+          one logical session of the open-loop fleet. [0.0] (default):
+          the paper's closed-loop behaviour. *)
 }
 
 val default_config : config

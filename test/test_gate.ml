@@ -262,6 +262,8 @@ let kind_name = function
   | Flight.Fault -> "fault"
   | Flight.Shed -> "shed"
   | Flight.Replay -> "replay"
+  | Flight.Route -> "route"
+  | Flight.Failover -> "failover"
 
 let cause_name = function
   | Sdrad.Types.Segv { addr; code; access } ->
