@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all check test lint chaos chaos-soak chaos-rewind-soak bench bench-r3 bench-r4 bench-r5 bench-gate telemetry-report forensics-report clean
+.PHONY: all check test lint analyze chaos chaos-soak chaos-rewind-soak bench bench-r3 bench-r4 bench-r5 bench-gate telemetry-report forensics-report clean
 
 all: check
 
@@ -18,6 +18,15 @@ test: check
 # ./lint.allow.
 lint:
 	dune build @lint
+
+# Full analysis gate: repo lint, the policy verifier over every fleet
+# shard, the dynamic race/atomicity scenario, and the race-analyzer test
+# suite (`dune build @races`).
+analyze:
+	dune build @lint
+	dune exec bin/sdrad_cli.exe -- analyze --aggregate
+	dune exec bin/sdrad_cli.exe -- analyze --races
+	dune build @races
 
 # Long fault-injection / DoS suites across five fixed seeds, plus the
 # incident-forensics smoke run (see forensics-report below).

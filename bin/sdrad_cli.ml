@@ -555,15 +555,25 @@ let run_metrics_scenario ?(interrupts = 0) ~seed () =
   Sched.run sched;
   sd
 
-(* A fixed two-shard fleet scenario for [metrics --aggregate]: a batch
-   of rid-carrying sets and reads through the router, then a planned
-   drain of shard 0 so the failover / re-seed series are populated. No
-   RNG-driven timing, so the merged exposition is byte-stable. *)
-let run_cluster_metrics_scenario () =
+(* A fixed two-shard fleet scenario for [metrics --aggregate] and
+   [analyze --aggregate]: a batch of rid-carrying sets and reads through
+   the router, then a planned drain of shard 0 so the failover / re-seed
+   series are populated. No RNG-driven timing, so the merged exposition
+   is byte-stable. Each shard runs with the race detector attached —
+   detection is host-side, so the run is identical either way, and the
+   race_* series show up in the merged exposition. [snapshot] runs
+   inside the simulation after the workload, before the fleet stops. *)
+let run_cluster_metrics_scenario ?(snapshot = fun _ -> ()) () =
   let sched = Sched.create () in
   let net = Netsim.create Simkern.Cost.default in
   let cfg =
-    { Cluster.Fleet.default_config with shards = 2; router_workers = 2 }
+    {
+      Cluster.Fleet.default_config with
+      shards = 2;
+      router_workers = 2;
+      kv =
+        { Cluster.Fleet.default_config.kv with race_detector = true };
+    }
   in
   let fleet = ref None in
   let _ =
@@ -590,6 +600,7 @@ let run_cluster_metrics_scenario () =
           ignore (Netsim.recv c)
         done;
         Netsim.close c;
+        snapshot t;
         Cluster.Fleet.stop t)
   in
   Sched.run sched;
@@ -1157,6 +1168,143 @@ let demo_misconfigured_model () =
     global_handler = false;
   }
 
+(* The default [analyze] mode: static policy reports over the two
+   real-world monitor snapshots plus the misconfigured demo model. *)
+let run_static_analyze json =
+  let module P = Analysis.Policy in
+  let kv_model =
+    let space = Space.create ~size_mib:192 () in
+    let sd = Api.create space in
+    let sched = Sched.create () in
+    let net = Netsim.create (Space.cost space) in
+    let sup = Resilience.Supervisor.attach sd in
+    let out = ref None in
+    let _ =
+      Sched.spawn sched ~name:"cli" (fun () ->
+          let s =
+            Kvcache.Server.start sched space ~sdrad:sd ~supervisor:sup net
+              {
+                Kvcache.Server.default_config with
+                variant = Kvcache.Server.Sdrad;
+                workers = 2;
+                per_client_domains = true;
+              }
+          in
+          out := Some (P.of_api sd);
+          Kvcache.Server.stop s)
+    in
+    Sched.run sched;
+    Option.get !out
+  in
+  let httpd_model =
+    let space = Space.create ~size_mib:192 () in
+    let sd = Api.create space in
+    let sched = Sched.create () in
+    let net = Netsim.create (Space.cost space) in
+    let sup = Resilience.Supervisor.attach sd in
+    let fs = Httpd.Fs.create space in
+    Httpd.Fs.add fs ~path:"/index.html" ~size:1024;
+    let out = ref None in
+    let _ =
+      Sched.spawn sched ~name:"cli" (fun () ->
+          let s =
+            Httpd.Server.start sched space ~sdrad:sd ~supervisor:sup net ~fs
+              {
+                Httpd.Server.default_config with
+                variant = Httpd.Server.Sdrad;
+                workers = 2;
+                verify_certs = true;
+              }
+          in
+          out := Some (P.of_api sd);
+          Httpd.Server.stop s)
+    in
+    Sched.run sched;
+    Option.get !out
+  in
+  let reports =
+    [
+      ("kvcache", P.check kv_model);
+      ("httpd", P.check httpd_model);
+      ("demo-misconfigured", P.check (demo_misconfigured_model ()));
+    ]
+  in
+  if json then
+    Printf.printf "{\"reports\":[%s]}\n"
+      (String.concat ","
+         (List.map
+            (fun (name, fs) ->
+              Printf.sprintf "{\"name\":\"%s\",\"report\":%s}" name
+                (P.to_json fs))
+            reports))
+  else
+    List.iter
+      (fun (name, fs) -> Printf.printf "== %s ==\n%s\n" name (P.to_text fs))
+      reports
+
+(* A deterministic scenario tripping every race-detector rule class, so
+   the dynamic report format is demonstrated (and golden-tested) the way
+   the misconfigured model demonstrates the static verifier's:
+   (a) two unordered root threads write the same shared granule with no
+       common lock (shared-race);
+   (b) a nested domain writes shared memory holding no Dlock
+       (rewind-atomicity);
+   (c) a Dlock acquired inside a domain is released back in the root,
+       and a lock poisoned by a crash is cleared without any guarding
+       write (lock-discipline, both shapes). *)
+let run_races_scenario () =
+  let space = Space.create ~size_mib:64 () in
+  let sd = Api.create space in
+  let sched = Sched.create () in
+  let det = Analysis.Race.attach sd in
+  let _ =
+    Sched.spawn sched ~name:"cli-races" (fun () ->
+        Api.init_data sd ~udi:7 ();
+        let cell = Api.malloc sd ~udi:7 64 in
+        let l = Sdrad.Dlock.create sd in
+        (* (a) both children inherit this thread's clock but share no
+           edge with each other. *)
+        let w1 =
+          Sched.spawn sched ~name:"racer1" (fun () ->
+              Space.store64 space cell 1)
+        in
+        let w2 =
+          Sched.spawn sched ~name:"racer2" (fun () ->
+              Space.store64 space cell 2)
+        in
+        Sched.join w1;
+        Sched.join w2;
+        (* (b) unlocked shared write inside a nested domain. *)
+        Api.run sd ~udi:1
+          ~on_rewind:(fun _ -> ())
+          (fun () ->
+            Api.enter sd 1;
+            Api.dprotect sd ~udi:1 ~tddi:7 Vmem.Prot.rw;
+            Space.store64 space (cell + 16) 42;
+            Api.exit_domain sd);
+        (* (c) acquire in a domain, release in the root... *)
+        Api.run sd ~udi:2
+          ~on_rewind:(fun _ -> ())
+          (fun () ->
+            Api.enter sd 2;
+            ignore (Sdrad.Dlock.acquire l);
+            Api.exit_domain sd);
+        Sdrad.Dlock.release l;
+        (* ...and clear a crash-poisoned lock without a guarding write. *)
+        Api.run sd ~udi:3
+          ~on_rewind:(fun _ -> ())
+          (fun () ->
+            Api.enter sd 3;
+            ignore (Sdrad.Dlock.acquire l);
+            ignore (Space.load8 space 0));
+        ignore (Sdrad.Dlock.acquire l);
+        Sdrad.Dlock.clear_poisoned l;
+        Sdrad.Dlock.release l;
+        Analysis.Race.publish det)
+  in
+  Sched.run sched;
+  det
+
 let analyze_cmd =
   let doc =
     "Statically verify compartment policies: snapshot the key-value cache \
@@ -1164,87 +1312,83 @@ let analyze_cmd =
      them with the policy verifier (key disjointness, cross-domain \
      stack/heap visibility, gate buffers, abort hooks, reachability), and \
      print the findings next to a deliberately misconfigured demo model \
-     that trips every rule."
+     that trips every rule. With $(b,--races), run the dynamic race \
+     detector over a deterministic scenario that trips each of its rule \
+     classes instead; with $(b,--aggregate), run the two-shard failover \
+     fleet and verify every shard's compartment policy."
+  in
+  let man =
+    [
+      `S "FINDING RULES";
+      `P
+        "Every rule a finding can carry, static and dynamic (severity in \
+         parentheses):";
+      `Pre (Analysis.Rules.help_text ());
+    ]
   in
   let json =
     Arg.(
       value & flag
       & info [ "json" ] ~doc:"Emit the machine-readable JSON report.")
   in
-  let run verbose json =
+  let races =
+    Arg.(
+      value & flag
+      & info [ "races" ]
+          ~doc:
+            "Run the dynamic race/atomicity detector over a deterministic \
+             demo scenario and print its report instead of the static \
+             policy reports.")
+  in
+  let aggregate =
+    Arg.(
+      value & flag
+      & info [ "aggregate" ]
+          ~doc:
+            "Verify the compartment policy of every shard of the two-shard \
+             failover fleet (the $(b,metrics --aggregate) scenario), one \
+             report per shard.")
+  in
+  let run verbose json races aggregate =
     setup_logging verbose;
     let module P = Analysis.Policy in
-    let kv_model =
-      let space = Space.create ~size_mib:192 () in
-      let sd = Api.create space in
-      let sched = Sched.create () in
-      let net = Netsim.create (Space.cost space) in
-      let sup = Resilience.Supervisor.attach sd in
-      let out = ref None in
+    if races then begin
+      let det = run_races_scenario () in
+      if json then print_endline (Analysis.Race.to_json det)
+      else print_string (Analysis.Race.to_text det)
+    end
+    else if aggregate then begin
+      let reports = ref [] in
       let _ =
-        Sched.spawn sched ~name:"cli" (fun () ->
-            let s =
-              Kvcache.Server.start sched space ~sdrad:sd ~supervisor:sup net
-                {
-                  Kvcache.Server.default_config with
-                  variant = Kvcache.Server.Sdrad;
-                  workers = 2;
-                  per_client_domains = true;
-                }
-            in
-            out := Some (P.of_api sd);
-            Kvcache.Server.stop s)
+        run_cluster_metrics_scenario
+          ~snapshot:(fun t ->
+            for i = 0 to Cluster.Fleet.shard_count t - 1 do
+              reports :=
+                ( Printf.sprintf "shard%d" i,
+                  P.check (P.of_api (Cluster.Fleet.shard_sd t i)) )
+                :: !reports
+            done)
+          ()
       in
-      Sched.run sched;
-      Option.get !out
-    in
-    let httpd_model =
-      let space = Space.create ~size_mib:192 () in
-      let sd = Api.create space in
-      let sched = Sched.create () in
-      let net = Netsim.create (Space.cost space) in
-      let sup = Resilience.Supervisor.attach sd in
-      let fs = Httpd.Fs.create space in
-      Httpd.Fs.add fs ~path:"/index.html" ~size:1024;
-      let out = ref None in
-      let _ =
-        Sched.spawn sched ~name:"cli" (fun () ->
-            let s =
-              Httpd.Server.start sched space ~sdrad:sd ~supervisor:sup net ~fs
-                {
-                  Httpd.Server.default_config with
-                  variant = Httpd.Server.Sdrad;
-                  workers = 2;
-                  verify_certs = true;
-                }
-            in
-            out := Some (P.of_api sd);
-            Httpd.Server.stop s)
-      in
-      Sched.run sched;
-      Option.get !out
-    in
-    let reports =
-      [
-        ("kvcache", P.check kv_model);
-        ("httpd", P.check httpd_model);
-        ("demo-misconfigured", P.check (demo_misconfigured_model ()));
-      ]
-    in
-    if json then
-      Printf.printf "{\"reports\":[%s]}\n"
-        (String.concat ","
-           (List.map
-              (fun (name, fs) ->
-                Printf.sprintf "{\"name\":\"%s\",\"report\":%s}" name
-                  (P.to_json fs))
-              reports))
-    else
-      List.iter
-        (fun (name, fs) -> Printf.printf "== %s ==\n%s\n" name (P.to_text fs))
-        reports
+      let reports = List.rev !reports in
+      if json then
+        Printf.printf "{\"reports\":[%s]}\n"
+          (String.concat ","
+             (List.map
+                (fun (name, fs) ->
+                  Printf.sprintf "{\"name\":\"%s\",\"report\":%s}" name
+                    (P.to_json fs))
+                reports))
+      else
+        List.iter
+          (fun (name, fs) ->
+            Printf.printf "== %s ==\n%s\n" name (P.to_text fs))
+          reports
+    end
+    else run_static_analyze json
   in
-  Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ verbose_arg $ json)
+  Cmd.v (Cmd.info "analyze" ~doc ~man)
+    Term.(const run $ verbose_arg $ json $ races $ aggregate)
 
 let () =
   let doc = "Secure Domain Rewind and Discard — simulation toolkit" in

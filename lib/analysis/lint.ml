@@ -46,14 +46,18 @@ let rules =
   ]
 
 let rule_names =
-  List.map (fun r -> r.r_name) rules @ [ "missing-mli"; "metric-naming" ]
+  List.map (fun r -> r.r_name) rules
+  @ [ "missing-mli"; "metric-naming"; "finding-rule-doc" ]
 
-(* Replace comment bodies, string literals and char literals with spaces
-   (newlines preserved, so line numbers survive). *)
-let strip src =
+(* Replace comment bodies — and, when [strings], string and char
+   literals — with spaces (newlines preserved, so line numbers
+   survive). Literals are always parsed either way, so a comment opener
+   inside a string is never treated as one. *)
+let strip_gen ~strings src =
   let n = String.length src in
   let out = Bytes.of_string src in
   let blank i = if Bytes.get out i <> '\n' then Bytes.set out i ' ' in
+  let blank_lit i = if strings then blank i in
   let i = ref 0 in
   let depth = ref 0 in
   while !i < n do
@@ -82,21 +86,21 @@ let strip src =
       i := !i + 2
     end
     else if c = '"' then begin
-      blank !i;
+      blank_lit !i;
       incr i;
       let fin = ref false in
       while (not !fin) && !i < n do
         match src.[!i] with
         | '\\' when !i + 1 < n ->
-            blank !i;
-            blank (!i + 1);
+            blank_lit !i;
+            blank_lit (!i + 1);
             i := !i + 2
         | '"' ->
-            blank !i;
+            blank_lit !i;
             incr i;
             fin := true
         | _ ->
-            blank !i;
+            blank_lit !i;
             incr i
       done
     end
@@ -107,26 +111,28 @@ let strip src =
       && (src.[!i + 1] = '\\' || src.[!i + 2] = '\'')
     then
       if src.[!i + 1] = '\\' then begin
-        blank !i;
+        blank_lit !i;
         incr i;
         while !i < n && src.[!i] <> '\'' do
-          blank !i;
+          blank_lit !i;
           incr i
         done;
         if !i < n then begin
-          blank !i;
+          blank_lit !i;
           incr i
         end
       end
       else begin
-        blank !i;
-        blank (!i + 1);
-        blank (!i + 2);
+        blank_lit !i;
+        blank_lit (!i + 1);
+        blank_lit (!i + 2);
         i := !i + 3
       end
     else incr i
   done;
   Bytes.to_string out
+
+let strip = strip_gen ~strings:true
 
 let contains ~sub s =
   let ls = String.length s and lb = String.length sub in
@@ -179,7 +185,7 @@ let scan_source ~file src =
 let metric_prefixes =
   [
     "sdrad_"; "vmem_"; "tlsf_"; "sanitizer_"; "supervisor_"; "kvcache_";
-    "httpd_"; "client_"; "trace_"; "gate_"; "cluster_";
+    "httpd_"; "client_"; "trace_"; "gate_"; "cluster_"; "race_";
   ]
 
 let metric_ctors =
@@ -328,6 +334,67 @@ let scan_metric_names ~file src =
   done;
   List.rev !out
 
+(* {1 Finding rule names}
+
+   Every finding an analysis pass can emit must be documented: the
+   rule-name literal of a finding constructor (a [rule] record field
+   bound to a string literal) inside lib/analysis must name a rule
+   registered in {!Rules.all}, which is what [sdrad_cli analyze --help]
+   renders. An unregistered literal is a finding users can hit but never
+   look up. Scanning runs on a comment-stripped (string-preserving) view;
+   the pattern is assembled by concatenation and requires a
+   non-identifier character before it, so field names like [v_rule] (and
+   this file itself) do not trip the rule. *)
+
+let finding_rule_patterns = [ "rule" ^ " = \"" ]
+
+let scan_finding_rules ~file raw =
+  if not (in_dir file "analysis") then []
+  else begin
+    let src = strip_gen ~strings:false raw in
+    let n = String.length src in
+    let line_of pos =
+      let l = ref 1 in
+      for k = 0 to min (pos - 1) (n - 1) do
+        if src.[k] = '\n' then incr l
+      done;
+      !l
+    in
+    let out = ref [] in
+    List.iter
+      (fun pat ->
+        let lp = String.length pat in
+        for i = 0 to n - lp - 1 do
+          if
+            String.sub src i lp = pat
+            && (i = 0 || not (is_ident_char src.[i - 1]))
+          then begin
+            (* The pattern ends at the opening quote; the name runs to
+               the next one. *)
+            let j = ref (i + lp) in
+            while !j < n && src.[!j] <> '"' do
+              incr j
+            done;
+            let name = String.sub src (i + lp) (!j - i - lp) in
+            if not (Rules.known name) then
+              out :=
+                {
+                  v_file = file;
+                  v_line = line_of i;
+                  v_rule = "finding-rule-doc";
+                  v_text =
+                    Printf.sprintf
+                      "\"%s\": finding rule not registered in Rules.all \
+                       (must appear in `analyze --help`)"
+                      name;
+                }
+                :: !out
+          end
+        done)
+      finding_rule_patterns;
+    List.sort compare !out
+  end
+
 (* {1 Tree walking} *)
 
 let read_file path =
@@ -356,6 +423,7 @@ let scan_tree ?(allow = fun ~rule:_ ~file:_ -> false) root =
         let src = read_file file in
         let vs =
           scan_source ~file src
+          @ scan_finding_rules ~file src
           @
           (* The registry implementation itself manipulates [counter]/
              [gauge]/[histogram] values without naming any series. *)

@@ -15,11 +15,15 @@
       gauge/histogram that does), or a name ending in one of the
       suffixes the histogram exposition reserves ([_bucket], [_sum],
       [_count]).
+    - [finding-rule-doc]: a finding constructor in [lib/analysis] (a
+      [rule] record field bound to a string literal) whose rule-name
+      literal is not registered in {!Rules.all} — i.e. a finding users
+      can hit but [sdrad_cli analyze --help] never documents.
 
     Matching runs on a comment- and string-stripped view of each source,
     so banned names in docstrings or error messages do not trip rules
-    ([metric-naming] alone reads the raw source — the names it judges
-    {e are} string literals). *)
+    ([metric-naming] and [finding-rule-doc] alone read the raw source —
+    the names they judge {e are} string literals). *)
 
 type violation = {
   v_file : string;
@@ -39,6 +43,10 @@ val metric_prefixes : string list
 
 val scan_metric_names : file:string -> string -> violation list
 (** The [metric-naming] rule alone over one source text. *)
+
+val scan_finding_rules : file:string -> string -> violation list
+(** The [finding-rule-doc] rule alone over one source text. Only files
+    with an [analysis] path component are judged. *)
 
 val scan_tree :
   ?allow:(rule:string -> file:string -> bool) -> string -> violation list

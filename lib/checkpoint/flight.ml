@@ -31,6 +31,7 @@ type kind =
   | Replay  (* journal replay served instead of re-executing *)
   | Route  (* cluster router forwarded a request to this shard *)
   | Failover  (* shard received re-routed traffic / a journal re-seed *)
+  | Race  (* race-detector finding published into the ring *)
 
 type event = {
   e_at : float;  (* virtual cycles *)
@@ -52,6 +53,7 @@ let kind_code = function
   | Replay -> 7
   | Route -> 8
   | Failover -> 9
+  | Race -> 10
 
 let code_kind = function
   | 0 -> Admit
@@ -63,6 +65,7 @@ let code_kind = function
   | 6 -> Shed
   | 8 -> Route
   | 9 -> Failover
+  | 10 -> Race
   | _ -> Replay
 
 let kind_to_string = function
@@ -76,6 +79,7 @@ let kind_to_string = function
   | Replay -> "replay"
   | Route -> "route"
   | Failover -> "failover"
+  | Race -> "race"
 
 (* {1 Memory layout}
 

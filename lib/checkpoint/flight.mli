@@ -30,6 +30,12 @@ type kind =
   | Failover
       (** the shard absorbed a failover: re-routed traffic or a replay-
           journal re-seed from a drained peer (arg = sick shard index) *)
+  | Race
+      (** a race-detector finding was published into the ring
+          ({!Analysis.Race.publish}; arg = the finding's address or lock
+          id). Findings are detected host-side with zero virtual-time
+          cost and recorded only when publication is requested, so an
+          attached detector never perturbs the run it watches. *)
 
 type event = {
   e_at : float;  (** virtual cycles *)

@@ -93,6 +93,9 @@ type t = {
   mutable rewind_fault_hook : (unit -> bool) option;
       (* chaos probe consulted before each discard step of a rewind;
          [true] simulates a second fault arriving mid-rewind *)
+  mutable race_observer : (Types.race_event -> unit) option;
+      (* host-side happens-before feed for the race detector: domain
+         gates, rewinds, data-domain lifecycle, allocations, Dlocks *)
   mutable journal_probes : (unit -> int) list;
       (* cumulative replay-hit counts, sampled at incident commit *)
   mutable pending_interrupted : bool;
@@ -124,6 +127,11 @@ let err e = raise (Error e)
    time is only charged when a thread clock exists. *)
 let charge c = if Sched.in_thread () then Sched.charge c
 let now () = if Sched.in_thread () then Sched.now () else 0.0
+
+let set_race_observer t o = t.race_observer <- o
+
+let race_emit t ev =
+  match t.race_observer with Some f -> f ev | None -> ()
 
 let record_incident t fault =
   Queue.push fault t.incident_q;
@@ -218,6 +226,7 @@ let create ?(seed = 1) ?(monitor_size = 256 * 1024)
     trace_ctx = Hashtbl.create 8;
     gate_bufs = Hashtbl.create 16;
     rewind_fault_hook = None;
+    race_observer = None;
     journal_probes = [];
     pending_interrupted = false;
     metrics;
@@ -934,6 +943,9 @@ let enter t udi =
          after the policy switch, with the domain's own rights. *)
       inst.sp <- inst.sp - 16;
       Space.store64 t.space inst.sp inst.frame);
+  (match t.race_observer with
+  | Some f -> f (Types.Rv_domain { tid = ts.t_tid; udi; enter = true })
+  | None -> ());
   Telemetry.Metrics.inc t.c_enters;
   if ts.gate_depth > 0 then Telemetry.Metrics.inc t.c_gate_batched;
   Telemetry.Metrics.observe t.h_switch_cycles (now () -. t0)
@@ -958,6 +970,10 @@ let exit_domain t =
                   ts.cur_pkru <- compute_pkru t ts);
               Flight.record t.flight ~udi:inst.udi ~tid:ts.t_tid
                 ~at:(now ()) ~trace:(current_trace t) Flight.Switch_out));
+      (match t.race_observer with
+      | Some f ->
+          f (Types.Rv_domain { tid = ts.t_tid; udi = inst.udi; enter = false })
+      | None -> ());
       Telemetry.Metrics.inc t.c_exits;
       Telemetry.Metrics.observe t.h_switch_cycles (now () -. t0)
 
@@ -1014,6 +1030,7 @@ let destroy t udi ~heap =
           forget_gate_buffers t udi;
           Hashtbl.remove t.data_insts udi;
           ts.cur_pkru <- compute_pkru t ts);
+      race_emit t (Types.Rv_unshared { udi; pkey = dd.d_pkey });
       Telemetry.Metrics.inc t.c_destroys
   | None ->
       let inst = get_exec t ts udi in
@@ -1109,6 +1126,7 @@ let init_data t ~udi ?heap_size () =
           d_meta_addr = meta;
         };
       ts.cur_pkru <- compute_pkru t ts);
+  race_emit t (Types.Rv_shared { udi; pkey });
   assert_policy t
 
 let dprotect t ~udi ~tddi prot =
@@ -1151,26 +1169,34 @@ let resolve_heap t ts udi =
 let malloc t ~udi size =
   let ts = thread_state t in
   let target = resolve_heap t ts udi in
-  with_monitor t ts (fun () ->
-      (* Under the sanitizer every allocation (un)poisons redzones — a
-         forensically interesting act, so it lands in the flight ring. *)
-      if t.sanitizer then
-        Flight.record t.flight ~udi ~tid:ts.t_tid ~at:(now ())
-          ~trace:(current_trace t) ~arg:size Flight.Alloc_poison;
-      match target with
-      | In_current ->
-          let heap, pkey, track, pool = current_heap t ts in
-          heap_malloc t ~heap ~pkey ~pool_size:pool ~grow:track size
-      | In_child inst ->
-          let heap = inst_heap t inst in
-          heap_malloc t ~heap ~pkey:inst.pkey ~pool_size:inst.opts.heap_size
-            ~grow:(fun r -> inst.heap_regions <- r :: inst.heap_regions)
-            size
-      | In_data dd ->
-          heap_malloc t ~heap:dd.d_heap ~pkey:dd.d_pkey
-            ~pool_size:t.default_heap_size
-            ~grow:(fun r -> dd.d_regions <- r :: dd.d_regions)
-            size)
+  let addr =
+    with_monitor t ts (fun () ->
+        (* Under the sanitizer every allocation (un)poisons redzones — a
+           forensically interesting act, so it lands in the flight ring. *)
+        if t.sanitizer then
+          Flight.record t.flight ~udi ~tid:ts.t_tid ~at:(now ())
+            ~trace:(current_trace t) ~arg:size Flight.Alloc_poison;
+        match target with
+        | In_current ->
+            let heap, pkey, track, pool = current_heap t ts in
+            heap_malloc t ~heap ~pkey ~pool_size:pool ~grow:track size
+        | In_child inst ->
+            let heap = inst_heap t inst in
+            heap_malloc t ~heap ~pkey:inst.pkey ~pool_size:inst.opts.heap_size
+              ~grow:(fun r -> inst.heap_regions <- r :: inst.heap_regions)
+              size
+        | In_data dd ->
+            heap_malloc t ~heap:dd.d_heap ~pkey:dd.d_pkey
+              ~pool_size:t.default_heap_size
+              ~grow:(fun r -> dd.d_regions <- r :: dd.d_regions)
+              size)
+  in
+  (* Reuse boundary for shadow-cell observers: the block's previous
+     occupant's access history must not leak onto the new one. *)
+  (match t.race_observer with
+  | Some f -> f (Types.Rv_alloc { udi; addr; len = size })
+  | None -> ());
+  addr
 
 let free t ~udi addr =
   let ts = thread_state t in
@@ -1181,7 +1207,10 @@ let free t ~udi addr =
           let heap, _, _, _ = current_heap t ts in
           Tlsf.free heap addr
       | In_child inst -> Tlsf.free (inst_heap t inst) addr
-      | In_data dd -> Tlsf.free dd.d_heap addr)
+      | In_data dd -> Tlsf.free dd.d_heap addr);
+  match t.race_observer with
+  | Some f -> f (Types.Rv_free { udi; addr })
+  | None -> ()
 
 let usable_size t ~udi addr =
   let ts = thread_state t in
@@ -1376,6 +1405,15 @@ let abnormal_exit ?(record = true) t ts inst fault =
           charge t.cost.context_restore);
       with_monitor t ts (fun () ->
           let victims = rewind_victims t ts inst in
+          (match t.race_observer with
+          | Some f ->
+              f
+                (Types.Rv_rewind
+                   {
+                     tid = ts.t_tid;
+                     victims = List.map (fun v -> v.udi) victims;
+                   })
+          | None -> ());
           (* Phase 1 — intent. A fresh incident first finalizes any stale
              in-flight record (a grandparent rewind whose outer frame
              never ran), so the log cannot wedge. A [~record:false] exit
@@ -1437,6 +1475,15 @@ let teardown_passthrough t ts inst frame_id =
     with_monitor t ts (fun () ->
         ts.entered <- List.filter (fun i -> not (i == inst)) ts.entered;
         let victims = descendants_post t ts inst.udi ~except:[] @ [ inst ] in
+        (match t.race_observer with
+        | Some f ->
+            f
+              (Types.Rv_rewind
+                 {
+                   tid = ts.t_tid;
+                   victims = List.map (fun v -> v.udi) victims;
+                 })
+        | None -> ());
         let audited =
           Rewind_log.pending t.audit
           && Rewind_log.begin_incident t.audit ~continue:true

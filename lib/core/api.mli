@@ -329,6 +329,20 @@ val set_rewind_fault_hook : t -> (unit -> bool) option -> unit
     [sdrad_incidents_resumed_total] account the recovery. Wired to
     {!Resilience.Fault_inject} via [arm_rewind]. *)
 
+val set_race_observer : t -> (race_event -> unit) option -> unit
+(** Install (or clear) the monitor-level happens-before feed consumed by
+    the race detector ({!Analysis.Race.attach} owns the slot). The
+    observer receives {!Types.race_event}s — domain gates, rewinds,
+    data-domain lifecycle, monitor-mediated allocations and {!Dlock}
+    transitions. Emission is plain data from state the monitor already
+    holds: no simulated memory is touched and no virtual time is
+    charged, so an installed observer cannot perturb the run. *)
+
+val race_emit : t -> race_event -> unit
+(** Feed one event to the installed race observer (no-op without one).
+    For rewind-aware lock implementations ({!Dlock}) that participate in
+    the happens-before model; not for application code. *)
+
 val add_journal_probe : t -> (unit -> int) -> unit
 (** Register a cumulative replay-hit counter (e.g. a server's
     {!Resilience.Journal} hits); the sum across probes is sampled at

@@ -11,6 +11,21 @@ type t = {
 let create sd =
   { sd; mu = Sched.Mutex.create (); poisoned_flag = false; holder_tid = None; cancel = None }
 
+let lock_id t = Sched.Mutex.id t.mu
+
+(* Every transition is reported to the race observer under the
+   underlying scheduler lock id, so the detector's lock-set view (from
+   the Sched trace hook) and its Dlock view line up on one namespace. *)
+let emit t op =
+  Api.race_emit t.sd
+    (Types.Rv_lock
+       {
+         lock = Sched.Mutex.id t.mu;
+         tid = Sched.self ();
+         udi = Api.current t.sd;
+         op;
+       })
+
 let acquire t =
   Sched.Mutex.lock t.mu;
   t.holder_tid <- Some (Sched.self ());
@@ -24,9 +39,11 @@ let acquire t =
              t.poisoned_flag <- true;
              t.holder_tid <- None;
              t.cancel <- None;
+             emit t Types.Rl_poison;
              Sched.Mutex.unlock t.mu))
   end
   else t.cancel <- None;
+  emit t (Types.Rl_acquire { poisoned = t.poisoned_flag });
   not t.poisoned_flag
 
 let release t =
@@ -38,6 +55,7 @@ let release t =
           t.cancel <- None
       | None -> ());
       t.holder_tid <- None;
+      emit t Types.Rl_release;
       Sched.Mutex.unlock t.mu
   | Some _ | None ->
       (* Already released — e.g. by the abnormal-exit cleanup. *)
@@ -53,9 +71,24 @@ let with_lock t f =
       (* The critical section did not complete: the protected state may be
          inconsistent (Rust-style poisoning on exceptional unwind). *)
       t.poisoned_flag <- true;
+      if t.holder_tid = Some (Sched.self ()) then emit t Types.Rl_poison;
       release t;
       raise e
 
 let poisoned t = t.poisoned_flag
-let clear_poisoned t = t.poisoned_flag <- false
+
+let clear_poisoned t =
+  (* Holder-only: clearing from a thread that does not hold the lock is
+     unordered with respect to the next acquirer — the next critical
+     section could begin with the flag still set (or see it vanish
+     mid-inspection) depending on scheduling. Forcing the clearer to hold
+     the lock makes the clear happen-before the next acquire through the
+     lock itself. *)
+  match t.holder_tid with
+  | Some tid when tid = Sched.self () ->
+      t.poisoned_flag <- false;
+      emit t Types.Rl_clear
+  | Some _ | None ->
+      invalid_arg "Dlock.clear_poisoned: caller does not hold the lock"
+
 let holder t = t.holder_tid

@@ -28,6 +28,23 @@ val with_lock : t -> (poisoned:bool -> 'a) -> 'a
     poisoned. *)
 
 val poisoned : t -> bool
+
 val clear_poisoned : t -> unit
+(** Clear the poison flag. {b Holder-only}: the caller must currently
+    hold the lock. A clear from any other thread would be unordered with
+    respect to the next acquirer — the next critical section could start
+    with the flag still set, or watch it vanish mid-inspection,
+    depending on scheduling. Clearing while holding makes the clear
+    happen-before the next acquire through the lock itself. Clear only
+    after re-validating (or rebuilding) the protected state; the race
+    detector's lock-discipline rule flags a poisoned lock cleared
+    without a guarding write.
+    @raise Invalid_argument when the caller does not hold the lock. *)
+
 val holder : t -> int option
 (** Simulated thread currently holding the lock. *)
+
+val lock_id : t -> int
+(** The underlying scheduler lock id ({!Simkern.Sched.Mutex.id}) — the
+    key under which this lock's transitions appear in race-observer
+    events. *)

@@ -78,3 +78,22 @@ let () =
   Printexc.register_printer (function
     | Error e -> Some (Printf.sprintf "Sdrad.Error: %s" (error_to_string e))
     | _ -> None)
+
+(* Monitor-level happens-before events fed to an attached race detector
+   (see Api.set_race_observer). Plain data, computed from state the
+   monitor already holds: emitting one never touches simulated memory or
+   charges virtual time, so an attached observer cannot perturb a run. *)
+type race_lock_op =
+  | Rl_acquire of { poisoned : bool }
+  | Rl_release
+  | Rl_poison
+  | Rl_clear
+
+type race_event =
+  | Rv_domain of { tid : int; udi : udi; enter : bool }
+  | Rv_rewind of { tid : int; victims : udi list }
+  | Rv_shared of { udi : udi; pkey : int }
+  | Rv_unshared of { udi : udi; pkey : int }
+  | Rv_alloc of { udi : udi; addr : int; len : int }
+  | Rv_free of { udi : udi; addr : int }
+  | Rv_lock of { lock : int; tid : int; udi : udi; op : race_lock_op }

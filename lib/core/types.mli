@@ -85,3 +85,42 @@ type error =
 exception Error of error
 
 val error_to_string : error -> string
+
+(** {1 Race-observer events}
+
+    The monitor-level half of the happens-before feed consumed by the
+    race detector ({!Analysis.Race}); the scheduler-level half comes
+    from {!Simkern.Sched.set_trace_hook}. Events are plain data computed
+    from state the monitor already holds — emitting one never touches
+    simulated memory or charges virtual time, so an attached observer
+    cannot perturb the run it watches. *)
+
+(** What happened to a rewind-aware lock ({!Dlock}). [lock] in
+    {!race_event.Rv_lock} is the underlying scheduler lock id
+    ({!Simkern.Sched.Mutex.id}), so lock-set and Dlock views line up. *)
+type race_lock_op =
+  | Rl_acquire of { poisoned : bool }
+      (** Acquired; [poisoned] is the flag the acquirer observed. *)
+  | Rl_release  (** Released normally by its holder. *)
+  | Rl_poison
+      (** Poison-released: a rewind (or exceptional unwind) of the
+          critical section published the lock with the poison flag set. *)
+  | Rl_clear  (** The poison flag was cleared by the holder. *)
+
+type race_event =
+  | Rv_domain of { tid : int; udi : udi; enter : bool }
+      (** Thread [tid] entered ([enter = true]) or left a nested domain —
+          the gate edges delimiting a rewind-atomicity scope. *)
+  | Rv_rewind of { tid : int; victims : udi list }
+      (** An abnormal exit on [tid] discarded [victims] (innermost
+          first): writes the victims made are gone from memory but not
+          from history. *)
+  | Rv_shared of { udi : udi; pkey : int }
+      (** A data domain — shared memory by construction — now owns
+          [pkey]'s pages. *)
+  | Rv_unshared of { udi : udi; pkey : int }  (** ... and was destroyed. *)
+  | Rv_alloc of { udi : udi; addr : int; len : int }
+      (** Monitor-mediated allocation: address reuse boundary. *)
+  | Rv_free of { udi : udi; addr : int }
+  | Rv_lock of { lock : int; tid : int; udi : udi; op : race_lock_op }
+      (** A {!Dlock} transition, in the domain context [udi]. *)

@@ -34,6 +34,7 @@ type config = {
   shed_wait_limit : float;
   nonblocking_admit : bool;
   verify_policy : bool;
+  race_detector : bool;  (* attach the dynamic race detector at start *)
   gate_batch_limit : int;  (* requests coalesced per batched gate; 0 = off *)
 }
 
@@ -58,6 +59,7 @@ let default_config =
     shed_wait_limit = 0.0;
     nonblocking_admit = false;
     verify_policy = false;
+    race_detector = false;
     gate_batch_limit = 0;
   }
 
@@ -107,6 +109,7 @@ type t = {
   h_rewind_cycles : Telemetry.Metrics.histogram;
   mutable rewind_lat : float list;
   mutable restart_lat : float list;
+  mutable race : Analysis.Race.t option;
 }
 
 let glibc_allocator space =
@@ -589,6 +592,7 @@ let rec start sched space ?sdrad ?supervisor ?faults net ~fs cfg =
           ~help:"Cycles from fault to request discarded";
       rewind_lat = [];
       restart_lat = [];
+      race = None;
     }
   in
   (* Static policy check over the compartments set up above; raises
@@ -596,6 +600,11 @@ let rec start sched space ?sdrad ?supervisor ?faults net ~fs cfg =
   (match (cfg.verify_policy, sd) with
   | true, Some sd ->
       Analysis.Policy.assert_ok (Analysis.Policy.of_api sd)
+  | _ -> ());
+  (* Dynamic race detection over shared (data-domain) memory. Host-side
+     only: attaching never perturbs the simulated run. *)
+  (match (cfg.race_detector, sd) with
+  | true, Some sd -> t.race <- Some (Analysis.Race.attach sd)
   | _ -> ());
   (* Rewind audit records sample the journal's cumulative replay hits at
      incident-commit time. *)
@@ -817,6 +826,7 @@ let journal t = t.journal
 let post_count t = t.post_count
 let supervisor t = t.sup
 let metrics t = t.metrics
+let race_detector t = t.race
 
 let alive t =
   Array.exists

@@ -65,6 +65,10 @@ type config = {
           run the {!Analysis.Policy} verifier over a snapshot of the
           monitor and raise {!Analysis.Policy.Rejected} on any
           error-severity finding. Off by default. *)
+  race_detector : bool;
+      (** {!Sdrad} variant only: attach an {!Analysis.Race} detector at
+          start. Detection is host-side — it never perturbs the
+          simulated run. Off by default. *)
   gate_batch_limit : int;
       (** {!Sdrad} variant only: coalesce up to this many consecutive
           ready requests into one {!Core.Api.open_gate} batched-gate
@@ -138,3 +142,7 @@ val metrics : t -> Telemetry.Metrics.t
 (** The registry behind [GET /metrics]: the monitor's registry for the
     {!Sdrad} variant (core + supervisor + server series in one scrape),
     a private one otherwise. *)
+
+val race_detector : t -> Analysis.Race.t option
+(** The race detector attached at start when [config.race_detector] was
+    set ([None] otherwise). *)

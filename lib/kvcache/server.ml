@@ -34,6 +34,7 @@ type config = {
   shed_wait_limit : float;  (* shed when queueing delay exceeds this; 0 = off *)
   nonblocking_admit : bool;  (* turn supervisor backoff waits into busy *)
   verify_policy : bool;  (* run the static policy verifier after setup *)
+  race_detector : bool;  (* attach the dynamic race detector at start *)
   gate_batch_limit : int;  (* requests coalesced per batched gate; 0 = off *)
 }
 
@@ -58,6 +59,7 @@ let default_config =
     shed_wait_limit = 0.0;
     nonblocking_admit = false;
     verify_policy = false;
+    race_detector = false;
     gate_batch_limit = 0;
   }
 
@@ -94,6 +96,7 @@ type t = {
   h_rewind_cycles : Telemetry.Metrics.histogram;
   mutable rewind_lat : float list;
   mutable crashed : bool;
+  mutable race : Analysis.Race.t option;
 }
 
 (* glibc cost model for the Baseline variant: allocations come from a
@@ -402,6 +405,7 @@ let rec start sched space ?sdrad ?supervisor ?faults net cfg =
           ~help:"Cycles from fault to connection closed";
       rewind_lat = [];
       crashed = false;
+      race = None;
     }
   in
   M.gauge_fn metrics "kvcache_items" ~help:"Items currently stored" (fun () ->
@@ -416,6 +420,11 @@ let rec start sched space ?sdrad ?supervisor ?faults net cfg =
   (match (cfg.verify_policy, sd) with
   | true, Some sd ->
       Analysis.Policy.assert_ok (Analysis.Policy.of_api sd)
+  | _ -> ());
+  (* Dynamic race detection over shared (data-domain) memory. Host-side
+     only: attaching never perturbs the simulated run. *)
+  (match (cfg.race_detector, sd) with
+  | true, Some sd -> t.race <- Some (Analysis.Race.attach sd)
   | _ -> ());
   (* Rewind audit records carry the journal's cumulative replay hits, so
      an operator can line an incident up against PR 4's "no acked write
@@ -900,6 +909,7 @@ let supervisor t = t.sup
 let rewind_latencies t = t.rewind_lat
 let dropped_connections t = Telemetry.Metrics.counter_value t.c_dropped
 let metrics t = t.metrics
+let race_detector t = t.race
 let db_bytes t = Slab.pages_allocated t.slab * Slab.slab_page_size
 let db_check t = Store.check t.db
 let evictions t = Store.evictions t.db

@@ -70,6 +70,11 @@ type config = {
           and raise {!Analysis.Policy.Rejected} if any error-severity
           finding (overlapping keys, unintended cross-domain visibility,
           unreadable gate buffers) is present. Off by default. *)
+  race_detector : bool;
+      (** {!Sdrad} variant only: attach an {!Analysis.Race} detector at
+          start. Detection is host-side — it never perturbs the
+          simulated run — and its findings/metrics are reachable via
+          {!race_detector} and the shared registry. Off by default. *)
   gate_batch_limit : int;
       (** {!Sdrad} variant only: coalesce up to this many consecutive
           ready requests into one {!Core.Api.open_gate} batched-gate
@@ -154,3 +159,7 @@ val metrics : t -> Telemetry.Metrics.t
 (** The registry behind the [stats telemetry] verb: the monitor's registry
     for the {!Sdrad} variant (core + supervisor + server series in one
     scrape), a private one otherwise. *)
+
+val race_detector : t -> Analysis.Race.t option
+(** The race detector attached at start when [config.race_detector] was
+    set ([None] otherwise). *)

@@ -97,6 +97,33 @@ type _ Effect.t +=
 
 let active : t option ref = ref None
 
+(* Synchronization trace hook (single slot, like [active]): when set, the
+   scheduler reports the happens-before-relevant events — spawn/join
+   edges and lock transfers — to an external observer (the race detector
+   in lib/analysis installs one). Emission is host-side only: it charges
+   no virtual time and takes no scheduling decision, so an installed hook
+   cannot perturb a deterministic run. *)
+type trace_event =
+  | Spawned of { parent : tid; child : tid }
+  | Joined of { waiter : tid; joined : tid }
+  | Locked of { lock : int; tid : tid }
+  | Unlocked of { lock : int; tid : tid }
+  | Rd_locked of { lock : int; tid : tid }
+  | Rd_unlocked of { lock : int; tid : tid }
+
+let trace_hook : (trace_event -> unit) option ref = ref None
+let set_trace_hook h = trace_hook := h
+let trace ev = match !trace_hook with Some f -> f ev | None -> ()
+
+(* Mutexes and rwlocks share one id namespace so lock-set observers can
+   treat them uniformly. *)
+let next_lock_id = ref 0
+
+let fresh_lock_id () =
+  let id = !next_lock_id in
+  next_lock_id := id + 1;
+  id
+
 let create () =
   {
     next_tid = 0;
@@ -158,6 +185,12 @@ let spawn t ?name f =
   in
   Hashtbl.replace t.threads tid th;
   Heap.push t.ready { Heap.key = clock; id = tid };
+  trace
+    (Spawned
+       {
+         parent = (match t.current with Some p -> p.tid | None -> -1);
+         child = tid;
+       });
   tid
 
 let wake_fn t th serial : wake =
@@ -343,14 +376,18 @@ let join tid =
   let t = current () in
   match Hashtbl.find_opt t.threads tid with
   | None -> invalid_arg "Sched.join: unknown thread"
-  | Some th -> (
-      match th.status with
+  | Some th ->
+      (match th.status with
       | Done _ -> ()
       | Ready | Running | Blocked ->
-          suspend (fun wake -> th.joiners <- wake :: th.joiners))
+          suspend (fun wake -> th.joiners <- wake :: th.joiners));
+      (* The edge exists even when the target already finished: the
+         joiner now happens-after everything the joined thread did. *)
+      trace (Joined { waiter = self (); joined = tid })
 
 module Mutex = struct
   type mutex = {
+    id : int;
     mutable locked : bool;
     mutable owner : tid;
     waiters : wake Queue.t;
@@ -359,7 +396,9 @@ module Mutex = struct
   }
 
   let create () =
-    { locked = false; owner = -1; waiters = Queue.create (); contentions = 0; wait_cycles = 0.0 }
+    { id = fresh_lock_id (); locked = false; owner = -1; waiters = Queue.create (); contentions = 0; wait_cycles = 0.0 }
+
+  let id m = m.id
 
   let lock m =
     if not m.locked then begin
@@ -373,10 +412,14 @@ module Mutex = struct
       (* The lock was handed to us by [unlock]; it is still marked locked. *)
       m.owner <- self ();
       m.wait_cycles <- m.wait_cycles +. (now () -. t0)
-    end
+    end;
+    trace (Locked { lock = m.id; tid = m.owner })
 
   let unlock m =
     if not m.locked then invalid_arg "Mutex.unlock: not locked";
+    (match !trace_hook with
+    | Some f -> f (Unlocked { lock = m.id; tid = self () })
+    | None -> ());
     match Queue.take_opt m.waiters with
     | None ->
         m.locked <- false;
@@ -401,6 +444,7 @@ end
 
 module Rwlock = struct
   type rw = {
+    id : int;
     mutable active_readers : int;
     mutable writer : bool;
     mutable waiting_writers : int;
@@ -410,12 +454,15 @@ module Rwlock = struct
 
   let create () =
     {
+      id = fresh_lock_id ();
       active_readers = 0;
       writer = false;
       waiting_writers = 0;
       reader_q = Queue.create ();
       writer_q = Queue.create ();
     }
+
+  let id rw = rw.id
 
   (* Mesa-style: a woken waiter re-checks its condition and may sleep
      again; wake-ups are therefore conservative (broadcasts). *)
@@ -424,7 +471,10 @@ module Rwlock = struct
       suspend (fun wake -> Queue.add wake rw.reader_q);
       rd_lock rw
     end
-    else rw.active_readers <- rw.active_readers + 1
+    else begin
+      rw.active_readers <- rw.active_readers + 1;
+      trace (Rd_locked { lock = rw.id; tid = self () })
+    end
 
   let drain q =
     let t = now () in
@@ -439,6 +489,9 @@ module Rwlock = struct
 
   let rd_unlock rw =
     if rw.active_readers <= 0 then invalid_arg "Rwlock.rd_unlock: not read-locked";
+    (match !trace_hook with
+    | Some f -> f (Rd_unlocked { lock = rw.id; tid = self () })
+    | None -> ());
     rw.active_readers <- rw.active_readers - 1;
     if rw.active_readers = 0 then drain rw.writer_q
 
@@ -449,10 +502,17 @@ module Rwlock = struct
       rw.waiting_writers <- rw.waiting_writers - 1;
       wr_lock rw
     end
-    else rw.writer <- true
+    else begin
+      rw.writer <- true;
+      (* The write side is an exclusive lock: same event as a mutex. *)
+      trace (Locked { lock = rw.id; tid = self () })
+    end
 
   let wr_unlock rw =
     if not rw.writer then invalid_arg "Rwlock.wr_unlock: not write-locked";
+    (match !trace_hook with
+    | Some f -> f (Unlocked { lock = rw.id; tid = self () })
+    | None -> ());
     rw.writer <- false;
     if Queue.is_empty rw.writer_q then drain rw.reader_q else drain rw.writer_q
 

@@ -105,6 +105,32 @@ val current : unit -> t
 val in_thread : unit -> bool
 (** Whether the caller is executing inside a simulated thread. *)
 
+(** {1 Synchronization trace hook}
+
+    The happens-before skeleton of a run, reported to an external
+    observer: spawn and join edges, and exclusive/shared lock transfers
+    ({!Mutex} and the two sides of {!Rwlock}; {!Cond} needs no events of
+    its own because its synchronization is carried by the mutex it is
+    used with). The race detector ({!Analysis.Race}) installs the hook.
+
+    Emission is purely host-side — no virtual time is charged and no
+    scheduling decision changes — so installing a hook cannot perturb a
+    deterministic run. Lock events carry a process-wide lock id shared
+    between mutexes and rwlocks ({!Mutex.id} / {!Rwlock.id}). *)
+
+type trace_event =
+  | Spawned of { parent : tid; child : tid }
+      (** [parent = -1] when spawned from outside the simulation. *)
+  | Joined of { waiter : tid; joined : tid }
+  | Locked of { lock : int; tid : tid }
+      (** Exclusive acquisition (mutex lock or rwlock write lock). *)
+  | Unlocked of { lock : int; tid : tid }
+  | Rd_locked of { lock : int; tid : tid }
+  | Rd_unlocked of { lock : int; tid : tid }
+
+val set_trace_hook : (trace_event -> unit) option -> unit
+(** Install (or clear, with [None]) the single trace-hook slot. *)
+
 (** Mutual exclusion with virtual-time contention accounting. Unlock hands
     the lock directly to the longest-waiting thread. *)
 module Mutex : sig
@@ -114,6 +140,9 @@ module Mutex : sig
   val lock : mutex -> unit
   val unlock : mutex -> unit
   val with_lock : mutex -> (unit -> 'a) -> 'a
+
+  val id : mutex -> int
+  (** Stable id in the shared mutex/rwlock namespace (trace events). *)
 
   val contentions : mutex -> int
   (** Number of lock acquisitions that had to wait. *)
@@ -134,6 +163,9 @@ module Rwlock : sig
   val wr_unlock : rw -> unit
   val with_rd : rw -> (unit -> 'a) -> 'a
   val with_wr : rw -> (unit -> 'a) -> 'a
+
+  val id : rw -> int
+  (** Stable id in the shared mutex/rwlock namespace (trace events). *)
 
   val readers : rw -> int
   (** Current read-side holders (test hook). *)

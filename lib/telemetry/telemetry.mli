@@ -15,7 +15,8 @@
     [vmem_] (simulated MPK hardware), [tlsf_] (allocators),
     [supervisor_], [kvcache_], [httpd_], [client_] (retry/workload
     clients), [sanitizer_] (heap-poison sanitizer), [trace_] (the span
-    tracer itself), [cluster_] (the sharded multi-monitor tier).
+    tracer itself), [cluster_] (the sharded multi-monitor tier),
+    [race_] (the dynamic race/atomicity analyzer).
     Counters end in [_total]; histogram base names carry
     at most a unit suffix — exposition appends [_bucket]/[_sum]/[_count].
     The [metric-naming] repo-lint rule enforces this scheme at

@@ -86,10 +86,12 @@ let set_sanitize t on =
 let sanitized t = t.sanitize
 
 (* The allocator's own metadata — headers, free-list links — lives inside
-   poisoned ranges by design; every public entry point of a sanitized
-   heap runs with the poison scan suspended. *)
-let with_bypass t f =
-  if t.sanitize then Vmem.Space.sanitizer_bypass t.space f else f ()
+   poisoned ranges by design; every public entry point runs with the
+   bypass flag raised. For a sanitized heap that suspends the poison
+   scan; for every heap it also marks the accesses as allocator-internal
+   so shadow-cell observers ({!Vmem.Space.set_access_hook}) skip them —
+   header words are shared by design and cooperatively serialized. *)
+let with_bypass t f = Vmem.Space.sanitizer_bypass t.space f
 
 let space t = t.space
 let name t = t.name
@@ -241,7 +243,7 @@ let malloc_opt_raw t request =
    unpoisoned, so an overflow past the usable size lands on poisoned
    bytes before it can reach the next block's header. *)
 let malloc_opt t request =
-  if not t.sanitize then malloc_opt_raw t request
+  if not t.sanitize then with_bypass t (fun () -> malloc_opt_raw t request)
   else
     Vmem.Space.sanitizer_bypass t.space (fun () ->
         match malloc_opt_raw t (max request 1 + redzone) with
@@ -307,7 +309,7 @@ let free_raw t ptr =
    first 16 payload bytes) survive; double frees are detected first so
    the fill cannot clobber a live free block's links. *)
 let free t ptr =
-  if not t.sanitize then free_raw t ptr
+  if not t.sanitize then with_bypass t (fun () -> free_raw t ptr)
   else
     Vmem.Space.sanitizer_bypass t.space (fun () ->
         let word = hdr t (ptr - header) in
@@ -407,7 +409,7 @@ let realloc_raw t ptr request =
    A fresh allocation + copy of the live payload keeps the invariant
    (everything but live payloads poisoned) trivially true. *)
 let realloc t ptr request =
-  if not t.sanitize then realloc_raw t ptr request
+  if not t.sanitize then with_bypass t (fun () -> realloc_raw t ptr request)
   else if ptr = 0 then malloc t request
   else begin
     let old_logical = usable_size t ptr in

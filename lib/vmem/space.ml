@@ -99,6 +99,9 @@ type t = {
   mutable san_fault_count : int;
   mutable san_poisoned_count : int;
   mutable san_unpoisoned_count : int;
+  (* observer of successful checked accesses (race detector shadow cells);
+     consulted after every protection and poison check has passed *)
+  mutable access_hook : (int -> int -> access -> unit) option;
 }
 
 let fresh_tlb pages =
@@ -152,10 +155,12 @@ let create ?(size_mib = 64) ?(cost = Cost.default) () =
     san_fault_count = 0;
     san_poisoned_count = 0;
     san_unpoisoned_count = 0;
+    access_hook = None;
   }
 
 let cost t = t.cost
 let set_syscall_hook t h = t.syscall_hook <- h
+let set_access_hook t h = t.access_hook <- h
 
 let syscall_gate t name =
   match t.syscall_hook with Some h -> h name | None -> ()
@@ -526,13 +531,20 @@ let check t addr len access =
       for p = p1 to p2 do
         check_page t (if p = p1 then addr else p lsl page_shift) p access
       done;
-    if t.san_enabled && not t.san_bypass then
-      match san_find t.san_map addr len with
-      | Some a ->
-          t.san_fault_count <- t.san_fault_count + 1;
-          fault t a access POISON
-            (Char.code (Bytes.unsafe_get t.pkey_of (a lsr page_shift)))
-      | None -> ()
+    (if t.san_enabled && not t.san_bypass then
+       match san_find t.san_map addr len with
+       | Some a ->
+           t.san_fault_count <- t.san_fault_count + 1;
+           fault t a access POISON
+             (Char.code (Bytes.unsafe_get t.pkey_of (a lsr page_shift)))
+       | None -> ());
+    (* The access passed every check: report it. Allocator-metadata
+       accesses (under [san_bypass], like the poison scan above) are not
+       interesting to shadow-cell observers — TLSF headers are shared by
+       design and cooperatively serialized. *)
+    match t.access_hook with
+    | Some h when not t.san_bypass -> h addr len access
+    | Some _ | None -> ()
   end
 
 (* {1 Mappings} *)

@@ -73,6 +73,16 @@ val set_syscall_hook : t -> (string -> unit) option -> unit
     directly (Connor et al.'s PKU pitfalls; Jenny's syscall filtering).
     The hook may raise to deny the call. *)
 
+val set_access_hook : t -> (int -> int -> access -> unit) option -> unit
+(** Install a callback [h addr len access] invoked after a checked
+    access has passed every protection and poison check — the shadow-cell
+    feed of the race detector ({!Analysis.Race}). Purely observational
+    and host-side: it charges no virtual time, cannot fault, and is not
+    called at all for allocator-metadata accesses (those run under the
+    {!sanitizer_bypass} bracket). [None] (the default) restores the
+    unobserved fast path; the slot costs one pointer compare per access
+    when empty. *)
+
 (** {1 Mappings} *)
 
 val mmap : t -> len:int -> prot:Prot.t -> pkey:int -> int

@@ -298,7 +298,7 @@ let test_flight_kind_codes_roundtrip () =
       check bool (Fl.kind_to_string k) true (Fl.code_kind (Fl.kind_code k) = k))
     [
       Fl.Admit; Fl.Switch_in; Fl.Switch_out; Fl.Alloc_poison; Fl.Lock_acquire;
-      Fl.Fault; Fl.Shed; Fl.Replay; Fl.Route; Fl.Failover;
+      Fl.Fault; Fl.Shed; Fl.Replay; Fl.Route; Fl.Failover; Fl.Race;
     ]
 
 let test_flight_ring_wrap_counts_drops () =

@@ -264,6 +264,7 @@ let kind_name = function
   | Flight.Replay -> "replay"
   | Flight.Route -> "route"
   | Flight.Failover -> "failover"
+  | Flight.Race -> "race"
 
 let cause_name = function
   | Sdrad.Types.Segv { addr; code; access } ->

@@ -296,7 +296,10 @@ let test_dlock_released_by_destroy_subtree () =
       check (Alcotest.option int) "lock released by destroy" None
         (Dlock.holder l);
       check bool "poisoned by forced discard" true (Dlock.poisoned l);
-      Dlock.clear_poisoned l)
+      (* Clearing is holder-only: take the lock before clearing. *)
+      check bool "reacquired dirty" false (Dlock.acquire l);
+      Dlock.clear_poisoned l;
+      Dlock.release l)
 
 let test_dlock_with_lock_reports_poison () =
   with_sdrad (fun space sd ->
